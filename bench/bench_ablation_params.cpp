@@ -1,0 +1,104 @@
+// Design-choice ablations called out in DESIGN.md:
+//  * cache line size under SWCC (object granularity vs line granularity —
+//    flush cost against fill efficiency);
+//  * DSM handoff traffic vs object size (the lazy-release transfer).
+//
+// Flags: --cores=N (default 8).
+#include <cstdio>
+
+#include "apps/volrend_like.h"
+#include "bench/bench_common.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace pmc;
+using namespace pmc::bench;
+using namespace pmc::apps;
+
+uint64_t volrend_with_line(int cores, uint32_t line_bytes) {
+  VolrendConfig c;
+  c.volume = 16;
+  c.image = 24;
+  VolrendLike app(c);
+  ProgramOptions o;
+  o.target = rt::Target::kSWCC;
+  o.cores = cores;
+  o.machine = sim::MachineConfig::ml605(cores);
+  o.machine.dcache.line_bytes = line_bytes;
+  // Keep fill cost per byte constant so the sweep isolates the line policy.
+  o.machine.timing.sdram_line_fill = 22 + line_bytes / 2;
+  o.machine.max_cycles = UINT64_C(10'000'000'000);
+  o.validate = false;
+  o.lock_capacity = 512;
+  return run_app(app, o).makespan;
+}
+
+uint64_t dsm_handoff_cycles(int cores, uint32_t obj_bytes,
+                            bool eager = false) {
+  rt::ProgramOptions o;
+  o.policy.dsm_eager_release = eager;
+  o.target = rt::Target::kDSM;
+  o.cores = cores;
+  o.machine = sim::MachineConfig::ml605(cores);
+  o.machine.lm_bytes = 128 * 1024;
+  o.machine.max_cycles = UINT64_C(10'000'000'000);
+  o.validate = false;
+  o.lock_capacity = 64;
+  rt::Program prog(o);
+  const rt::ObjId x =
+      prog.create_object(obj_bytes, rt::Placement::kReplicated, "x");
+  const int rounds = 16;
+  prog.run([&](rt::Env& env) {
+    for (int i = 0; i < rounds; ++i) {
+      env.entry_x(x);  // ownership transfer pulls the whole object
+      env.st<uint32_t>(x, 0, static_cast<uint32_t>(i));
+      env.exit_x(x);
+      env.barrier();   // force round-robin-ish interleaving
+    }
+  });
+  uint64_t makespan = 0;
+  for (int c = 0; c < cores; ++c) {
+    makespan = std::max(makespan, prog.machine()->stats(c).cycles_total);
+  }
+  return makespan;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int cores = static_cast<int>(flag_int(argc, argv, "cores", 8));
+  std::printf("== parameter ablations ==\n\n");
+
+  util::Table t1;
+  t1.add_row({"line bytes", "VOLREND-like SWCC makespan"});
+  for (uint32_t line : {16u, 32u, 64u}) {
+    t1.add_row({fmt_u64(line), fmt_u64(volrend_with_line(cores, line))});
+  }
+  std::printf("cache line size under SWCC:\n%s\n", t1.render().c_str());
+
+  util::Table t2;
+  t2.add_row({"object bytes", "lazy release", "eager release"});
+  for (uint32_t bytes : {16u, 64u, 256u, 1024u}) {
+    t2.add_row({fmt_u64(bytes), fmt_u64(dsm_handoff_cycles(2, bytes, false)),
+                fmt_u64(dsm_handoff_cycles(2, bytes, true))});
+  }
+  std::printf("DSM ping-pong makespan vs object size (2 cores), lazy vs "
+              "eager release (Section V-A):\n%s\n",
+              t2.render().c_str());
+  util::Table t3;
+  t3.add_row({"cores", "lazy release", "eager release"});
+  for (int n : {2, 4, 8}) {
+    t3.add_row({fmt_u64(static_cast<uint64_t>(n)),
+                fmt_u64(dsm_handoff_cycles(n, 256, false)),
+                fmt_u64(dsm_handoff_cycles(n, 256, true))});
+  }
+  std::printf("same, 256 B object, more cores (eager broadcasts to every "
+              "tile):\n%s\n", t3.render().c_str());
+  std::printf("expected shape: larger lines help dense read-only data until "
+              "flush cost dominates;\nDSM handoff grows linearly with the "
+              "transferred object; eager release pays a\nbroadcast per exit "
+              "and scales with the tile count, lazy pays one targeted "
+              "transfer per acquire.\n");
+  return 0;
+}

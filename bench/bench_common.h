@@ -1,0 +1,73 @@
+// Shared helpers for the figure-regeneration harnesses.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/app.h"
+#include "util/table.h"
+
+namespace pmc::bench {
+
+/// Minimal flag parsing: --name=value.
+inline int64_t flag_int(int argc, char** argv, const char* name,
+                        int64_t def) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atoll(argv[i] + prefix.size());
+    }
+  }
+  return def;
+}
+
+inline bool flag_set(int argc, char** argv, const char* name) {
+  const std::string f = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (f == argv[i]) return true;
+  }
+  return false;
+}
+
+/// Percentage string with one decimal.
+inline std::string pc(double num, double den) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%5.1f%%", den == 0 ? 0.0 : 100.0 * num / den);
+  return buf;
+}
+
+inline std::string fmt_u64(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// The Fig. 8 time decomposition of one run, aggregated over cores.
+struct Breakdown {
+  uint64_t total = 0;  // Σ cycles over cores (busy + stalls + idle)
+  uint64_t busy = 0;
+  uint64_t ifetch = 0;
+  uint64_t priv_read = 0;
+  uint64_t shared_read = 0;
+  uint64_t sync = 0;  // lock/barrier word stalls + backoff idle
+  uint64_t write = 0;
+  uint64_t flush = 0;
+
+  static Breakdown from(const pmc::sim::CoreStats& s) {
+    Breakdown b;
+    b.busy = s.busy;
+    b.ifetch = s.stall_ifetch;
+    b.priv_read = s.stall_private_read;
+    b.shared_read = s.stall_shared_read;
+    b.sync = s.stall_sync_read + s.idle;
+    b.write = s.stall_write;
+    b.flush = s.stall_flush;
+    b.total = b.busy + b.ifetch + b.priv_read + b.shared_read + b.sync +
+              b.write + b.flush;
+    return b;
+  }
+};
+
+}  // namespace pmc::bench

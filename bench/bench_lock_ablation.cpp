@@ -1,0 +1,96 @@
+// Substrate ablation: the asymmetric distributed lock (ref. [15]
+// substitution) against the naive remote test-and-set spin lock.
+//
+// The property the PMC back-ends rely on: waiters spin in their own local
+// memory, so contention does not hammer the shared atomic unit, and a
+// handoff costs one NoC packet.
+//
+// Flags: --cores=N (default 16), --rounds=N (default 40).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "sim/machine.h"
+#include "sync/locks.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace pmc;
+using namespace pmc::bench;
+
+struct LockRun {
+  uint64_t makespan = 0;
+  uint64_t atomics = 0;
+  uint64_t noc_packets = 0;
+  uint64_t acquire_cycles = 0;  // mean cycles per acquire+release round
+};
+
+LockRun run_locks(bool distributed, int cores, int rounds, uint32_t cs_len,
+                  uint32_t gap) {
+  sim::MachineConfig cfg = sim::MachineConfig::ml605(cores);
+  cfg.lm_bytes = 32 * 1024;
+  cfg.sdram_bytes = 1024 * 1024;
+  cfg.max_cycles = UINT64_C(10'000'000'000);
+  sim::Machine m(cfg);
+  std::unique_ptr<sync::LockManager> locks;
+  if (distributed) {
+    locks = std::make_unique<sync::DistLockManager>(m, sim::kSdramBase,
+                                                    64 * 1024, 0, 8 * 1024);
+  } else {
+    locks = std::make_unique<sync::SpinLockManager>(m, sim::kSdramBase,
+                                                    64 * 1024);
+  }
+  const int l = locks->create();
+  m.run([&](sim::Core& c) {
+    for (int i = 0; i < rounds; ++i) {
+      locks->acquire(c, l);
+      c.compute(cs_len);
+      locks->release(c, l);
+      c.compute(gap);
+    }
+  });
+  LockRun r;
+  for (int c = 0; c < cores; ++c) {
+    r.makespan = std::max(r.makespan, m.stats(c).cycles_total);
+  }
+  r.atomics = m.stats_sum().atomics;
+  r.noc_packets = m.noc().packets_sent();
+  r.acquire_cycles = r.makespan / static_cast<uint64_t>(rounds);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int cores = static_cast<int>(flag_int(argc, argv, "cores", 16));
+  const int rounds = static_cast<int>(flag_int(argc, argv, "rounds", 40));
+  std::printf("== ablation: distributed lock vs remote test-and-set "
+              "(%d cores, %d rounds each) ==\n\n",
+              cores, rounds);
+
+  util::Table t;
+  t.add_row({"scenario", "lock", "makespan", "atomic ops", "NoC packets"});
+  struct Scenario {
+    const char* name;
+    int ncores;
+    uint32_t cs, gap;
+  };
+  const Scenario scenarios[] = {
+      {"uncontended (1 core)", 1, 20, 20},
+      {"light contention", cores, 20, 400},
+      {"heavy contention", cores, 200, 20},
+  };
+  for (const auto& s : scenarios) {
+    for (bool dist : {false, true}) {
+      const LockRun r = run_locks(dist, s.ncores, rounds, s.cs, s.gap);
+      t.add_row({s.name, dist ? "distributed" : "spin-TAS",
+                 fmt_u64(r.makespan), fmt_u64(r.atomics),
+                 fmt_u64(r.noc_packets)});
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("expected shape: under contention the distributed lock's "
+              "atomic-op count stays at ~2 per round\nwhile the spin lock's "
+              "explodes; its handoffs appear as NoC packets instead.\n");
+  return 0;
+}

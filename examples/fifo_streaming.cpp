@@ -1,0 +1,71 @@
+// Streaming over distributed memory (paper §VI-B): a two-stage pipeline
+// connected by the Fig. 9 multi-reader FIFO, on the DSM back-end where all
+// pointer polling happens in tile-local memory.
+//
+// Stage A (2 producer cores) generates video "lines"; stage B (2 consumer
+// cores) both receive *every* line (broadcast FIFO — e.g. one consumer
+// encodes while the other drives a preview display).
+#include <cstdio>
+
+#include "apps/mfifo.h"
+#include "runtime/program.h"
+
+using namespace pmc;
+using namespace pmc::apps;
+
+namespace {
+struct Line {
+  uint32_t seq;
+  uint32_t pixels[15];
+};
+}  // namespace
+
+int main() {
+  rt::ProgramOptions opts;
+  opts.target = rt::Target::kDSM;  // also correct on every other back-end
+  opts.cores = 4;
+  opts.machine.lm_bytes = 256 * 1024;
+  opts.machine.max_cycles = UINT64_C(4'000'000'000);
+  opts.validate = true;
+  rt::Program prog(opts);
+
+  const int kProducers = 2, kConsumers = 2, kLines = 32;
+  MFifo fifo(prog, sizeof(Line), /*depth=*/4, /*readers=*/kConsumers);
+
+  uint64_t consumer_sum[kConsumers] = {0, 0};
+  prog.run([&](rt::Env& env) {
+    if (env.id() < kProducers) {
+      for (uint32_t i = 0; i < kLines / kProducers; ++i) {
+        Line line;
+        line.seq = static_cast<uint32_t>(env.id()) << 16 | i;
+        for (uint32_t p = 0; p < 15; ++p) line.pixels[p] = line.seq * 31 + p;
+        env.compute(200);  // "capture" the line
+        fifo.push(env, &line);
+      }
+    } else {
+      const int me = env.id() - kProducers;
+      for (int i = 0; i < kLines; ++i) {
+        Line line{};
+        fifo.pop(env, me, &line);
+        for (uint32_t p = 0; p < 15; ++p) consumer_sum[me] += line.pixels[p];
+        env.compute(150);  // "encode" / "display"
+      }
+    }
+  });
+  prog.require_valid();
+
+  std::printf("streamed %d lines from %d producers to %d broadcast "
+              "consumers over DSM\n",
+              kLines, kProducers, kConsumers);
+  std::printf("consumer digests: %llu and %llu -> %s\n",
+              static_cast<unsigned long long>(consumer_sum[0]),
+              static_cast<unsigned long long>(consumer_sum[1]),
+              consumer_sum[0] == consumer_sum[1] ? "identical (broadcast OK)"
+                                                 : "MISMATCH");
+  const auto& s0 = prog.machine()->stats(kProducers);  // first consumer
+  std::printf("first consumer: %llu local-memory loads, %llu SDRAM-read "
+              "stall cycles (polling stayed local)\n",
+              static_cast<unsigned long long>(s0.loads),
+              static_cast<unsigned long long>(s0.stall_shared_read));
+  return consumer_sum[0] == consumer_sum[1] ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+// Litmus explorer: enumerates the reachable outcomes of the paper's example
+// programs under the PMC model, in program order and under weak issue
+// (compiler/out-of-order reordering), and renders the Fig. 5 dependency
+// graph as Graphviz.
+//
+// Run with --dot to print the Fig. 5 execution graph.
+#include <cstdio>
+#include <cstring>
+
+#include "model/execution.h"
+#include "model/litmus_library.h"
+
+using namespace pmc::model;
+
+namespace {
+
+void show(const LitmusTest& test) {
+  std::printf("%-28s", test.name.c_str());
+  for (IssueMode mode : {IssueMode::kProgramOrder, IssueMode::kWeakIssue}) {
+    ExploreOptions opts;
+    opts.mode = mode;
+    opts.weak_window = 4;
+    const auto res = explore(test, opts);
+    std::printf("  %s:", mode == IssueMode::kProgramOrder ? "in-order" : "weak");
+    for (const auto& outcome : res.outcomes) {
+      std::printf(" {");
+      for (size_t i = 0; i < outcome.size(); ++i) {
+        std::printf("%s%llu", i ? "," : "",
+                    static_cast<unsigned long long>(outcome[i]));
+      }
+      std::printf("}");
+    }
+    if (res.race_observed) std::printf(" [racy]");
+  }
+  std::printf("\n");
+}
+
+void fig5_dot() {
+  // Rebuild the Fig. 5 execution in its depicted interleaving and dump it.
+  Execution e(2, 2, {0, 0});
+  e.acquire(0, 0);
+  e.write(0, 0, 42);
+  e.fence(0);
+  e.release(0, 0);
+  e.acquire(0, 1);
+  const OpId wf = e.write(0, 1, 1);
+  e.release(0, 1);
+  e.read(1, 1, 1, wf);
+  e.fence(1);
+  e.acquire(1, 0);
+  e.read(1, 0, 42, 1);
+  e.release(1, 0);
+  std::printf("%s", e.to_dot().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dot") == 0) {
+      fig5_dot();
+      return 0;
+    }
+  }
+  std::printf("reachable outcomes per litmus test (registers in braces):\n\n");
+  for (const auto& test : pmc::model::litmus::all_tests()) {
+    show(test);
+  }
+  std::printf(
+      "\nreading the table:\n"
+      " * fig1_mp_plain: {0} reachable — the stale read of the motivating "
+      "example;\n"
+      " * fig5_mp_annotated: only {42} — annotations forbid the stale "
+      "outcome in both modes;\n"
+      " * fig5_mp_no_reader_fence: {0} reappears under weak issue — the "
+      "fence at Fig. 5 line 11 is essential;\n"
+      " * fig5_mp_no_writer_fence: identical to the annotated test — the "
+      "line 3 fence is redundant in the model;\n"
+      " * sb_locked: (0,0) unreachable — PMC behaves sequentially "
+      "consistent for data-race-free programs (Section IV-E).\n"
+      "\nrun with --dot for the Fig. 5 dependency graph in Graphviz form.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: the paper's running example (Fig. 6) in ~40 lines of
+// application code.
+//
+// Process 0 publishes a payload and raises a flag; process 1 polls the flag
+// and reads the payload. The annotations (entry_x/exit_x, entry_ro/exit_ro,
+// fence, flush) make every required ordering explicit, so the same code is
+// correct on any back-end — here the software-cache-coherent 4-core machine.
+//
+// Build & run:   ./examples/quickstart
+#include <cstdio>
+
+#include "runtime/program.h"
+
+using namespace pmc;
+
+int main() {
+  rt::ProgramOptions opts;
+  opts.target = rt::Target::kSWCC;  // change the back-end; nothing else moves
+  opts.cores = 4;
+  opts.validate = true;  // record a trace and check it against the model
+
+  rt::Program prog(opts);
+  const rt::ObjId X = prog.create_typed<uint32_t>(0, rt::Placement::kSdram, "X");
+  const rt::ObjId flag =
+      prog.create_typed<uint32_t>(0, rt::Placement::kSdram, "flag");
+
+  prog.run([&](rt::Env& env) {
+    if (env.id() == 0) {
+      // Fig. 6, process 1.
+      env.entry_x(X);
+      env.st<uint32_t>(X, 0, 42);
+      env.fence();
+      env.exit_x(X);
+
+      env.entry_x(flag);
+      env.st<uint32_t>(flag, 0, 1);
+      env.flush(flag);  // best-effort: make the flag visible soon
+      env.exit_x(flag);
+    } else if (env.id() == 1) {
+      // Fig. 6, process 2.
+      uint32_t poll = 0;
+      do {
+        env.entry_ro(flag);
+        poll = env.ld<uint32_t>(flag);
+        env.exit_ro(flag);
+      } while (poll != 1);
+      env.fence();  // pins the acquire behind the poll loop (§IV, Fig. 5)
+
+      env.entry_x(X);
+      const uint32_t r = env.ld<uint32_t>(X);
+      env.exit_x(X);
+      std::printf("process 1 read X = %u (must be 42)\n", r);
+    }
+    // Cores 2 and 3 idle: the annotations cost them nothing.
+  });
+
+  prog.require_valid();  // the recorded trace satisfies Definition 12
+  std::printf("back-end: %s, validated against the PMC model: OK\n",
+              to_string(opts.target));
+  return 0;
+}

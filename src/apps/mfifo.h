@@ -1,0 +1,104 @@
+// Multiple-reader, multiple-writer FIFO — a faithful port of paper Fig. 9.
+//
+// Every reader receives every element (broadcast semantics). The write
+// pointer, the per-reader read pointers, and each buffer slot are separate
+// shared objects; with the DSM back-end all pointer polling happens in
+// local memory, which is the case study's point. The fences and flushes are
+// placed exactly where Fig. 9 puts them; the essential-ordering comments
+// cite the figure's edge annotations.
+//
+// Like the paper ("checks for an int overflow of the pointers have been
+// left out"), pointers are assumed not to wrap.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/env.h"
+#include "runtime/program.h"
+
+namespace pmc::apps {
+
+class MFifo {
+ public:
+  /// Creates the FIFO's shared objects (before Program::run).
+  MFifo(rt::Program& prog, uint32_t elem_bytes, uint32_t depth, int readers,
+        const std::string& name = "fifo") {
+    elem_bytes_ = elem_bytes;
+    depth_ = depth;
+    readers_ = readers;
+    write_ptr_ = prog.create_typed<uint32_t>(0, rt::Placement::kReplicated,
+                                             name + ".wp");
+    for (int r = 0; r < readers; ++r) {
+      read_ptr_.push_back(prog.create_typed<uint32_t>(
+          0, rt::Placement::kReplicated, name + ".rp" + std::to_string(r)));
+    }
+    for (uint32_t i = 0; i < depth; ++i) {
+      buf_.push_back(prog.create_object(elem_bytes,
+                                        rt::Placement::kReplicated,
+                                        name + ".buf" + std::to_string(i)));
+    }
+  }
+
+  uint32_t depth() const { return depth_; }
+  int readers() const { return readers_; }
+
+  /// Fig. 9 push(): blocks (in simulated time) until a slot is free.
+  void push(rt::Env& env, const void* data) {
+    env.entry_x(write_ptr_);                       // line 7
+    const uint32_t wp_raw = env.ld<uint32_t>(write_ptr_);
+    const uint32_t wp = wp_raw % depth_;           // line 8
+    for (int i = 0; i < readers_; ++i) {           // lines 10–15
+      uint32_t rp;
+      do {
+        env.entry_ro(read_ptr_[i]);
+        rp = env.ld<uint32_t>(read_ptr_[i]);
+        env.exit_ro(read_ptr_[i]);
+        // Wait until all readers got buf[wp]: slot wp_raw%N is reusable once
+        // every reader consumed element wp_raw - N.
+      } while (static_cast<int64_t>(rp) <=
+               static_cast<int64_t>(wp_raw) - static_cast<int64_t>(depth_));
+    }
+    env.fence();                                   // line 16 (≺F: pins the
+    env.entry_x(buf_[wp]);                         // entry behind the polls)
+    env.write(buf_[wp], 0, data, elem_bytes_);     // line 18
+    env.exit_x(buf_[wp]);                          // line 19 (w ≺P R)
+    env.fence();                                   // line 20 (R ≺F F ≺F w)
+    env.st<uint32_t>(write_ptr_, 0, wp_raw + 1);   // line 21
+    env.flush(write_ptr_);                         // line 22
+    env.exit_x(write_ptr_);                        // line 23
+  }
+
+  /// Fig. 9 pop() for `reader`: blocks until data is available.
+  void pop(rt::Env& env, int reader, void* out) {
+    env.entry_ro(read_ptr_[reader]);               // line 27
+    const uint32_t rp_raw = env.ld<uint32_t>(read_ptr_[reader]);
+    const uint32_t rp = rp_raw % depth_;           // line 28
+    env.exit_ro(read_ptr_[reader]);                // line 29
+    uint32_t wp;
+    do {                                           // lines 30–34
+      env.entry_ro(write_ptr_);
+      wp = env.ld<uint32_t>(write_ptr_);
+      env.exit_ro(write_ptr_);
+    } while (wp <= rp_raw);                        // wait until data written
+    env.fence();                                   // line 35 (≺F)
+    env.entry_x(buf_[rp]);                         // line 36 (≺S: pulls the
+    env.read(buf_[rp], 0, out, elem_bytes_);       // writer's version)
+    env.exit_x(buf_[rp]);                          // line 38
+    env.fence();                                   // line 39
+    env.entry_x(read_ptr_[reader]);                // line 40
+    env.st<uint32_t>(read_ptr_[reader], 0, rp_raw + 1);  // line 41
+    env.flush(read_ptr_[reader]);                  // line 42
+    env.exit_x(read_ptr_[reader]);                 // line 43
+  }
+
+ private:
+  uint32_t elem_bytes_ = 0;
+  uint32_t depth_ = 0;
+  int readers_ = 0;
+  rt::ObjId write_ptr_ = -1;
+  std::vector<rt::ObjId> read_ptr_;
+  std::vector<rt::ObjId> buf_;
+};
+
+}  // namespace pmc::apps

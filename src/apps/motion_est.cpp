@@ -1,0 +1,138 @@
+#include "apps/motion_est.h"
+
+#include <cstring>
+
+#include "runtime/scope.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace pmc::apps {
+
+void MotionEst::tune(ProgramOptions& opts) const {
+  // Tight SAD loops: small instruction footprint, tiny private data.
+  opts.machine.profile.imiss_per_mille = 1;
+  opts.machine.profile.priv_miss_per_mille = 2;
+}
+
+namespace {
+/// Smooth deterministic texture so SAD landscapes have a unique minimum.
+uint8_t texel(uint64_t seed, int x, int y) {
+  const uint64_t h = pmc::util::hash_combine(
+      pmc::util::hash_combine(seed, static_cast<uint64_t>(x / 3)),
+      static_cast<uint64_t>(y / 3));
+  return static_cast<uint8_t>((h >> 8) ^ (h >> 24));
+}
+}  // namespace
+
+void MotionEst::build(Program& prog) {
+  util::Rng rng(cfg_.seed);
+  counter_.create(prog, "me.ctr");
+  const int nblocks = cfg_.blocks_x * cfg_.blocks_y;
+  const int w = window();
+  std::vector<uint8_t> win(window_bytes());
+  std::vector<uint8_t> blk(block_bytes());
+  windows_.clear();
+  blocks_.clear();
+  vectors_.clear();
+  expected_.clear();
+  for (int b = 0; b < nblocks; ++b) {
+    // Reference-frame window for this block (its own texture region).
+    const int ox = (b % cfg_.blocks_x) * 1000;
+    const int oy = (b / cfg_.blocks_x) * 1000;
+    for (int y = 0; y < w; ++y) {
+      for (int x = 0; x < w; ++x) {
+        win[static_cast<size_t>(y) * w + x] = texel(cfg_.seed, ox + x, oy + y);
+      }
+    }
+    // The "current" block is the window content at a known shift.
+    Vec v;
+    v.dx = static_cast<int32_t>(rng.next_in(-cfg_.search, cfg_.search));
+    v.dy = static_cast<int32_t>(rng.next_in(-cfg_.search, cfg_.search));
+    const int bx = cfg_.search + v.dx;
+    const int by = cfg_.search + v.dy;
+    for (int y = 0; y < cfg_.block; ++y) {
+      for (int x = 0; x < cfg_.block; ++x) {
+        blk[static_cast<size_t>(y) * cfg_.block + x] =
+            win[static_cast<size_t>(by + y) * w + (bx + x)];
+      }
+    }
+    expected_.push_back(v);
+
+    const std::string tag = std::to_string(b);
+    const ObjId wid = prog.create_const_object(
+        window_bytes(), Placement::kReplicated, "win" + tag);
+    prog.init_object(wid, win.data(), win.size());
+    const ObjId bid = prog.create_const_object(
+        block_bytes(), Placement::kReplicated, "blk" + tag);
+    prog.init_object(bid, blk.data(), blk.size());
+    const ObjId vid = prog.create_typed<Vec>({}, Placement::kReplicated,
+                                             "vec" + tag);
+    windows_.push_back(wid);
+    blocks_.push_back(bid);
+    vectors_.push_back(vid);
+  }
+}
+
+void MotionEst::body(Env& env) {
+  const int nblocks = cfg_.blocks_x * cfg_.blocks_y;
+  const int w = window();
+  for (;;) {
+    const auto chunk =
+        counter_.grab(env, static_cast<uint32_t>(nblocks), 1);
+    if (chunk.empty()) break;
+    const uint32_t b = chunk.begin;
+    // Fig. 10 worker(): scopes stage the data, the match function reads it
+    // many times — on the SPM back-end all of that is local.
+    rt::ScopeRO<uint8_t> window_s(env, windows_[b]);
+    rt::ScopeRO<uint8_t> mblock_s(env, blocks_[b]);
+    rt::ScopeX<Vec> vector_s(env, vectors_[b]);
+
+    int64_t best_sad = INT64_MAX;
+    Vec best{};
+    for (int dy = -cfg_.search; dy <= cfg_.search; ++dy) {
+      for (int dx = -cfg_.search; dx <= cfg_.search; ++dx) {
+        const int bx = cfg_.search + dx;
+        const int by = cfg_.search + dy;
+        int64_t sad = 0;
+        for (int y = 0; y < cfg_.block && sad < best_sad; ++y) {
+          for (int x = 0; x < cfg_.block; ++x) {
+            const int32_t a = window_s.at<uint8_t>(
+                static_cast<uint32_t>((by + y) * w + (bx + x)));
+            const int32_t c = mblock_s.at<uint8_t>(
+                static_cast<uint32_t>(y * cfg_.block + x));
+            sad += a > c ? a - c : c - a;
+            env.compute(cfg_.sad_cost);
+          }
+        }
+        if (sad < best_sad) {
+          best_sad = sad;
+          best = {dx, dy};
+        }
+      }
+    }
+    vector_s = best;  // Fig. 10 line 30
+  }
+  env.barrier();
+}
+
+std::vector<MotionEst::Vec> MotionEst::found(Program& prog) const {
+  std::vector<Vec> out;
+  out.reserve(vectors_.size());
+  for (const ObjId v : vectors_) {
+    Vec vec;
+    prog.read_object(v, &vec, sizeof vec);
+    out.push_back(vec);
+  }
+  return out;
+}
+
+uint64_t MotionEst::checksum(Program& prog) {
+  uint64_t h = util::kFnvOffset;
+  for (const Vec& v : found(prog)) {
+    h = util::hash_combine(h, static_cast<uint64_t>(static_cast<uint32_t>(v.dx)));
+    h = util::hash_combine(h, static_cast<uint64_t>(static_cast<uint32_t>(v.dy)));
+  }
+  return h;
+}
+
+}  // namespace pmc::apps

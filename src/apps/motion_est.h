@@ -1,0 +1,62 @@
+// Motion estimation (paper §VI-C, Fig. 10): full-search block matching of
+// the current frame's macroblocks inside search windows of the reference
+// frame. Blocks and windows are staged through ScopeRO, the result vector
+// through ScopeX — the typical scratch-pad workload: both are "read many
+// times" per work packet.
+//
+// The current-frame block is cut from the reference frame at a known offset,
+// so the search must recover exactly that motion vector (SAD 0) —
+// correctness is self-checking.
+#pragma once
+
+#include <vector>
+
+#include "apps/app.h"
+#include "apps/task_queue.h"
+
+namespace pmc::apps {
+
+struct MotionConfig {
+  int blocks_x = 4;
+  int blocks_y = 3;
+  int block = 8;        // macroblock edge (pixels)
+  int search = 4;       // search range ± pixels
+  uint32_t sad_cost = 3;  // instructions per pixel difference
+  uint64_t seed = 0x0e57ULL;
+};
+
+class MotionEst final : public App {
+ public:
+  explicit MotionEst(const MotionConfig& cfg) : cfg_(cfg) {}
+
+  const char* name() const override { return "motion_est"; }
+  void tune(ProgramOptions& opts) const override;
+  void build(Program& prog) override;
+  void body(Env& env) override;
+  uint64_t checksum(Program& prog) override;
+
+  /// The vector each block must find (the known shift).
+  struct Vec {
+    int32_t dx = 0, dy = 0;
+  };
+  const std::vector<Vec>& expected() const { return expected_; }
+  std::vector<Vec> found(Program& prog) const;
+
+ private:
+  int window() const { return cfg_.block + 2 * cfg_.search; }
+  uint32_t window_bytes() const {
+    return static_cast<uint32_t>(window() * window());
+  }
+  uint32_t block_bytes() const {
+    return static_cast<uint32_t>(cfg_.block * cfg_.block);
+  }
+
+  MotionConfig cfg_;
+  std::vector<ObjId> windows_;  // per work packet (Fig. 10 work_t.window)
+  std::vector<ObjId> blocks_;   // per work packet (work_t.mblock)
+  std::vector<ObjId> vectors_;  // per work packet (work_t.vector)
+  std::vector<Vec> expected_;
+  TaskCounter counter_;
+};
+
+}  // namespace pmc::apps

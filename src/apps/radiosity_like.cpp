@@ -1,0 +1,138 @@
+#include "apps/radiosity_like.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace pmc::apps {
+
+void RadiosityLike::tune(ProgramOptions& opts) const {
+  // Irregular control flow and a large private footprint: heavy background
+  // load (cf. RADIOSITY's I-stall and private-read bars in Fig. 8).
+  opts.machine.profile.imiss_per_mille = 8;
+  opts.machine.profile.priv_miss_per_mille = 14;
+}
+
+void RadiosityLike::build(Program& prog) {
+  util::Rng rng(cfg_.seed);
+  counters_.resize(static_cast<size_t>(cfg_.iterations));
+  for (int i = 0; i < cfg_.iterations; ++i) {
+    counters_[i].create(prog, "rad.ctr" + std::to_string(i));
+  }
+  // Form-factor table: consulted on every gather, heavily reused.
+  ff_table_ = prog.create_const_object(cfg_.ff_entries * 4,
+                                       Placement::kSdram, "ff");
+  std::vector<uint32_t> ff(cfg_.ff_entries);
+  for (uint32_t i = 0; i < cfg_.ff_entries; ++i) {
+    ff[i] = static_cast<uint32_t>(rng.next_in(100, 999));  // per-mille weight
+  }
+  prog.init_object(ff_table_, ff.data(), ff.size() * 4);
+
+  energy_[0].clear();
+  energy_[1].clear();
+  topo_.clear();
+  std::vector<uint8_t> topo(topo_bytes(), 0);
+  for (int p = 0; p < cfg_.patches; ++p) {
+    const std::string tag = std::to_string(p);
+    // Initial energy: deterministic pseudo-random Q16.16 in [1, 17).
+    const int32_t e0 = static_cast<int32_t>(
+        (rng.next_in(1, 16) << 16) | ((p * 37) % 0x10000));
+    energy_[0].push_back(prog.create_typed<int32_t>(
+        e0, Placement::kSdram, "ea" + tag));
+    energy_[1].push_back(prog.create_typed<int32_t>(
+        0, Placement::kSdram, "eb" + tag));
+    const uint32_t reflect =
+        static_cast<uint32_t>(rng.next_in(300, 900));  // per-mille
+    std::memcpy(topo.data() + kReflect, &reflect, 4);
+    for (int k = 0; k < cfg_.neighbors; ++k) {
+      // Random gather graph — the "chaotic" addressing of §VI-A.
+      uint32_t q = static_cast<uint32_t>(rng.next_below(cfg_.patches));
+      if (q == static_cast<uint32_t>(p)) q = (q + 1) % cfg_.patches;
+      std::memcpy(topo.data() + kNeigh + 4 * k, &q, 4);
+    }
+    const ObjId t = prog.create_const_object(topo_bytes(), Placement::kSdram,
+                                             "topo" + tag);
+    prog.init_object(t, topo.data(), topo.size());
+    topo_.push_back(t);
+  }
+}
+
+void RadiosityLike::body(Env& env) {
+  for (int it = 0; it < cfg_.iterations; ++it) {
+    const auto& src = energy_[it % 2];
+    const auto& dst = energy_[(it + 1) % 2];
+    const uint32_t chunk_size = std::max(
+        2u, static_cast<uint32_t>(cfg_.patches) /
+                (static_cast<uint32_t>(env.num_procs()) * 6u));
+    for (;;) {
+      const auto chunk =
+          counters_[static_cast<size_t>(it)].grab(
+              env, static_cast<uint32_t>(cfg_.patches), chunk_size);
+      if (chunk.empty()) break;
+      // The form-factor table is held read-only across the chunk: the
+      // high-reuse class that SWCC turns into cache hits.
+      env.entry_ro(ff_table_);
+      for (uint32_t p = chunk.begin; p < chunk.end; ++p) {
+        env.entry_ro(topo_[p]);
+        const uint32_t reflect = env.ld<uint32_t>(topo_[p], kReflect);
+        uint32_t neigh[64];
+        PMC_CHECK(cfg_.neighbors <= 64);
+        for (int k = 0; k < cfg_.neighbors; ++k) {
+          neigh[k] = env.ld<uint32_t>(topo_[p], kNeigh + 4 * k);
+        }
+        env.exit_ro(topo_[p]);
+
+        // Gather the previous phase's energies across the random graph —
+        // word-sized objects, so these are plain slow reads (no ro-lock).
+        int64_t gathered = 0;
+        for (int k = 0; k < cfg_.neighbors; ++k) {
+          const uint32_t q = neigh[k];
+          env.entry_ro(src[q]);
+          const int32_t e = env.ld<int32_t>(src[q]);
+          env.exit_ro(src[q]);
+          // Interpolated form factor: three table lookups per gather — the
+          // reusable shared-read class that SWCC turns into cache hits.
+          const uint32_t i0 = (p + q) % cfg_.ff_entries;
+          const uint32_t ff0 = env.ld<uint32_t>(ff_table_, i0 * 4);
+          const uint32_t ff1 = env.ld<uint32_t>(
+              ff_table_, ((i0 + 1) % cfg_.ff_entries) * 4);
+          const uint32_t ff2 = env.ld<uint32_t>(
+              ff_table_, ((i0 + 7) % cfg_.ff_entries) * 4);
+          const uint32_t ff = (ff0 * 2 + ff1 + ff2) / 4;
+          gathered += static_cast<int64_t>(e) * ff / 1000;
+          env.compute(cfg_.gather_cost);
+        }
+
+        env.entry_ro(src[p]);
+        const int32_t own = env.ld<int32_t>(src[p]);
+        env.exit_ro(src[p]);
+        // new = 0.7·own + reflect‰ · mean(gathered) · 0.3
+        const int64_t mean = gathered / cfg_.neighbors;
+        const int32_t neu = static_cast<int32_t>(
+            static_cast<int64_t>(own) * 700 / 1000 +
+            mean * reflect / 1000 * 300 / 1000);
+        env.compute(cfg_.update_cost);
+        env.entry_x(dst[p]);
+        env.st(dst[p], 0, neu);
+        env.exit_x(dst[p]);
+      }
+      env.exit_ro(ff_table_);
+    }
+    env.barrier();
+  }
+}
+
+uint64_t RadiosityLike::checksum(Program& prog) {
+  const auto& last = energy_[cfg_.iterations % 2];
+  uint64_t h = util::kFnvOffset;
+  for (const ObjId p : last) {
+    const int32_t e = prog.result<int32_t>(p);
+    h = util::hash_combine(h, static_cast<uint64_t>(static_cast<uint32_t>(e)));
+  }
+  return h;
+}
+
+}  // namespace pmc::apps

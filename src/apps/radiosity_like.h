@@ -1,0 +1,57 @@
+// RADIOSITY-like kernel (SPLASH-2 substitution, DESIGN.md §2).
+//
+// Iterative energy redistribution over an irregular patch graph with
+// randomized neighbor lists. Two shared-data classes mirror the original's
+// mix:
+//  * per-patch energy words, gathered across the random graph — single-use,
+//    "chaotic" accesses that caching barely helps (the reason §VI-A gives
+//    for RADIOSITY's smaller SWCC gain);
+//  * a form-factor table consulted on every gather — high-reuse data that
+//    caching does help.
+// Energy is double-buffered (Jacobi) with barriers between iterations so the
+// result is bit-identical across back-ends and core counts.
+#pragma once
+
+#include <vector>
+
+#include "apps/app.h"
+#include "apps/task_queue.h"
+
+namespace pmc::apps {
+
+struct RadiosityConfig {
+  int patches = 160;
+  int neighbors = 8;       // out-degree of the random gather graph
+  int iterations = 3;
+  uint32_t gather_cost = 60;  // instructions per neighbor gather
+  uint32_t update_cost = 200; // instructions per patch update
+  uint32_t ff_entries = 128; // form-factor table entries (u32 each)
+  uint64_t seed = 0x5eed5eedULL;
+};
+
+class RadiosityLike final : public App {
+ public:
+  explicit RadiosityLike(const RadiosityConfig& cfg) : cfg_(cfg) {}
+
+  const char* name() const override { return "radiosity_like"; }
+  void tune(ProgramOptions& opts) const override;
+  void build(Program& prog) override;
+  void body(Env& env) override;
+  uint64_t checksum(Program& prog) override;
+
+ private:
+  // Topology object layout: reflect (u32 per-mille), then neighbor ids.
+  static constexpr uint32_t kReflect = 0;
+  static constexpr uint32_t kNeigh = 4;
+  uint32_t topo_bytes() const {
+    return kNeigh + 4u * static_cast<uint32_t>(cfg_.neighbors);
+  }
+
+  RadiosityConfig cfg_;
+  std::vector<ObjId> energy_[2];  // per patch, per Jacobi phase (4 B each)
+  std::vector<ObjId> topo_;       // per patch, read-only after init
+  ObjId ff_table_ = -1;           // shared form-factor table
+  std::vector<TaskCounter> counters_;  // one per iteration
+};
+
+}  // namespace pmc::apps

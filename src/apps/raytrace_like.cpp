@@ -1,0 +1,100 @@
+#include "apps/raytrace_like.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/fixed_point.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace pmc::apps {
+
+void RaytraceLike::tune(ProgramOptions& opts) const {
+  opts.machine.profile.imiss_per_mille = 3;
+  opts.machine.profile.priv_miss_per_mille = 6;
+}
+
+void RaytraceLike::build(Program& prog) {
+  util::Rng rng(cfg_.seed);
+  counter_.create(prog, "rt.ctr");
+  const uint32_t scene_bytes =
+      kSphereBytes * static_cast<uint32_t>(cfg_.spheres);
+  scene_ = prog.create_const_object(scene_bytes, Placement::kSdram, "scene");
+  std::vector<uint8_t> scene(scene_bytes);
+  for (int s = 0; s < cfg_.spheres; ++s) {
+    int32_t rec[5];
+    rec[0] = static_cast<int32_t>(rng.next_below(cfg_.width));   // cx (px)
+    rec[1] = static_cast<int32_t>(rng.next_below(cfg_.height));  // cy
+    rec[2] = static_cast<int32_t>(rng.next_in(16, 240));         // z depth
+    rec[3] = static_cast<int32_t>(rng.next_in(3, 9));            // radius
+    rec[4] = static_cast<int32_t>(rng.next_in(40, 255));         // color
+    std::memcpy(scene.data() + s * kSphereBytes, rec, sizeof rec);
+  }
+  prog.init_object(scene_, scene.data(), scene.size());
+
+  fb_rows_.clear();
+  for (int y = 0; y < cfg_.height; ++y) {
+    fb_rows_.push_back(prog.create_object(static_cast<uint32_t>(cfg_.width),
+                                          Placement::kSdram,
+                                          "fb" + std::to_string(y)));
+  }
+}
+
+void RaytraceLike::body(Env& env) {
+  const uint32_t rows = static_cast<uint32_t>(cfg_.height);
+  const uint32_t chunk_size = std::max(
+      1u, rows / (static_cast<uint32_t>(env.num_procs()) * 6u));
+  for (;;) {
+    const auto chunk = counter_.grab(env, rows, chunk_size);
+    if (chunk.empty()) break;
+    env.entry_ro(scene_);  // held across the chunk: intra-section reuse
+    for (uint32_t y = chunk.begin; y < chunk.end; ++y) {
+      env.entry_x(fb_rows_[y]);
+      for (int x = 0; x < cfg_.width; ++x) {
+        // Orthographic ray (x, y, +z): nearest sphere by hit depth.
+        int32_t best_z = INT32_MAX;
+        int32_t best_shade = 0;
+        for (int s = 0; s < cfg_.spheres; ++s) {
+          const uint32_t base = static_cast<uint32_t>(s) * kSphereBytes;
+          const int32_t cx = env.ld<int32_t>(scene_, base + 0);
+          const int32_t cy = env.ld<int32_t>(scene_, base + 4);
+          const int64_t dx = x - cx;
+          const int64_t dy = static_cast<int64_t>(y) - cy;
+          const int64_t d2 = dx * dx + dy * dy;
+          const int32_t r = env.ld<int32_t>(scene_, base + 12);
+          const int64_t r2 = static_cast<int64_t>(r) * r;
+          env.compute(cfg_.test_cost);
+          if (d2 > r2) continue;
+          const int32_t cz = env.ld<int32_t>(scene_, base + 8);
+          const int32_t hit_z =
+              cz - static_cast<int32_t>(util::isqrt(
+                       static_cast<uint64_t>(r2 - d2)));
+          if (hit_z >= best_z) continue;
+          best_z = hit_z;
+          const int32_t color = env.ld<int32_t>(scene_, base + 16);
+          // Lambert-ish: brighter near the silhouette center.
+          best_shade =
+              static_cast<int32_t>(color * (r2 - d2) / (r2 == 0 ? 1 : r2));
+        }
+        env.compute(cfg_.shade_cost);
+        env.st<uint8_t>(fb_rows_[y], static_cast<uint32_t>(x),
+                        static_cast<uint8_t>(best_shade & 0xff));
+      }
+      env.exit_x(fb_rows_[y]);
+    }
+    env.exit_ro(scene_);
+  }
+  env.barrier();
+}
+
+uint64_t RaytraceLike::checksum(Program& prog) {
+  uint64_t h = util::kFnvOffset;
+  std::vector<uint8_t> row(static_cast<size_t>(cfg_.width));
+  for (const ObjId r : fb_rows_) {
+    prog.read_object(r, row.data(), row.size());
+    h = util::fnv1a(row.data(), row.size(), h);
+  }
+  return h;
+}
+
+}  // namespace pmc::apps

@@ -1,0 +1,45 @@
+// RAYTRACE-like kernel (SPLASH-2 substitution, DESIGN.md §2).
+//
+// Orthographic rays against a read-mostly sphere scene: every pixel loops
+// over the scene object, so shared reads have massive reuse inside each
+// read-only section — exactly the access class whose shared-read stalls
+// collapse under SWCC in Fig. 8. All math is integer (Q16.16 + isqrt).
+#pragma once
+
+#include <vector>
+
+#include "apps/app.h"
+#include "apps/task_queue.h"
+
+namespace pmc::apps {
+
+struct RaytraceConfig {
+  int width = 48;
+  int height = 48;
+  int spheres = 24;
+  uint32_t test_cost = 40;   // instructions per sphere test
+  uint32_t shade_cost = 40;  // instructions per pixel beyond tests
+  uint64_t seed = 0x7a37ULL;
+};
+
+class RaytraceLike final : public App {
+ public:
+  explicit RaytraceLike(const RaytraceConfig& cfg) : cfg_(cfg) {}
+
+  const char* name() const override { return "raytrace_like"; }
+  void tune(ProgramOptions& opts) const override;
+  void build(Program& prog) override;
+  void body(Env& env) override;
+  uint64_t checksum(Program& prog) override;
+
+ private:
+  // Sphere record inside the scene object: cx, cy, z, radius, color (i32).
+  static constexpr uint32_t kSphereBytes = 20;
+
+  RaytraceConfig cfg_;
+  ObjId scene_ = -1;
+  std::vector<ObjId> fb_rows_;
+  TaskCounter counter_;
+};
+
+}  // namespace pmc::apps

@@ -1,0 +1,37 @@
+// Dynamic work distribution: a shared chunk counter behind an entry_x pair.
+#pragma once
+
+#include "runtime/env.h"
+#include "runtime/program.h"
+
+namespace pmc::apps {
+
+class TaskCounter {
+ public:
+  TaskCounter() = default;
+  void create(rt::Program& prog, std::string name = "task_counter") {
+    ctr_ = prog.create_typed<uint32_t>(0, rt::Placement::kReplicated,
+                                       std::move(name));
+  }
+
+  struct Chunk {
+    uint32_t begin = 0;
+    uint32_t end = 0;
+    bool empty() const { return begin >= end; }
+  };
+
+  /// Grabs the next [begin, end) chunk of `total` items, or an empty chunk.
+  Chunk grab(rt::Env& env, uint32_t total, uint32_t chunk_size) {
+    env.entry_x(ctr_);
+    const uint32_t begin = env.ld<uint32_t>(ctr_);
+    Chunk c{begin, std::min(total, begin + chunk_size)};
+    if (!c.empty()) env.st(ctr_, 0, c.end);
+    env.exit_x(ctr_);
+    return c;
+  }
+
+ private:
+  rt::ObjId ctr_ = -1;
+};
+
+}  // namespace pmc::apps

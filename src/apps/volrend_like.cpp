@@ -1,0 +1,116 @@
+#include "apps/volrend_like.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace pmc::apps {
+
+void VolrendLike::tune(ProgramOptions& opts) const {
+  opts.machine.profile.imiss_per_mille = 4;
+  opts.machine.profile.priv_miss_per_mille = 8;
+}
+
+void VolrendLike::build(Program& prog) {
+  counter_.create(prog, "vr.ctr");
+  const int n = cfg_.volume;
+  // Procedural volume: a blobby density field, deterministic in the seed.
+  util::Rng rng(cfg_.seed);
+  const int cx = n / 2 + static_cast<int>(rng.next_below(3));
+  const int cy = n / 2 - static_cast<int>(rng.next_below(3));
+  slabs_.clear();
+  std::vector<uint8_t> slab(slab_bytes());
+  for (int z = 0; z < n; ++z) {
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        const int dx = x - cx, dy = y - cy, dz = z - n / 2;
+        const int d2 = dx * dx + dy * dy + dz * dz;
+        const int density = 255 - d2 * 255 / (n * n);
+        slab[static_cast<size_t>(y) * n + x] =
+            static_cast<uint8_t>(density < 0 ? 0 : density);
+      }
+    }
+    const ObjId id = prog.create_const_object(
+        slab_bytes(), Placement::kSdram, "slab" + std::to_string(z));
+    prog.init_object(id, slab.data(), slab.size());
+    slabs_.push_back(id);
+  }
+  // Transfer function: opacity (low byte) and color (high bytes) per density.
+  transfer_ = prog.create_const_object(256 * 4, Placement::kSdram,
+                                       "transfer");
+  std::vector<uint32_t> tf(256);
+  for (int i = 0; i < 256; ++i) {
+    const uint32_t opacity = static_cast<uint32_t>(i < 64 ? 0 : (i - 64) / 3);
+    const uint32_t color = static_cast<uint32_t>(255 - i / 2);
+    tf[static_cast<size_t>(i)] = (color << 8) | opacity;
+  }
+  prog.init_object(transfer_, tf.data(), tf.size() * 4);
+
+  img_rows_.clear();
+  for (int y = 0; y < cfg_.image; ++y) {
+    img_rows_.push_back(
+        prog.create_object(static_cast<uint32_t>(cfg_.image) * 4,
+                           Placement::kSdram, "img" + std::to_string(y)));
+  }
+}
+
+void VolrendLike::body(Env& env) {
+  const int n = cfg_.volume;
+  const uint32_t rows = static_cast<uint32_t>(cfg_.image);
+  const uint32_t chunk_size = std::max(
+      1u, rows / (static_cast<uint32_t>(env.num_procs()) * 6u));
+  std::vector<uint32_t> light(static_cast<size_t>(cfg_.image));
+  std::vector<uint32_t> trans(static_cast<size_t>(cfg_.image));
+  for (;;) {
+    const auto chunk = counter_.grab(env, rows, chunk_size);
+    if (chunk.empty()) break;
+    env.entry_ro(transfer_);
+    for (uint32_t y = chunk.begin; y < chunk.end; ++y) {
+      const int vy = static_cast<int>(y) * n / cfg_.image;
+      std::fill(light.begin(), light.end(), 0);
+      std::fill(trans.begin(), trans.end(), 256);  // transmittance, Q8
+      // Front-to-back march, one slab section at a time (intra-section
+      // reuse across the whole row of rays).
+      for (int z = 0; z < n; ++z) {
+        env.entry_ro(slabs_[z]);
+        for (int x = 0; x < cfg_.image; ++x) {
+          if (trans[static_cast<size_t>(x)] == 0) continue;
+          const int vx = x * n / cfg_.image;
+          const uint8_t density = env.ld<uint8_t>(
+              slabs_[z], static_cast<uint32_t>(vy * n + vx));
+          const uint32_t entry =
+              env.ld<uint32_t>(transfer_, static_cast<uint32_t>(density) * 4);
+          const uint32_t opacity = entry & 0xff;
+          const uint32_t color = entry >> 8;
+          auto& t = trans[static_cast<size_t>(x)];
+          light[static_cast<size_t>(x)] += color * opacity * t >> 16;
+          t = t * (256 - opacity) >> 8;
+          env.compute(cfg_.sample_cost);
+        }
+        env.exit_ro(slabs_[z]);
+      }
+      env.entry_x(img_rows_[y]);
+      for (int x = 0; x < cfg_.image; ++x) {
+        env.st<uint32_t>(img_rows_[y], static_cast<uint32_t>(x) * 4,
+                         light[static_cast<size_t>(x)]);
+      }
+      env.exit_x(img_rows_[y]);
+    }
+    env.exit_ro(transfer_);
+  }
+  env.barrier();
+}
+
+uint64_t VolrendLike::checksum(Program& prog) {
+  uint64_t h = util::kFnvOffset;
+  std::vector<uint8_t> row(static_cast<size_t>(cfg_.image) * 4);
+  for (const ObjId r : img_rows_) {
+    prog.read_object(r, row.data(), row.size());
+    h = util::fnv1a(row.data(), row.size(), h);
+  }
+  return h;
+}
+
+}  // namespace pmc::apps

@@ -1,0 +1,46 @@
+// VOLREND-like kernel (SPLASH-2 substitution, DESIGN.md §2).
+//
+// Front-to-back parallel-projection volume rendering of a procedural u8
+// volume stored as z-slab objects, with a shared transfer-function table —
+// read-mostly shared data with slab-granular reuse, the second Fig. 8 app
+// class whose shared-read stalls vanish under SWCC.
+#pragma once
+
+#include <vector>
+
+#include "apps/app.h"
+#include "apps/task_queue.h"
+
+namespace pmc::apps {
+
+struct VolrendConfig {
+  int volume = 24;  // cubic edge (voxels)
+  int image = 32;   // square output image edge
+  
+  uint32_t sample_cost = 24;  // instructions per voxel sample
+  uint64_t seed = 0xb01dULL;
+};
+
+class VolrendLike final : public App {
+ public:
+  explicit VolrendLike(const VolrendConfig& cfg) : cfg_(cfg) {}
+
+  const char* name() const override { return "volrend_like"; }
+  void tune(ProgramOptions& opts) const override;
+  void build(Program& prog) override;
+  void body(Env& env) override;
+  uint64_t checksum(Program& prog) override;
+
+ private:
+  uint32_t slab_bytes() const {
+    return static_cast<uint32_t>(cfg_.volume * cfg_.volume);
+  }
+
+  VolrendConfig cfg_;
+  std::vector<ObjId> slabs_;     // one per z plane: volume² voxels
+  ObjId transfer_ = -1;          // 256-entry opacity/color table (u32)
+  std::vector<ObjId> img_rows_;  // u32 accumulators per pixel
+  TaskCounter counter_;
+};
+
+}  // namespace pmc::apps

@@ -1,0 +1,89 @@
+// Litmus-test enumeration over the PMC model.
+//
+// A LitmusTest is a tiny multi-threaded program over model operations. The
+// engine explores every interleaving (and, in weak-issue mode, every
+// reordering Table I permits) and every legal read value per Definition 12,
+// returning the set of reachable final register states.
+//
+// Weak-issue mode models what the paper's annotations are *for*: a compiler
+// or out-of-order processor may issue an instruction early unless Table I
+// orders it behind a pending earlier instruction. The classic demonstration
+// is Fig. 5: without the fence at line 11, the acquire may hoist above the
+// poll loop (read→acquire is blank in Table I) and the stale read appears.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model/op.h"
+
+namespace pmc::model {
+
+struct LitmusOp {
+  enum class Kind : uint8_t { kLoad, kLoadUntil, kStore, kAcquire, kRelease, kFence };
+  Kind kind = Kind::kFence;
+  LocId loc = -1;
+  uint64_t value = 0;  // store value / LoadUntil target
+  int reg = -1;        // load destination
+
+  static LitmusOp load(LocId v, int reg) { return {Kind::kLoad, v, 0, reg}; }
+  /// Spins until location v reads `target` (models a poll loop).
+  static LitmusOp load_until(LocId v, uint64_t target) {
+    return {Kind::kLoadUntil, v, target, -1};
+  }
+  static LitmusOp store(LocId v, uint64_t value) {
+    return {Kind::kStore, v, value, -1};
+  }
+  static LitmusOp acquire(LocId v) { return {Kind::kAcquire, v, 0, -1}; }
+  static LitmusOp release(LocId v) { return {Kind::kRelease, v, 0, -1}; }
+  static LitmusOp fence() { return {Kind::kFence, -1, 0, -1}; }
+
+  /// The model operation kind this instruction issues.
+  OpKind op_kind() const;
+};
+
+struct LitmusThread {
+  std::vector<LitmusOp> ops;
+};
+
+struct LitmusTest {
+  std::string name;
+  int num_locs = 0;
+  int num_regs = 0;
+  std::vector<uint64_t> initial;  // empty = all zero
+  std::vector<LitmusThread> threads;
+};
+
+enum class IssueMode {
+  kProgramOrder,  // instructions issue in program order (in-order core)
+  kWeakIssue,     // instructions may reorder unless Table I orders them
+};
+
+struct ExploreOptions {
+  IssueMode mode = IssueMode::kProgramOrder;
+  /// Lookahead window for weak-issue reordering.
+  int weak_window = 3;
+  /// Abort exploration after this many completed paths.
+  size_t max_paths = 5'000'000;
+};
+
+/// A final register state, indexed by LitmusOp::reg.
+using Outcome = std::vector<uint64_t>;
+
+struct ExploreResult {
+  std::set<Outcome> outcomes;
+  size_t paths = 0;        // completed executions explored
+  size_t stuck_paths = 0;  // paths where a poll loop could never succeed
+  bool truncated = false;  // max_paths hit
+  bool race_observed = false;  // some read had |W_o| > 1 on some path
+};
+
+ExploreResult explore(const LitmusTest& test, const ExploreOptions& opts = {});
+
+/// Convenience: is `outcome` among the reachable outcomes of `test`?
+bool outcome_allowed(const LitmusTest& test, const Outcome& outcome,
+                     const ExploreOptions& opts = {});
+
+}  // namespace pmc::model

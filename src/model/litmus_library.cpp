@@ -1,0 +1,162 @@
+#include "model/litmus_library.h"
+
+namespace pmc::model::litmus {
+
+using Op = LitmusOp;
+
+LitmusTest fig1_mp_plain() {
+  LitmusTest t;
+  t.name = "fig1_mp_plain";
+  t.num_locs = 2;
+  t.num_regs = 1;
+  t.threads = {
+      {{Op::store(kX, 42), Op::store(kF, 1)}},
+      {{Op::load_until(kF, 1), Op::load(kX, 0)}},
+  };
+  return t;
+}
+
+LitmusTest fig5_mp_annotated() {
+  LitmusTest t;
+  t.name = "fig5_mp_annotated";
+  t.num_locs = 2;
+  t.num_regs = 1;
+  t.threads = {
+      {{Op::acquire(kX), Op::store(kX, 42), Op::fence(), Op::release(kX),
+        Op::acquire(kF), Op::store(kF, 1), Op::release(kF)}},
+      {{Op::load_until(kF, 1), Op::fence(), Op::acquire(kX), Op::load(kX, 0),
+        Op::release(kX)}},
+  };
+  return t;
+}
+
+LitmusTest fig5_mp_no_reader_fence() {
+  LitmusTest t = fig5_mp_annotated();
+  t.name = "fig5_mp_no_reader_fence";
+  auto& ops = t.threads[1].ops;
+  ops.erase(ops.begin() + 1);  // drop the fence after the poll loop
+  return t;
+}
+
+LitmusTest fig5_mp_no_writer_fence() {
+  LitmusTest t = fig5_mp_annotated();
+  t.name = "fig5_mp_no_writer_fence";
+  auto& ops = t.threads[0].ops;
+  ops.erase(ops.begin() + 2);  // drop the fence before rel X
+  return t;
+}
+
+LitmusTest fig4_exclusive() {
+  LitmusTest t;
+  t.name = "fig4_exclusive";
+  t.num_locs = 1;
+  t.num_regs = 1;
+  t.threads = {
+      {{Op::acquire(kX), Op::load(kX, 0), Op::release(kX)}},
+      {{Op::acquire(kX), Op::store(kX, 1), Op::store(kX, 2),
+        Op::release(kX)}},
+  };
+  return t;
+}
+
+LitmusTest sb_plain() {
+  LitmusTest t;
+  t.name = "sb_plain";
+  t.num_locs = 3;
+  t.num_regs = 2;
+  const LocId y = 2;
+  t.threads = {
+      {{Op::store(kX, 1), Op::load(y, 0)}},
+      {{Op::store(y, 1), Op::load(kX, 1)}},
+  };
+  return t;
+}
+
+LitmusTest sb_locked() {
+  LitmusTest t;
+  t.name = "sb_locked";
+  t.num_locs = 3;
+  t.num_regs = 2;
+  const LocId y = 2;
+  t.threads = {
+      {{Op::acquire(kX), Op::store(kX, 1), Op::release(kX), Op::fence(),
+        Op::acquire(y), Op::load(y, 0), Op::release(y)}},
+      {{Op::acquire(y), Op::store(y, 1), Op::release(y), Op::fence(),
+        Op::acquire(kX), Op::load(kX, 1), Op::release(kX)}},
+  };
+  return t;
+}
+
+LitmusTest coherence_rr() {
+  LitmusTest t;
+  t.name = "coherence_rr";
+  t.num_locs = 1;
+  t.num_regs = 2;
+  t.threads = {
+      {{Op::store(kX, 1)}},
+      {{Op::load(kX, 0), Op::load(kX, 1)}},
+  };
+  return t;
+}
+
+LitmusTest racy_write_write() {
+  // P0 writes X *outside* any entry/exit pair, then acquires X and reads it;
+  // P1 updates X under the lock. When P1 runs first, both writes reach P0's
+  // read but are mutually unordered (w→A is blank in Table I), so |W_o| = 2:
+  // the Definition 11 data race.
+  LitmusTest t;
+  t.name = "racy_write_write";
+  t.num_locs = 1;
+  t.num_regs = 1;
+  t.threads = {
+      {{Op::store(kX, 1), Op::acquire(kX), Op::load(kX, 0),
+        Op::release(kX)}},
+      {{Op::acquire(kX), Op::store(kX, 2), Op::release(kX)}},
+  };
+  return t;
+}
+
+LitmusTest lb_plain() {
+  LitmusTest t;
+  t.name = "lb_plain";
+  t.num_locs = 3;
+  t.num_regs = 2;
+  const LocId y = 2;
+  t.threads = {
+      {{Op::load(kX, 0), Op::store(y, 1)}},
+      {{Op::load(y, 1), Op::store(kX, 1)}},
+  };
+  return t;
+}
+
+LitmusTest wrc_locked() {
+  LitmusTest t;
+  t.name = "wrc_locked";
+  t.num_locs = 3;
+  t.num_regs = 3;
+  const LocId y = 2;
+  t.threads = {
+      {{Op::acquire(kX), Op::store(kX, 1), Op::release(kX)}},
+      {{Op::acquire(kX), Op::load(kX, 0), Op::release(kX), Op::fence(),
+        Op::acquire(y), Op::store(y, 1), Op::release(y)}},
+      {{Op::acquire(y), Op::load(y, 1), Op::release(y), Op::fence(),
+        Op::acquire(kX), Op::load(kX, 2), Op::release(kX)}},
+  };
+  return t;
+}
+
+std::vector<LitmusTest> all_tests() {
+  return {fig1_mp_plain(),
+          fig5_mp_annotated(),
+          fig5_mp_no_reader_fence(),
+          fig5_mp_no_writer_fence(),
+          fig4_exclusive(),
+          sb_plain(),
+          sb_locked(),
+          coherence_rr(),
+          racy_write_write(),
+          lb_plain(),
+          wrc_locked()};
+}
+
+}  // namespace pmc::model::litmus

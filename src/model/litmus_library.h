@@ -1,0 +1,68 @@
+// A library of named litmus tests drawn from the paper's figures plus the
+// classic shapes (message passing, store buffering, coherence).
+//
+// Locations are conventionally: 0 = X (data), 1 = f (flag), further as noted.
+#pragma once
+
+#include "model/litmus.h"
+
+namespace pmc::model::litmus {
+
+inline constexpr LocId kX = 0;
+inline constexpr LocId kF = 1;
+
+/// Fig. 1: message passing without any synchronization.
+/// P0: X=42; f=1.   P1: while(f!=1); r0=X.
+/// PMC allows r0 ∈ {0, 42} — the stale read of the motivating example.
+LitmusTest fig1_mp_plain();
+
+/// Fig. 5/6: the properly annotated version.
+/// P0: acq X; X=42; fence; rel X; acq f; f=1; rel f.
+/// P1: while(f!=1); fence; acq X; r0=X; rel X.
+/// PMC guarantees r0 = 42.
+LitmusTest fig5_mp_annotated();
+
+/// Fig. 5 without the essential fence (line 11) in the reader.
+/// In weak-issue mode the acquire may hoist above the poll loop and r0 = 0
+/// becomes reachable; in program-order mode it stays 42.
+LitmusTest fig5_mp_no_reader_fence();
+
+/// Fig. 5 without the writer-side fence (line 3), which is redundant in the
+/// model (X=42 ≺P rel X already holds): outcomes match fig5_mp_annotated.
+LitmusTest fig5_mp_no_writer_fence();
+
+/// Fig. 4: exclusive access.
+/// P0: acq X; r0=X; rel X.   P1: acq X; X=1; X=2; rel X.
+/// r0 ∈ {0, 2}; the intermediate value 1 is never observable.
+LitmusTest fig4_exclusive();
+
+/// Store buffering with no synchronization: all four outcomes reachable.
+/// P0: X=1; r0=Y.   P1: Y=1; r1=X.   (Y is location 2.)
+LitmusTest sb_plain();
+
+/// Store buffering with per-object entry/exit pairs and fences:
+/// (r0,r1) = (0,0) becomes unreachable — the PC/SC-for-DRF claim (§IV-E).
+LitmusTest sb_locked();
+
+/// Read coherence: P0: X=1.  P1: r0=X; r1=X.
+/// (r0,r1) = (1,0) is forbidden by read monotonicity (Def. 12).
+LitmusTest coherence_rr();
+
+/// A write outside any entry/exit pair racing with a locked writer: the
+/// |W_o| > 1 data race of Definition 11 is observable by the reader.
+LitmusTest racy_write_write();
+
+/// Load buffering without synchronization: PMC allows both loads to see
+/// the other thread's store (no r→w cross-thread constraint).
+/// P0: r0=X; Y=1.   P1: r1=Y; X=1.   (Y is location 2.)
+LitmusTest lb_plain();
+
+/// Write-to-read causality with entry/exit pairs and fences:
+/// P0 writes X; P1 reads X then writes Y; P2 reads Y then X.
+/// With full annotation, P2 observing Y=1 implies it observes X=1.
+LitmusTest wrc_locked();
+
+/// All tests above, for table-driven suites.
+std::vector<LitmusTest> all_tests();
+
+}  // namespace pmc::model::litmus

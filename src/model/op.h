@@ -1,0 +1,76 @@
+// Operations of the PMC memory model (paper Section IV, Table I).
+//
+// An operation is issued by a process on a location and may carry a value.
+// The *initial* operation of a location behaves like both a write and a
+// release (Definition 3), so operations carry a kind bitmask rather than a
+// single enumerator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace pmc::model {
+
+using ProcId = int32_t;
+using LocId = int32_t;
+using OpId = uint32_t;
+
+/// Sentinel for "no operation".
+inline constexpr OpId kNoOp = std::numeric_limits<OpId>::max();
+/// The pseudo-process of initial operations; matches every process pattern
+/// (the paper's ⋆ process, Definition 3).
+inline constexpr ProcId kInitProc = -1;
+/// "any process" in pattern matching and view queries.
+inline constexpr ProcId kAnyProc = -2;
+/// The ⊥ value of initial operations.
+inline constexpr uint64_t kBottom = std::numeric_limits<uint64_t>::max();
+
+enum class OpKind : uint8_t {
+  kRead = 1u << 0,
+  kWrite = 1u << 1,
+  kAcquire = 1u << 2,
+  kRelease = 1u << 3,
+  kFence = 1u << 4,
+};
+
+constexpr uint8_t kind_bit(OpKind k) { return static_cast<uint8_t>(k); }
+
+/// The four ordering kinds of the model (Definitions 5–8).
+enum class EdgeKind : uint8_t {
+  kLocal,    // ≺ℓ  — visible only to the executing process (Def. 6)
+  kProgram,  // ≺P  — global, per process, per location (Def. 5)
+  kSync,     // ≺S  — global, per location, spans processes (Def. 7)
+  kFence,    // ≺F  — global, per process, spans locations (Def. 8)
+};
+
+const char* to_string(OpKind k);
+const char* to_string(EdgeKind k);
+
+struct Operation {
+  OpId id = kNoOp;
+  uint8_t kinds = 0;  // bitmask of OpKind
+  ProcId proc = kInitProc;
+  LocId loc = -1;  // -1 for fences (they span all locations)
+  uint64_t value = 0;
+  /// For reads: the id of the write this read returned (kNoOp if untracked).
+  OpId source = kNoOp;
+
+  bool is(OpKind k) const { return (kinds & kind_bit(k)) != 0; }
+  /// Pattern match on (kind, proc): the ⋆ initial process matches everything.
+  bool matches_proc(ProcId p) const { return proc == kInitProc || proc == p; }
+
+  std::string describe() const;
+};
+
+struct Edge {
+  OpId from = kNoOp;
+  OpId to = kNoOp;
+  EdgeKind kind = EdgeKind::kLocal;
+  /// For ≺ℓ edges: the process whose view contains the edge.
+  ProcId owner = kInitProc;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+}  // namespace pmc::model

@@ -1,0 +1,72 @@
+#include "model/table1.h"
+
+namespace pmc::model {
+
+std::optional<EdgeKind> table1_edge(OpKind old_kind, LocId old_loc,
+                                    OpKind new_kind, LocId new_loc) {
+  // Location patterns: every row except the fence row matches a single
+  // location; a fence as the *new* operation spans all of the process's
+  // locations; a fence as the *old* operation matches any new location.
+  const bool loc_match = old_kind == OpKind::kFence ||
+                         new_kind == OpKind::kFence || old_loc == kAnyLoc ||
+                         new_loc == kAnyLoc || old_loc == new_loc;
+  if (!loc_match) return std::nullopt;
+
+  switch (old_kind) {
+    case OpKind::kRead:
+      switch (new_kind) {
+        case OpKind::kRead:
+        case OpKind::kWrite:
+        case OpKind::kRelease:
+        case OpKind::kFence:
+          return EdgeKind::kLocal;
+        default:
+          return std::nullopt;  // r→A blank: fences must pin acquires
+      }
+    case OpKind::kWrite:
+      switch (new_kind) {
+        case OpKind::kRead:
+          return EdgeKind::kLocal;
+        case OpKind::kWrite:
+        case OpKind::kRelease:
+          return EdgeKind::kProgram;
+        case OpKind::kFence:
+          return EdgeKind::kLocal;
+        default:
+          return std::nullopt;  // w→A blank
+      }
+    case OpKind::kAcquire:
+      switch (new_kind) {
+        case OpKind::kRead:
+          return EdgeKind::kLocal;
+        case OpKind::kWrite:
+        case OpKind::kRelease:
+          return EdgeKind::kProgram;
+        case OpKind::kFence:
+          return EdgeKind::kFence;
+        default:
+          return std::nullopt;  // A→A blank
+      }
+    case OpKind::kRelease:
+      switch (new_kind) {
+        case OpKind::kAcquire:
+          return EdgeKind::kSync;  // † also applies across processes
+        case OpKind::kFence:
+          return EdgeKind::kFence;
+        default:
+          return std::nullopt;
+      }
+    case OpKind::kFence:
+      switch (new_kind) {
+        case OpKind::kWrite:
+        case OpKind::kRelease:
+        case OpKind::kAcquire:
+          return EdgeKind::kFence;
+        default:
+          return std::nullopt;  // F→r, F→F blank
+      }
+  }
+  return std::nullopt;
+}
+
+}  // namespace pmc::model

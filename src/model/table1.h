@@ -1,0 +1,26 @@
+// The ordering rules of Table I as a standalone predicate.
+//
+// Shared between NaiveExecution (which applies the table literally by
+// scanning all operations) and the litmus engine's weak-issue mode (which
+// uses it to decide whether an instruction may be reordered past another).
+#pragma once
+
+#include <optional>
+
+#include "model/op.h"
+
+namespace pmc::model {
+
+/// Returns the edge kind Table I adds from an existing operation matching
+/// (old_kind, p, old_loc, ·) to a newly issued (new_kind, p, new_loc, ·) of
+/// the *same* process, or nullopt when the cell is blank.
+///
+/// Fences have no location; pass kAnyLoc for them. The ≺S rule (release→
+/// acquire) additionally applies across processes — callers handling
+/// cross-process edges must special-case it (see NaiveExecution).
+inline constexpr LocId kAnyLoc = -1;
+
+std::optional<EdgeKind> table1_edge(OpKind old_kind, LocId old_loc,
+                                    OpKind new_kind, LocId new_loc);
+
+}  // namespace pmc::model

@@ -1,0 +1,78 @@
+// Back-end interface: the Table II mapping from annotations to platform
+// actions. One implementation per column (plus the no-CC baseline of §VI-A).
+//
+// A Section is the per-core state of one open entry/exit pair. The back-end
+// fills in where the object's bytes live for the duration of the section
+// (data_addr / mem class); the Env routes all reads and writes through it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "runtime/object.h"
+
+namespace pmc::rt {
+
+struct Section {
+  ObjId obj = -1;
+  const ObjDesc* desc = nullptr;
+  bool exclusive = false;
+  bool dirty = false;
+  bool locked = false;         // entry_ro of a large object took the lock
+  sim::Addr data_addr = 0;     // where reads/writes go during this section
+  sim::MemClass cls = sim::MemClass::kSharedData;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  virtual const char* name() const = 0;
+  /// DSM needs every shared object replicated in the local memories.
+  virtual bool needs_replicas() const { return false; }
+
+  /// entry_x / entry_ro (by s.exclusive): lock + data staging per Table II.
+  /// Must set s.data_addr and s.cls.
+  virtual void enter(sim::Core& core, Section& s) = 0;
+  /// exit_x / exit_ro: write-back / flush / unlock per Table II.
+  virtual void exit(sim::Core& core, Section& s) = 0;
+  /// flush(X) inside an exclusive section: best-effort global visibility.
+  virtual void flush(sim::Core& core, Section& s) = 0;
+  /// The MicroBlaze is in-order, so fences emit nothing (Table II row 2);
+  /// kept virtual for out-of-order core models.
+  virtual void fence(sim::Core& core) { (void)core; }
+
+  /// Host-side readback of an object's final payload after the run.
+  virtual void read_final(ObjId id, void* out, size_t n) = 0;
+};
+
+enum class BackendKind : uint8_t { kNoCC, kSWCC, kDSM, kSPM };
+
+const char* to_string(BackendKind k);
+
+/// Deliberate protocol bugs for failure-injection tests: each one must be
+/// caught by the Definition 12 trace validator (tests/runtime/...).
+struct FaultInjection {
+  bool swcc_skip_exit_writeback = false;  // exit_x forgets the cache flush
+  bool dsm_skip_transfer = false;         // entry_x forgets the data handoff
+  bool spm_skip_copy_back = false;        // exit_x forgets the SDRAM copy
+};
+
+/// Legitimate implementation choices the paper discusses (§V-A):
+/// exit_x may be lazy ("keeps all modifications to X local, until another
+/// process does an acquire of X") or eager ("would do a flush(X) before
+/// giving up the lock"). Only the DSM back-end distinguishes the two —
+/// SWCC's exit writeback is inherently eager, and SPM must always copy back.
+struct BackendPolicy {
+  bool dsm_eager_release = false;
+};
+
+/// Creates a back-end bound to `objs`. Checks that the machine configuration
+/// matches (e.g. SWCC requires cache_shared, no-CC requires uncached).
+std::unique_ptr<Backend> make_backend(BackendKind kind, ObjectSpace& objs);
+std::unique_ptr<Backend> make_backend(BackendKind kind, ObjectSpace& objs,
+                                      const FaultInjection& faults);
+std::unique_ptr<Backend> make_backend(BackendKind kind, ObjectSpace& objs,
+                                      const FaultInjection& faults,
+                                      const BackendPolicy& policy);
+
+}  // namespace pmc::rt

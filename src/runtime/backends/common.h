@@ -1,0 +1,46 @@
+// Shared plumbing for the Table II back-end implementations.
+#pragma once
+
+#include <memory>
+
+#include "runtime/backend.h"
+#include "util/check.h"
+
+namespace pmc::rt::backends {
+
+class BackendBase : public Backend {
+ protected:
+  explicit BackendBase(ObjectSpace& objs)
+      : objs_(objs), m_(objs.machine()), locks_(objs.locks()) {}
+
+  /// Reads the final payload from the SDRAM master copy (drained).
+  void read_final_sdram(ObjId id, void* out, size_t n) {
+    const ObjDesc& d = objs_.desc(id);
+    PMC_CHECK(n <= d.size);
+    m_.peek(d.sdram_addr, out, n);
+  }
+
+  ObjectSpace& objs_;
+  sim::Machine& m_;
+  sync::LockManager& locks_;
+};
+
+std::unique_ptr<Backend> make_nocc(ObjectSpace& objs);
+std::unique_ptr<Backend> make_swcc(ObjectSpace& objs, const FaultInjection& f);
+std::unique_ptr<Backend> make_dsm(ObjectSpace& objs, const FaultInjection& f,
+                                  const BackendPolicy& policy);
+std::unique_ptr<Backend> make_spm(ObjectSpace& objs, const FaultInjection& f);
+
+/// The byte span of an object that can ever be touched (payload + version
+/// word); the alignment padding behind it is never accessed, so cache
+/// maintenance and transfers skip it.
+inline uint32_t used_span(const ObjDesc& d) { return d.version_off + 4; }
+
+/// Objects whose size exceeds the atomic unit (an aligned 32-bit word on
+/// this 32-bit platform) need the lock even for read-only access (§V-A) —
+/// unless they are immutable, in which case no torn read is possible.
+inline bool needs_ro_lock(const ObjDesc& d) {
+  return d.size > 4 && !d.immutable;
+}
+
+}  // namespace pmc::rt::backends

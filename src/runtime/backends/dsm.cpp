@@ -1,0 +1,114 @@
+// Distributed shared memory over the write-only interconnect (Table II,
+// third column). Every shared object has a replica at a common offset in
+// every tile's local memory; reads and writes always touch the *own* tile's
+// replica ("the read and write pointers are only polled from local memory").
+//
+// exit_x is lazy: modifications stay local. On the next entry_x by another
+// core, the previous owner's version "is written to the local memory of the
+// acquiring processor" — modeled as a NoC push the acquirer waits on.
+// flush(X) broadcasts the object into every other local memory; the call
+// returns only after its own packets arrived, which keeps replica updates
+// per object in increasing version order even across different senders
+// (without this, a slow broadcast could overwrite a newer one and break the
+// read monotonicity of Definition 12).
+#include <algorithm>
+#include <vector>
+
+#include "runtime/backends/common.h"
+
+namespace pmc::rt::backends {
+namespace {
+
+class DsmBackend final : public BackendBase {
+ public:
+  DsmBackend(ObjectSpace& objs, const FaultInjection& faults,
+             const BackendPolicy& policy)
+      : BackendBase(objs), faults_(faults), policy_(policy) {}
+
+  const char* name() const override { return "dsm"; }
+  bool needs_replicas() const override { return true; }
+
+  void enter(sim::Core& core, Section& s) override {
+    const ObjDesc& d = *s.desc;
+    PMC_CHECK_MSG(d.placement == Placement::kReplicated,
+                  d.name << " must be Placement::kReplicated for DSM");
+    if (s.exclusive) {
+      locks_.acquire(core, d.lock);
+      const int prev = locks_.previous_holder(d.lock);
+      if (prev != -1 && prev != core.id() && !faults_.dsm_skip_transfer) {
+        // Ownership transfer: the previous owner's replica is pushed into
+        // ours over the NoC; we stall until it arrived.
+        std::vector<uint8_t> bytes(used_span(d));
+        sim::MemModule& src = m_.local_mem(prev);
+        src.read(core.now(), objs_.replica_addr(prev, d.id), bytes.data(),
+                 bytes.size());
+        const uint64_t arrival =
+            m_.noc().deliver(core.now(), prev, core.id(),
+                             m_.local_mem(core.id()), bytes.size());
+        m_.local_mem(core.id()).post_write(
+            arrival, objs_.replica_addr(core.id(), d.id), bytes.data(),
+            bytes.size());
+        core.wait_until(arrival, sim::Core::StallBucket::kSharedRead);
+      }
+    } else if (needs_ro_lock(d)) {
+      // Lock for atomicity only — the data stays the (possibly stale) local
+      // replica; freshness needs exclusive access (slow reads, §IV-D).
+      locks_.acquire(core, d.lock);
+      s.locked = true;
+    }
+    s.data_addr = objs_.replica_addr(core.id(), d.id);
+    s.cls = sim::MemClass::kSharedData;
+  }
+
+  void exit(sim::Core& core, Section& s) override {
+    // Lazy release keeps modifications local until the next acquire; the
+    // eager policy performs "a flush(X) before giving up the lock" (§V-A).
+    if (policy_.dsm_eager_release && s.exclusive && s.dirty) {
+      flush(core, s);
+    }
+    if (s.exclusive || s.locked) {
+      locks_.release(core, s.desc->lock);
+    }
+  }
+
+  void flush(sim::Core& core, Section& s) override {
+    const ObjDesc& d = *s.desc;
+    // Read our replica (timed), then broadcast it.
+    std::vector<uint8_t> bytes(used_span(d));
+    core.read_block(objs_.replica_addr(core.id(), d.id), bytes.data(),
+                    bytes.size(), sim::MemClass::kSharedData);
+    uint64_t last_arrival = 0;
+    for (int t = 0; t < m_.num_cores(); ++t) {
+      if (t == core.id()) continue;
+      const uint64_t arrival = core.remote_write(
+          t, objs_.replica_addr(t, d.id), bytes.data(), bytes.size());
+      last_arrival = std::max(last_arrival, arrival);
+    }
+    // Wait for our own broadcast: later flushes (under the next lock owner)
+    // then provably arrive later at every tile.
+    core.wait_until(last_arrival, sim::Core::StallBucket::kWrite);
+  }
+
+  void read_final(ObjId id, void* out, size_t n) override {
+    // The freshest copy after the run sits in the last owner's replica (or
+    // any replica if the object was never acquired exclusively).
+    const ObjDesc& d = objs_.desc(id);
+    PMC_CHECK(n <= d.size);
+    const int owner = locks_.last_owner(d.lock);
+    const int tile = owner == -1 ? 0 : owner;
+    m_.peek(objs_.replica_addr(tile, id), out, n);
+  }
+
+ private:
+  FaultInjection faults_;
+  BackendPolicy policy_;
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> make_dsm(ObjectSpace& objs, const FaultInjection& f,
+                                  const BackendPolicy& policy) {
+  return std::make_unique<DsmBackend>(objs, f, policy);
+}
+
+}  // namespace pmc::rt::backends

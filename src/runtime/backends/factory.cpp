@@ -1,0 +1,37 @@
+#include "runtime/backends/common.h"
+
+namespace pmc::rt {
+
+const char* to_string(BackendKind k) {
+  switch (k) {
+    case BackendKind::kNoCC: return "nocc";
+    case BackendKind::kSWCC: return "swcc";
+    case BackendKind::kDSM: return "dsm";
+    case BackendKind::kSPM: return "spm";
+  }
+  return "?";
+}
+
+std::unique_ptr<Backend> make_backend(BackendKind kind, ObjectSpace& objs) {
+  return make_backend(kind, objs, FaultInjection{});
+}
+
+std::unique_ptr<Backend> make_backend(BackendKind kind, ObjectSpace& objs,
+                                      const FaultInjection& faults) {
+  return make_backend(kind, objs, faults, BackendPolicy{});
+}
+
+std::unique_ptr<Backend> make_backend(BackendKind kind, ObjectSpace& objs,
+                                      const FaultInjection& faults,
+                                      const BackendPolicy& policy) {
+  switch (kind) {
+    case BackendKind::kNoCC: return backends::make_nocc(objs);
+    case BackendKind::kSWCC: return backends::make_swcc(objs, faults);
+    case BackendKind::kDSM: return backends::make_dsm(objs, faults, policy);
+    case BackendKind::kSPM: return backends::make_spm(objs, faults);
+  }
+  PMC_CHECK_MSG(false, "unknown back-end kind");
+  return nullptr;
+}
+
+}  // namespace pmc::rt

@@ -1,0 +1,60 @@
+// The no-CC baseline of §VI-A: shared data is uncached in SDRAM, "no cache
+// coherency protocol is required and all cache flushes are nullified".
+// Mutual exclusion is still required for entry/exit pairs.
+#include "runtime/backends/common.h"
+
+namespace pmc::rt::backends {
+namespace {
+
+class NoccBackend final : public BackendBase {
+ public:
+  explicit NoccBackend(ObjectSpace& objs) : BackendBase(objs) {
+    PMC_CHECK_MSG(!m_.config().cache_shared,
+                  "the no-CC back-end needs cache_shared = false");
+  }
+
+  const char* name() const override { return "nocc"; }
+
+  void enter(sim::Core& core, Section& s) override {
+    if (s.exclusive) {
+      locks_.acquire(core, s.desc->lock);
+    } else if (needs_ro_lock(*s.desc)) {
+      locks_.acquire(core, s.desc->lock);
+      s.locked = true;
+    }
+    s.data_addr = s.desc->sdram_addr;  // uncached: the machine routes by mode
+    s.cls = sim::MemClass::kSharedData;
+  }
+
+  void exit(sim::Core& core, Section& s) override {
+    if (s.exclusive) {
+      if (s.dirty) {
+        // Posted uncached stores need sdram_write_visible cycles to land;
+        // waiting here bounds them all (each was posted before `now`).
+        core.charge_stall(m_.config().timing.sdram_write_visible,
+                          sim::Core::StallBucket::kWrite);
+      }
+      locks_.release(core, s.desc->lock);
+    } else if (s.locked) {
+      locks_.release(core, s.desc->lock);
+    }
+  }
+
+  void flush(sim::Core& core, Section& s) override {
+    // Nullified: uncached writes are already on their way to SDRAM.
+    (void)core;
+    (void)s;
+  }
+
+  void read_final(ObjId id, void* out, size_t n) override {
+    read_final_sdram(id, out, n);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> make_nocc(ObjectSpace& objs) {
+  return std::make_unique<NoccBackend>(objs);
+}
+
+}  // namespace pmc::rt::backends

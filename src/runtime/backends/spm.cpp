@@ -1,0 +1,100 @@
+// Scratch-pad memory back-end (Table II, fourth column). The master copy of
+// every object lives in SDRAM; entry stages a private copy into the tile's
+// scratch-pad region, exit_x copies it back ("The data is copied back to
+// SDRAM"), exit_ro discards it. Managed at run time, "because of simplicity
+// of the implementation", exactly as the paper chose.
+#include <vector>
+
+#include "runtime/backends/common.h"
+
+namespace pmc::rt::backends {
+namespace {
+
+class SpmBackend final : public BackendBase {
+ public:
+  SpmBackend(ObjectSpace& objs, const FaultInjection& faults)
+      : BackendBase(objs), faults_(faults) {
+    PMC_CHECK_MSG(!m_.config().cache_shared,
+                  "the SPM back-end keeps shared data uncached in SDRAM");
+    cursor_.assign(static_cast<size_t>(m_.num_cores()), objs_.spm_base());
+  }
+
+  const char* name() const override { return "spm"; }
+
+  void enter(sim::Core& core, Section& s) override {
+    const ObjDesc& d = *s.desc;
+    // Stack-allocate scratch space (sections are strictly nested).
+    const uint32_t off = cursor_[core.id()];
+    PMC_CHECK_MSG(off + d.alloc_bytes <= m_.config().lm_bytes,
+                  "scratch-pad exhausted staging " << d.name);
+    cursor_[core.id()] = off + d.alloc_bytes;
+    s.data_addr = m_.lm_base(core.id()) + off;
+
+    if (s.exclusive) {
+      locks_.acquire(core, d.lock);
+    } else if (needs_ro_lock(d)) {
+      // "the object is locked before copying and unlocked afterwards".
+      locks_.acquire(core, d.lock);
+      s.locked = true;
+    }
+    // DMA the master copy into the scratch-pad.
+    std::vector<uint8_t> bytes(used_span(d));
+    core.dma_read(d.sdram_addr, bytes.data(), bytes.size(),
+                  sim::MemClass::kSharedData);
+    m_.local_mem(core.id()).write(core.now(), s.data_addr, bytes.data(),
+                                  bytes.size());
+    if (s.locked) {
+      locks_.release(core, d.lock);
+      // The lock protected only the copy; the section itself is read-only.
+    }
+    s.cls = sim::MemClass::kLocal;
+  }
+
+  void exit(sim::Core& core, Section& s) override {
+    const ObjDesc& d = *s.desc;
+    if (s.exclusive) {
+      if (s.dirty && !faults_.spm_skip_copy_back) {
+        copy_back(core, s);
+      }
+      locks_.release(core, d.lock);
+    }
+    // exit_ro: "Discards the local copy."
+    PMC_CHECK(cursor_[core.id()] >= d.alloc_bytes);
+    cursor_[core.id()] -= d.alloc_bytes;
+    PMC_CHECK_MSG(m_.lm_base(core.id()) + cursor_[core.id()] == s.data_addr,
+                  "entry/exit pairs must nest (scratch allocator is a stack)");
+  }
+
+  void flush(sim::Core& core, Section& s) override {
+    // "Copies the object back to SDRAM."
+    copy_back(core, s);
+  }
+
+  void read_final(ObjId id, void* out, size_t n) override {
+    read_final_sdram(id, out, n);
+  }
+
+ private:
+  void copy_back(sim::Core& core, Section& s) {
+    const ObjDesc& d = *s.desc;
+    std::vector<uint8_t> bytes(used_span(d));
+    core.read_block(s.data_addr, bytes.data(), bytes.size(),
+                    sim::MemClass::kLocal);
+    const uint64_t arrival = core.dma_write(d.sdram_addr, bytes.data(),
+                                            bytes.size(),
+                                            sim::MemClass::kSharedData);
+    core.wait_until(arrival, sim::Core::StallBucket::kWrite);
+  }
+
+  std::vector<uint32_t> cursor_;  // per-core scratch stack pointer
+  FaultInjection faults_;
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> make_spm(ObjectSpace& objs,
+                                  const FaultInjection& f) {
+  return std::make_unique<SpmBackend>(objs, f);
+}
+
+}  // namespace pmc::rt::backends

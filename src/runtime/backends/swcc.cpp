@@ -1,0 +1,76 @@
+// Software cache coherency (Table II, second column; resembles BACKER).
+//
+// Shared data is cached; exit_x writebacks-and-invalidates the object's
+// lines, "so the object does not reside in the cache outside of any
+// entry/exit pair". The exit additionally waits for its own writebacks to
+// land in SDRAM before releasing the lock, so the next acquirer's fills
+// observe them — the flush-completion wait a real flush instruction gives.
+#include "runtime/backends/common.h"
+
+namespace pmc::rt::backends {
+namespace {
+
+class SwccBackend final : public BackendBase {
+ public:
+  SwccBackend(ObjectSpace& objs, const FaultInjection& faults)
+      : BackendBase(objs), faults_(faults) {
+    PMC_CHECK_MSG(m_.config().cache_shared,
+                  "the SWCC back-end needs cache_shared = true");
+  }
+
+  const char* name() const override { return "swcc"; }
+
+  void enter(sim::Core& core, Section& s) override {
+    if (s.exclusive) {
+      locks_.acquire(core, s.desc->lock);
+    } else if (needs_ro_lock(*s.desc)) {
+      locks_.acquire(core, s.desc->lock);
+      s.locked = true;
+    }
+    // Nothing to stage: the protocol invariant says the object is not in
+    // our cache (every exit flushed it); reads will miss and fill fresh.
+    s.data_addr = s.desc->sdram_addr;
+    s.cls = sim::MemClass::kSharedData;
+  }
+
+  void exit(sim::Core& core, Section& s) override {
+    if (faults_.swcc_skip_exit_writeback && s.exclusive) {
+      locks_.release(core, s.desc->lock);  // injected bug: no flush
+      return;
+    }
+    const uint64_t arrival =
+        core.cache_wbinval(s.desc->sdram_addr, used_span(*s.desc));
+    if (arrival != 0) {
+      core.wait_until(arrival, sim::Core::StallBucket::kFlush);
+    }
+    if (s.exclusive || s.locked) {
+      locks_.release(core, s.desc->lock);
+    }
+  }
+
+  void flush(sim::Core& core, Section& s) override {
+    const uint64_t arrival =
+        core.cache_wbinval(s.desc->sdram_addr, used_span(*s.desc));
+    if (arrival != 0) {
+      core.wait_until(arrival, sim::Core::StallBucket::kFlush);
+    }
+  }
+
+  void read_final(ObjId id, void* out, size_t n) override {
+    // The section discipline guarantees every object was flushed at its
+    // last exit, so SDRAM is authoritative.
+    read_final_sdram(id, out, n);
+  }
+
+ private:
+  FaultInjection faults_;
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> make_swcc(ObjectSpace& objs,
+                                   const FaultInjection& f) {
+  return std::make_unique<SwccBackend>(objs, f);
+}
+
+}  // namespace pmc::rt::backends

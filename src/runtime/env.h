@@ -1,0 +1,62 @@
+// The PMC programming interface (paper Section V-A).
+//
+// Applications are written against this abstract Env: the six annotations
+// (entry_x/exit_x, entry_ro/exit_ro, fence, flush) plus reads and writes of
+// shared objects, compute, and a barrier. The same application code runs
+// unmodified on every back-end — host threads, no-CC, SWCC, DSM, or SPM —
+// which is the paper's portability claim as an API contract.
+//
+// Rules enforced at run time (annotation discipline, §V-A):
+//  * every read/write of a shared object happens inside an open section;
+//  * writes and flush need the exclusive (entry_x) kind;
+//  * sections nest (LIFO), are per-core, and are closed before exit;
+//  * flush is only legal inside an entry_x/exit_x pair.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "runtime/object.h"
+
+namespace pmc::rt {
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual int id() const = 0;
+  virtual int num_procs() const = 0;
+
+  // -- Annotations (paper §V-A) ----------------------------------------------
+  virtual void entry_x(ObjId obj) = 0;
+  virtual void exit_x(ObjId obj) = 0;
+  virtual void entry_ro(ObjId obj) = 0;
+  virtual void exit_ro(ObjId obj) = 0;
+  virtual void fence() = 0;
+  virtual void flush(ObjId obj) = 0;
+
+  // -- Data access within sections -------------------------------------------
+  virtual void read(ObjId obj, uint32_t off, void* out, size_t n) = 0;
+  virtual void write(ObjId obj, uint32_t off, const void* data, size_t n) = 0;
+
+  // -- Execution --------------------------------------------------------------
+  /// Models `instructions` straight-line instructions of private work.
+  virtual void compute(uint64_t instructions) = 0;
+  virtual void barrier() = 0;
+
+  // -- Typed helpers -----------------------------------------------------------
+  template <typename T>
+  T ld(ObjId obj, uint32_t off = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    read(obj, off, &v, sizeof v);
+    return v;
+  }
+  template <typename T>
+  void st(ObjId obj, uint32_t off, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write(obj, off, &v, sizeof v);
+  }
+};
+
+}  // namespace pmc::rt

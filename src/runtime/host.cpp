@@ -1,0 +1,133 @@
+#include "runtime/host.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace pmc::rt {
+
+ObjId HostSpace::create(uint32_t size, std::string name, bool immutable) {
+  PMC_CHECK(size > 0);
+  auto o = std::make_unique<HostObj>();
+  o->name = name.empty() ? "obj" + std::to_string(objs_.size()) : std::move(name);
+  o->size = size;
+  o->immutable = immutable;
+  o->words.assign((size + 3) / 4, 0);
+  objs_.push_back(std::move(o));
+  return static_cast<ObjId>(objs_.size() - 1);
+}
+
+HostSpace::HostObj& HostSpace::obj(ObjId id) {
+  PMC_CHECK(id >= 0 && static_cast<size_t>(id) < objs_.size());
+  return *objs_[id];
+}
+
+void HostSpace::init(ObjId id, const void* data, size_t n) {
+  HostObj& o = obj(id);
+  PMC_CHECK(n <= o.size);
+  std::memcpy(o.bytes(), data, n);
+}
+
+void HostSpace::read_back(ObjId id, void* out, size_t n) {
+  HostObj& o = obj(id);
+  PMC_CHECK(n <= o.size);
+  std::memcpy(out, o.bytes(), n);
+}
+
+HostEnv::Open* HostEnv::find(ObjId obj) {
+  for (auto& s : open_) {
+    if (s.obj == obj) return &s;
+  }
+  return nullptr;
+}
+
+void HostEnv::enter(ObjId obj, bool exclusive) {
+  PMC_CHECK_MSG(find(obj) == nullptr, "double enter of object " << obj);
+  auto& o = space_.obj(obj);
+  PMC_CHECK_MSG(!(exclusive && o.immutable),
+                o.name << " is immutable: entry_x is not allowed");
+  bool locked = false;
+  if (exclusive || (o.size > 4 && !o.immutable)) {
+    o.mu.lock();
+    locked = true;
+  }
+  open_.push_back({obj, exclusive, locked});
+}
+
+void HostEnv::exit(ObjId obj, bool exclusive) {
+  PMC_CHECK_MSG(!open_.empty() && open_.back().obj == obj,
+                "exit out of LIFO order for object " << obj);
+  PMC_CHECK(open_.back().exclusive == exclusive);
+  if (open_.back().locked) space_.obj(obj).mu.unlock();
+  open_.pop_back();
+}
+
+void HostEnv::entry_x(ObjId obj) { enter(obj, true); }
+void HostEnv::exit_x(ObjId obj) { exit(obj, true); }
+void HostEnv::entry_ro(ObjId obj) { enter(obj, false); }
+void HostEnv::exit_ro(ObjId obj) { exit(obj, false); }
+
+void HostEnv::fence() { std::atomic_thread_fence(std::memory_order_seq_cst); }
+
+void HostEnv::flush(ObjId obj) {
+  Open* s = find(obj);
+  PMC_CHECK_MSG(s != nullptr && s->exclusive,
+                "flush outside an entry_x/exit_x pair");
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+void HostEnv::read(ObjId obj, uint32_t off, void* out, size_t n) {
+  Open* s = find(obj);
+  PMC_CHECK_MSG(s != nullptr, "read outside any entry/exit pair");
+  auto& o = space_.obj(obj);
+  PMC_CHECK(off + n <= o.size);
+  if (s->locked || o.immutable) {
+    std::memcpy(out, o.bytes() + off, n);
+    return;
+  }
+  // Unlocked read-only access to a word-sized object: atomic, like the
+  // platform's word-atomicity assumption.
+  PMC_CHECK_MSG(off == 0 && (n == 4 || n == 1),
+                "unlocked access must be one aligned word");
+  if (n == 4) {
+    const uint32_t v =
+        std::atomic_ref<uint32_t>(o.words[0]).load(std::memory_order_seq_cst);
+    std::memcpy(out, &v, 4);
+  } else {
+    const uint8_t v = std::atomic_ref<uint8_t>(*o.bytes())
+                          .load(std::memory_order_seq_cst);
+    std::memcpy(out, &v, 1);
+  }
+}
+
+void HostEnv::write(ObjId obj, uint32_t off, const void* data, size_t n) {
+  Open* s = find(obj);
+  PMC_CHECK_MSG(s != nullptr && s->exclusive,
+                "write without exclusive access");
+  auto& o = space_.obj(obj);
+  PMC_CHECK(off + n <= o.size);
+  if (o.size <= 4 && off == 0 && n == o.size && (n == 4 || n == 1)) {
+    // Word objects may be polled by unlocked readers: store atomically.
+    if (n == 4) {
+      uint32_t v;
+      std::memcpy(&v, data, 4);
+      std::atomic_ref<uint32_t>(o.words[0]).store(v,
+                                                  std::memory_order_seq_cst);
+    } else {
+      uint8_t v;
+      std::memcpy(&v, data, 1);
+      std::atomic_ref<uint8_t>(*o.bytes()).store(v,
+                                                 std::memory_order_seq_cst);
+    }
+    return;
+  }
+  std::memcpy(o.bytes() + off, data, n);
+}
+
+void HostEnv::finish() const {
+  PMC_CHECK_MSG(open_.empty(),
+                "thread " << id_ << " finished with open sections");
+}
+
+}  // namespace pmc::rt

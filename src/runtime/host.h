@@ -1,0 +1,80 @@
+// HostSC: the reference back-end on plain host threads.
+//
+// Annotations map to std::mutex and std::atomic operations; there is no
+// timing. It exists so every application has a fast, sequentially consistent
+// executable specification to differentially test the simulated back-ends
+// against ("for a sequential consistent system, the implementation of the
+// annotations is trivial", §V-B).
+#pragma once
+
+#include <barrier>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/env.h"
+
+namespace pmc::rt {
+
+class HostSpace {
+ public:
+  ObjId create(uint32_t size, std::string name, bool immutable = false);
+  void init(ObjId id, const void* data, size_t n);
+  void read_back(ObjId id, void* out, size_t n);
+  int count() const { return static_cast<int>(objs_.size()); }
+
+  struct HostObj {
+    std::string name;
+    uint32_t size = 0;
+    bool immutable = false;
+    std::vector<uint32_t> words;  // aligned storage for atomic_ref
+    std::mutex mu;
+    uint8_t* bytes() { return reinterpret_cast<uint8_t*>(words.data()); }
+  };
+  HostObj& obj(ObjId id);
+
+ private:
+  std::vector<std::unique_ptr<HostObj>> objs_;
+};
+
+class HostEnv final : public Env {
+ public:
+  HostEnv(HostSpace& space, std::barrier<>& bar, int id, int nprocs)
+      : space_(space), bar_(bar), id_(id), nprocs_(nprocs) {}
+
+  int id() const override { return id_; }
+  int num_procs() const override { return nprocs_; }
+
+  void entry_x(ObjId obj) override;
+  void exit_x(ObjId obj) override;
+  void entry_ro(ObjId obj) override;
+  void exit_ro(ObjId obj) override;
+  void fence() override;
+  void flush(ObjId obj) override;
+  void read(ObjId obj, uint32_t off, void* out, size_t n) override;
+  void write(ObjId obj, uint32_t off, const void* data, size_t n) override;
+  void compute(uint64_t instructions) override { (void)instructions; }
+  void barrier() override { bar_.arrive_and_wait(); }
+
+  void finish() const;
+
+ private:
+  struct Open {
+    ObjId obj;
+    bool exclusive;
+    bool locked;
+  };
+  Open* find(ObjId obj);
+  void enter(ObjId obj, bool exclusive);
+  void exit(ObjId obj, bool exclusive);
+
+  HostSpace& space_;
+  std::barrier<>& bar_;
+  int id_;
+  int nprocs_;
+  std::vector<Open> open_;
+};
+
+}  // namespace pmc::rt

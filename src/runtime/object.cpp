@@ -1,0 +1,96 @@
+#include "runtime/object.h"
+
+#include "util/check.h"
+
+namespace pmc::rt {
+
+namespace {
+constexpr uint32_t kAlign = 64;  // ≥ cache line; objects never share lines
+constexpr uint32_t kLockSdramStride = 64;
+constexpr uint32_t kLockLmStride = 8;
+
+uint32_t align_up(uint32_t v, uint32_t a) { return (v + a - 1) / a * a; }
+}  // namespace
+
+ObjectSpace::ObjectSpace(sim::Machine& m, sync::LockManager& locks,
+                         int lock_capacity)
+    : m_(m), locks_(locks) {
+  PMC_CHECK(lock_capacity >= 1);
+  const uint32_t lock_area =
+      static_cast<uint32_t>(lock_capacity) * kLockSdramStride;
+  barrier_word_ = sim::kSdramBase + lock_area;
+  sdram_cursor_ = barrier_word_ + kAlign;
+  lm_sync_end_ = static_cast<uint32_t>(lock_capacity) * kLockLmStride;
+  barrier_flag_off_ = lm_sync_end_;
+  lm_cursor_ = align_up(lm_sync_end_ + 4, kAlign);
+  PMC_CHECK_MSG(lm_cursor_ < m_.config().lm_bytes,
+                "lock capacity exceeds local memory");
+}
+
+ObjId ObjectSpace::create(uint32_t size, Placement placement,
+                          std::string name, bool immutable) {
+  PMC_CHECK_MSG(!frozen_, "create() after freeze()");
+  PMC_CHECK(size > 0);
+  ObjDesc d;
+  d.id = static_cast<ObjId>(objs_.size());
+  d.name = name.empty() ? "obj" + std::to_string(d.id) : std::move(name);
+  d.size = size;
+  d.version_off = align_up(size, 4);
+  d.alloc_bytes = align_up(d.version_off + 4, kAlign);
+  d.placement = placement;
+  d.immutable = immutable;
+  d.lock = locks_.create();
+  d.sdram_addr = sdram_cursor_;
+  PMC_CHECK_MSG(m_.sdram().contains(sdram_cursor_, d.alloc_bytes),
+                "SDRAM exhausted creating " << d.name);
+  sdram_cursor_ += d.alloc_bytes;
+  if (placement == Placement::kReplicated) {
+    d.lm_offset = lm_cursor_;
+    lm_cursor_ += d.alloc_bytes;
+    PMC_CHECK_MSG(lm_cursor_ <= m_.config().lm_bytes,
+                  "local memories exhausted creating " << d.name
+                      << " (the paper hits the same wall with SPLASH-2 "
+                         "on the DSM configuration)");
+  }
+  objs_.push_back(std::move(d));
+  versions_.push_back(0);
+  return objs_.back().id;
+}
+
+void ObjectSpace::freeze() {
+  PMC_CHECK(!frozen_);
+  frozen_ = true;
+  PMC_CHECK_MSG(spm_base() + kAlign <= m_.config().lm_bytes,
+                "no scratch-pad space left after replicas");
+}
+
+const ObjDesc& ObjectSpace::desc(ObjId id) const {
+  PMC_CHECK(id >= 0 && static_cast<size_t>(id) < objs_.size());
+  return objs_[id];
+}
+
+void ObjectSpace::init(ObjId id, const void* data, size_t n) {
+  const ObjDesc& d = desc(id);
+  PMC_CHECK(n <= d.size);
+  m_.poke(d.sdram_addr, data, n);
+  if (d.placement == Placement::kReplicated) {
+    for (int t = 0; t < m_.num_cores(); ++t) {
+      m_.poke(replica_addr(t, id), data, n);
+    }
+  }
+}
+
+sim::Addr ObjectSpace::replica_addr(int tile, ObjId id) const {
+  const ObjDesc& d = desc(id);
+  PMC_CHECK_MSG(d.placement == Placement::kReplicated,
+                d.name << " has no local-memory replicas");
+  return m_.lm_base(tile) + d.lm_offset;
+}
+
+uint32_t ObjectSpace::spm_base() const { return align_up(lm_cursor_, kAlign); }
+
+uint32_t ObjectSpace::spm_bytes() const {
+  return m_.config().lm_bytes - spm_base();
+}
+
+}  // namespace pmc::rt

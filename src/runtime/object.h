@@ -1,0 +1,94 @@
+// Shared objects and their placement (paper Section V).
+//
+// Every shared object is cache-line aligned, never overlaps another object,
+// and owns a lock ("a mutex that is related to the object", Table II).
+// A hidden version word is appended behind the application payload: the
+// runtime bumps it on every exit_x/flush *through the same data path as the
+// payload*, so it travels with the object through every protocol (cache
+// flush, DSM handoff, SPM copy) and staleness of data equals staleness of
+// version. The trace validator checks read versions against Definition 12.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+#include "sync/locks.h"
+
+namespace pmc::rt {
+
+using ObjId = int32_t;
+
+enum class Placement : uint8_t {
+  kSdram,       // master copy in SDRAM only (SWCC / no-CC / SPM)
+  kReplicated,  // additionally one replica slot in every tile's local memory
+                // at a common offset (required by the DSM back-end)
+};
+
+struct ObjDesc {
+  ObjId id = -1;
+  std::string name;
+  uint32_t size = 0;          // application payload bytes
+  uint32_t version_off = 0;   // offset of the hidden version word
+  uint32_t alloc_bytes = 0;   // aligned total footprint
+  Placement placement = Placement::kSdram;
+  /// Immutable objects (no writer can ever exist — entry_x is rejected)
+  /// skip the read-only lock of Table II: torn reads are impossible, and
+  /// concurrent readers need not serialize.
+  bool immutable = false;
+  sim::Addr sdram_addr = 0;
+  uint32_t lm_offset = 0;     // valid iff placement == kReplicated
+  int lock = -1;
+};
+
+/// Allocates shared objects and carves up the per-tile local memories:
+///   [0, sync_end)           lock grant/next words + barrier flag
+///   [sync_end, replica_end) DSM replica slots (common offsets)
+///   [replica_end, lm_size)  SPM scratch area
+class ObjectSpace {
+ public:
+  /// lock_capacity bounds the number of objects (one lock each).
+  ObjectSpace(sim::Machine& m, sync::LockManager& locks, int lock_capacity);
+
+  ObjId create(uint32_t size, Placement placement, std::string name = "",
+               bool immutable = false);
+  /// Seals the layout; must be called (once) before Machine::run.
+  void freeze();
+  bool frozen() const { return frozen_; }
+
+  int count() const { return static_cast<int>(objs_.size()); }
+  const ObjDesc& desc(ObjId id) const;
+  sim::Machine& machine() { return m_; }
+  sync::LockManager& locks() { return locks_; }
+
+  /// Host-side initialization (before run): writes payload bytes to the
+  /// SDRAM master and, for replicated objects, to every tile's replica.
+  void init(ObjId id, const void* data, size_t n);
+
+  /// Replica address of `id` in `tile`'s local memory.
+  sim::Addr replica_addr(int tile, ObjId id) const;
+  /// Barrier bookkeeping words.
+  sim::Addr barrier_count_word() const { return barrier_word_; }
+  uint32_t barrier_flag_offset() const { return barrier_flag_off_; }
+  /// SPM scratch region within each tile's local memory.
+  uint32_t spm_base() const;
+  uint32_t spm_bytes() const;
+
+  /// Monotonic per-object version counter (host side, single-runner safe).
+  uint32_t next_version(ObjId id) { return ++versions_[id]; }
+
+ private:
+  sim::Machine& m_;
+  sync::LockManager& locks_;
+  std::vector<ObjDesc> objs_;
+  std::vector<uint32_t> versions_;
+  sim::Addr sdram_cursor_;
+  sim::Addr barrier_word_;
+  uint32_t lm_sync_end_;
+  uint32_t barrier_flag_off_;
+  uint32_t lm_cursor_;  // replica allocation within local memories
+  bool frozen_ = false;
+};
+
+}  // namespace pmc::rt

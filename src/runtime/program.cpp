@@ -1,0 +1,155 @@
+#include "runtime/program.h"
+
+#include <thread>
+
+#include "util/check.h"
+
+namespace pmc::rt {
+
+const char* to_string(Target t) {
+  switch (t) {
+    case Target::kHostSC: return "host-sc";
+    case Target::kNoCC: return "nocc";
+    case Target::kSWCC: return "swcc";
+    case Target::kDSM: return "dsm";
+    case Target::kSPM: return "spm";
+  }
+  return "?";
+}
+
+bool is_sim(Target t) { return t != Target::kHostSC; }
+
+std::vector<Target> all_targets() {
+  return {Target::kHostSC, Target::kNoCC, Target::kSWCC, Target::kDSM,
+          Target::kSPM};
+}
+
+std::vector<Target> sim_targets() {
+  return {Target::kNoCC, Target::kSWCC, Target::kDSM, Target::kSPM};
+}
+
+namespace {
+BackendKind backend_kind(Target t) {
+  switch (t) {
+    case Target::kNoCC: return BackendKind::kNoCC;
+    case Target::kSWCC: return BackendKind::kSWCC;
+    case Target::kDSM: return BackendKind::kDSM;
+    case Target::kSPM: return BackendKind::kSPM;
+    case Target::kHostSC: break;
+  }
+  PMC_CHECK_MSG(false, "host target has no sim back-end");
+  return BackendKind::kNoCC;
+}
+}  // namespace
+
+Program::Program(const ProgramOptions& opts) : opts_(opts) {
+  PMC_CHECK(opts_.cores >= 1);
+  if (!is_sim(opts_.target)) {
+    host_ = std::make_unique<HostSpace>();
+    return;
+  }
+  sim::MachineConfig mc = opts_.machine;
+  mc.num_cores = opts_.cores;
+  mc.mesh_width = std::min(8, opts_.cores);
+  mc.cache_shared = opts_.target == Target::kSWCC;
+  machine_ = std::make_unique<sim::Machine>(mc);
+  const uint32_t cap = static_cast<uint32_t>(opts_.lock_capacity);
+  locks_ = std::make_unique<sync::DistLockManager>(
+      *machine_, sim::kSdramBase, cap * 64, /*lm_offset=*/0, cap * 8);
+  objs_ = std::make_unique<ObjectSpace>(*machine_, *locks_,
+                                        opts_.lock_capacity);
+  barrier_ = std::make_unique<sync::Barrier>(*machine_,
+                                             objs_->barrier_count_word(),
+                                             objs_->barrier_flag_offset());
+  backend_ = make_backend(backend_kind(opts_.target), *objs_, opts_.faults,
+                          opts_.policy);
+  rt_.objs = objs_.get();
+  rt_.backend = backend_.get();
+  rt_.bar = barrier_.get();
+  rt_.validate = opts_.validate;
+}
+
+Program::~Program() = default;
+
+ObjId Program::create_object(uint32_t size, Placement placement,
+                             std::string name, bool immutable) {
+  PMC_CHECK_MSG(!ran_, "create_object after run");
+  if (host_) return host_->create(size, std::move(name), immutable);
+  return objs_->create(size, placement, std::move(name), immutable);
+}
+
+void Program::init_object(ObjId id, const void* data, size_t n) {
+  PMC_CHECK_MSG(!ran_, "init_object after run");
+  if (host_) {
+    host_->init(id, data, n);
+  } else {
+    objs_->init(id, data, n);
+  }
+}
+
+void Program::run(const std::function<void(Env&)>& body) {
+  PMC_CHECK_MSG(!ran_, "a Program runs once");
+  ran_ = true;
+  if (host_) {
+    std::barrier bar(opts_.cores);
+    std::vector<std::thread> threads;
+    std::exception_ptr error;
+    std::mutex error_mu;
+    for (int i = 0; i < opts_.cores; ++i) {
+      threads.emplace_back([&, i] {
+        HostEnv env(*host_, bar, i, opts_.cores);
+        try {
+          body(env);
+          env.finish();
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(error_mu);
+          if (!error) error = std::current_exception();
+          // Unblock peers stuck in the barrier.
+          bar.arrive_and_drop();
+          return;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+  objs_->freeze();
+  machine_->run([&](sim::Core& core) {
+    SimEnv env(rt_, core);
+    body(env);
+    env.finish();
+  });
+  if (opts_.validate) {
+    validator_ = std::make_unique<model::TraceValidator>(
+        opts_.cores, objs_->count(),
+        std::vector<uint64_t>(static_cast<size_t>(objs_->count()), 0));
+    validator_->on_events(rt_.trace);
+  }
+}
+
+void Program::read_object(ObjId id, void* out, size_t n) {
+  PMC_CHECK_MSG(ran_, "read_object before run");
+  if (host_) {
+    host_->read_back(id, out, n);
+  } else {
+    backend_->read_final(id, out, n);
+  }
+}
+
+sim::CoreStats Program::stats_sum() const {
+  PMC_CHECK(machine_ != nullptr);
+  return machine_->stats_sum();
+}
+
+void Program::require_valid() const {
+  if (!is_sim(opts_.target)) return;
+  PMC_CHECK_MSG(opts_.validate, "run was not validated");
+  PMC_CHECK_MSG(validator_ != nullptr, "require_valid before run");
+  PMC_CHECK_MSG(validator_->ok(),
+                to_string(opts_.target)
+                    << " back-end violated the memory model: "
+                    << validator_->first_violation());
+}
+
+}  // namespace pmc::rt

@@ -1,0 +1,108 @@
+// Program: the top-level assembly a PMC application runs in.
+//
+// Owns the machine (for simulated targets), the distributed locks, the
+// object space, the barrier, the back-end, and — when validation is on —
+// the recorded trace and its Definition 12 check. The same Program API
+// drives all five targets, so "porting to hardware with another memory
+// model becomes just a compiler setting" is here literally one enum.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "model/trace.h"
+#include "runtime/backend.h"
+#include "runtime/env.h"
+#include "runtime/host.h"
+#include "runtime/sim_env.h"
+
+namespace pmc::rt {
+
+enum class Target : uint8_t { kHostSC, kNoCC, kSWCC, kDSM, kSPM };
+
+const char* to_string(Target t);
+bool is_sim(Target t);
+/// All five targets, for parameterized suites.
+std::vector<Target> all_targets();
+std::vector<Target> sim_targets();
+
+struct ProgramOptions {
+  Target target = Target::kSWCC;
+  int cores = 4;
+  /// Base machine configuration for simulated targets; num_cores and
+  /// cache_shared are overridden to match `cores` and `target`.
+  sim::MachineConfig machine = sim::MachineConfig::ml605(4);
+  /// Record a model trace and validate it after run() (sim targets only).
+  bool validate = true;
+  /// Maximum number of shared objects (= locks).
+  int lock_capacity = 2048;
+  /// Deliberate protocol bugs (failure-injection tests).
+  FaultInjection faults;
+  /// Implementation choices (lazy vs eager release, §V-A).
+  BackendPolicy policy;
+};
+
+class Program {
+ public:
+  explicit Program(const ProgramOptions& opts);
+  ~Program();
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+
+  Target target() const { return opts_.target; }
+  int cores() const { return opts_.cores; }
+
+  ObjId create_object(uint32_t size, Placement placement = Placement::kSdram,
+                      std::string name = "", bool immutable = false);
+  /// Immutable shared data (no writers, readers never lock or serialize).
+  ObjId create_const_object(uint32_t size,
+                            Placement placement = Placement::kSdram,
+                            std::string name = "") {
+    return create_object(size, placement, std::move(name), true);
+  }
+  void init_object(ObjId id, const void* data, size_t n);
+  template <typename T>
+  ObjId create_typed(const T& initial, Placement placement = Placement::kSdram,
+                     std::string name = "") {
+    const ObjId id = create_object(sizeof(T), placement, std::move(name));
+    init_object(id, &initial, sizeof(T));
+    return id;
+  }
+
+  /// Runs body(env) on every core/thread.
+  void run(const std::function<void(Env&)>& body);
+
+  /// Reads an object's final payload after run().
+  void read_object(ObjId id, void* out, size_t n);
+  template <typename T>
+  T result(ObjId id) {
+    T v;
+    read_object(id, &v, sizeof v);
+    return v;
+  }
+
+  /// nullptr for the host target.
+  sim::Machine* machine() { return machine_.get(); }
+  sim::CoreStats stats_sum() const;
+  /// nullptr unless a validated sim run completed.
+  const model::TraceValidator* validator() const { return validator_.get(); }
+  /// Throws CheckFailure describing the first Definition 12 violation.
+  void require_valid() const;
+
+ private:
+  ProgramOptions opts_;
+  // Simulated targets:
+  std::unique_ptr<sim::Machine> machine_;
+  std::unique_ptr<sync::DistLockManager> locks_;
+  std::unique_ptr<ObjectSpace> objs_;
+  std::unique_ptr<sync::Barrier> barrier_;
+  std::unique_ptr<Backend> backend_;
+  SimRuntime rt_;
+  std::unique_ptr<model::TraceValidator> validator_;
+  // Host target:
+  std::unique_ptr<HostSpace> host_;
+  bool ran_ = false;
+};
+
+}  // namespace pmc::rt

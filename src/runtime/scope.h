@@ -1,0 +1,63 @@
+// RAII scoping of entry/exit pairs (paper Fig. 10): "the entry call is
+// implemented by the constructor and exit by the destructor", hiding the
+// two-address problem of scratch-pad copies behind typed accessors.
+#pragma once
+
+#include "runtime/env.h"
+
+namespace pmc::rt {
+
+/// Read-only scope: entry_ro in the constructor, exit_ro in the destructor.
+template <typename T>
+class ScopeRO {
+ public:
+  ScopeRO(Env& env, ObjId obj) : env_(env), obj_(obj) { env_.entry_ro(obj_); }
+  ~ScopeRO() { env_.exit_ro(obj_); }
+  ScopeRO(const ScopeRO&) = delete;
+  ScopeRO& operator=(const ScopeRO&) = delete;
+
+  /// Reads the whole object (like Fig. 10's cast operator).
+  T get() const { return env_.template ld<T>(obj_, 0); }
+  /// Typed element access at a byte offset — routed through the back-end,
+  /// so scratch-pad locality is what the simulator prices.
+  template <typename U>
+  U at(uint32_t byte_off) const {
+    return env_.template ld<U>(obj_, byte_off);
+  }
+
+ private:
+  Env& env_;
+  ObjId obj_;
+};
+
+/// Exclusive scope: entry_x / exit_x, with write access and flush.
+template <typename T>
+class ScopeX {
+ public:
+  ScopeX(Env& env, ObjId obj) : env_(env), obj_(obj) { env_.entry_x(obj_); }
+  ~ScopeX() { env_.exit_x(obj_); }
+  ScopeX(const ScopeX&) = delete;
+  ScopeX& operator=(const ScopeX&) = delete;
+
+  T get() const { return env_.template ld<T>(obj_, 0); }
+  void set(const T& v) { env_.st(obj_, 0, v); }
+  ScopeX& operator=(const T& v) {  // Fig. 10 line 30: vector_s = ...
+    set(v);
+    return *this;
+  }
+  template <typename U>
+  U at(uint32_t byte_off) const {
+    return env_.template ld<U>(obj_, byte_off);
+  }
+  template <typename U>
+  void put(uint32_t byte_off, const U& v) {
+    env_.st(obj_, byte_off, v);
+  }
+  void flush() { env_.flush(obj_); }
+
+ private:
+  Env& env_;
+  ObjId obj_;
+};
+
+}  // namespace pmc::rt

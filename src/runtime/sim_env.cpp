@@ -1,0 +1,99 @@
+#include "runtime/sim_env.h"
+
+#include "util/check.h"
+
+namespace pmc::rt {
+
+Section* SimEnv::find(ObjId obj) {
+  for (auto& s : open_) {
+    if (s.obj == obj) return &s;
+  }
+  return nullptr;
+}
+
+void SimEnv::enter(ObjId obj, bool exclusive) {
+  PMC_CHECK_MSG(find(obj) == nullptr,
+                "core " << id() << " double-enters "
+                        << rt_.objs->desc(obj).name);
+  Section s;
+  s.obj = obj;
+  s.desc = &rt_.objs->desc(obj);
+  s.exclusive = exclusive;
+  PMC_CHECK_MSG(!(exclusive && s.desc->immutable),
+                s.desc->name << " is immutable: entry_x is not allowed");
+  rt_.backend->enter(core_, s);
+  if (rt_.validate) {
+    if (exclusive) {
+      rt_.trace.push_back(model::TraceEvent::acquire(id(), obj));
+    }
+    // The version read through the section's own data path is the staleness
+    // witness the validator checks against Definition 12.
+    const uint32_t ver =
+        core_.load_u32(s.data_addr + s.desc->version_off, s.cls);
+    rt_.trace.push_back(model::TraceEvent::read(id(), obj, ver));
+  }
+  open_.push_back(s);
+}
+
+void SimEnv::publish_version(Section& s) {
+  if (!rt_.validate) return;
+  const uint32_t ver = rt_.objs->next_version(s.obj);
+  core_.store_u32(s.data_addr + s.desc->version_off, ver, s.cls);
+  rt_.trace.push_back(model::TraceEvent::write(id(), s.obj, ver));
+}
+
+void SimEnv::exit(ObjId obj, bool exclusive) {
+  PMC_CHECK_MSG(!open_.empty() && open_.back().obj == obj,
+                "core " << id() << " exits " << rt_.objs->desc(obj).name
+                        << " out of LIFO order");
+  Section& s = open_.back();
+  PMC_CHECK_MSG(s.exclusive == exclusive,
+                "exit kind does not match entry kind for " << s.desc->name);
+  if (s.exclusive && s.dirty) publish_version(s);
+  rt_.backend->exit(core_, s);
+  if (rt_.validate && s.exclusive) {
+    rt_.trace.push_back(model::TraceEvent::release(id(), obj));
+  }
+  open_.pop_back();
+}
+
+void SimEnv::fence() {
+  rt_.backend->fence(core_);
+  if (rt_.validate) rt_.trace.push_back(model::TraceEvent::fence(id()));
+}
+
+void SimEnv::flush(ObjId obj) {
+  Section* s = find(obj);
+  PMC_CHECK_MSG(s != nullptr && s->exclusive,
+                "flush is only allowed inside an entry_x/exit_x pair (§V-A)");
+  if (s->dirty) publish_version(*s);
+  rt_.backend->flush(core_, *s);
+  s->dirty = false;  // later writes re-dirty for the exit writeback
+}
+
+void SimEnv::read(ObjId obj, uint32_t off, void* out, size_t n) {
+  Section* s = find(obj);
+  PMC_CHECK_MSG(s != nullptr, "core " << id() << " reads "
+                                      << rt_.objs->desc(obj).name
+                                      << " outside any entry/exit pair");
+  PMC_CHECK_MSG(off + n <= s->desc->size, "read past end of " << s->desc->name);
+  core_.read_block(s->data_addr + off, out, n, s->cls);
+}
+
+void SimEnv::write(ObjId obj, uint32_t off, const void* data, size_t n) {
+  Section* s = find(obj);
+  PMC_CHECK_MSG(s != nullptr && s->exclusive,
+                "core " << id() << " writes " << rt_.objs->desc(obj).name
+                        << " without exclusive access");
+  PMC_CHECK_MSG(off + n <= s->desc->size,
+                "write past end of " << s->desc->name);
+  s->dirty = true;
+  core_.write_block(s->data_addr + off, data, n, s->cls);
+}
+
+void SimEnv::finish() const {
+  PMC_CHECK_MSG(open_.empty(), "core " << id() << " finished with "
+                                       << open_.size() << " open section(s)");
+}
+
+}  // namespace pmc::rt

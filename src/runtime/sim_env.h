@@ -1,0 +1,64 @@
+// Env implementation over the simulated SoC.
+#pragma once
+
+#include <vector>
+
+#include "model/trace.h"
+#include "runtime/backend.h"
+#include "runtime/env.h"
+#include "sync/barrier.h"
+
+namespace pmc::rt {
+
+/// Shared, single-runner-safe state of one simulated program run.
+struct SimRuntime {
+  ObjectSpace* objs = nullptr;
+  Backend* backend = nullptr;
+  sync::Barrier* bar = nullptr;
+  /// When set, every annotation maintains the hidden object version and
+  /// records a model::TraceEvent; the Program validates the stream against
+  /// Definition 12 after the run. Adds version-word traffic, so Fig. 8
+  /// timing runs keep it off.
+  bool validate = false;
+  std::vector<model::TraceEvent> trace;
+};
+
+class SimEnv final : public Env {
+ public:
+  SimEnv(SimRuntime& rt, sim::Core& core) : rt_(rt), core_(core) {}
+
+  int id() const override { return core_.id(); }
+  int num_procs() const override { return core_.num_cores(); }
+
+  void entry_x(ObjId obj) override { enter(obj, /*exclusive=*/true); }
+  void exit_x(ObjId obj) override { exit(obj, /*exclusive=*/true); }
+  void entry_ro(ObjId obj) override { enter(obj, /*exclusive=*/false); }
+  void exit_ro(ObjId obj) override { exit(obj, /*exclusive=*/false); }
+  void fence() override;
+  void flush(ObjId obj) override;
+
+  void read(ObjId obj, uint32_t off, void* out, size_t n) override;
+  void write(ObjId obj, uint32_t off, const void* data, size_t n) override;
+
+  void compute(uint64_t instructions) override { core_.compute(instructions); }
+  void barrier() override { rt_.bar->wait(core_); }
+
+  /// End-of-run discipline check: every section closed.
+  void finish() const;
+
+  sim::Core& core() { return core_; }
+
+ private:
+  void enter(ObjId obj, bool exclusive);
+  void exit(ObjId obj, bool exclusive);
+  Section* find(ObjId obj);
+  /// Bumps the hidden version through the section's data path and records
+  /// the Write event (validation mode only; no-op otherwise).
+  void publish_version(Section& s);
+
+  SimRuntime& rt_;
+  sim::Core& core_;
+  std::vector<Section> open_;  // LIFO stack of open sections
+};
+
+}  // namespace pmc::rt

@@ -1,0 +1,439 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace pmc::sim {
+
+MachineConfig MachineConfig::ml605(int cores) {
+  MachineConfig c;
+  c.num_cores = cores;
+  c.mesh_width = cores >= 8 ? 8 : cores;
+  return c;
+}
+
+MachineConfig MachineConfig::fig1_twomem() {
+  MachineConfig c;
+  c.num_cores = 2;
+  c.mesh_width = 2;
+  // "latency: 10" for the memory holding X vs "latency: 1" for the flag:
+  // SDRAM writes become visible slowly, NoC writes quickly.
+  c.timing.sdram_write_visible = 40;
+  c.timing.noc_base = 2;
+  c.timing.noc_per_hop = 1;
+  c.cache_shared = false;
+  return c;
+}
+
+Machine::Machine(const MachineConfig& cfg)
+    : cfg_(cfg),
+      sched_(cfg.num_cores, cfg.max_cycles),
+      sdram_("sdram", kSdramBase, cfg.sdram_bytes),
+      noc_(cfg.num_cores, cfg.mesh_width, cfg.timing) {
+  PMC_CHECK(cfg_.num_cores >= 1);
+  PMC_CHECK_MSG(cfg_.lm_bytes <= kLmStride, "local memory exceeds map stride");
+  PMC_CHECK(static_cast<uint64_t>(kLmBase) +
+                static_cast<uint64_t>(cfg_.num_cores) * kLmStride <=
+            kSdramBase);
+  lms_.reserve(cfg_.num_cores);
+  cores_.reserve(cfg_.num_cores);
+  for (int t = 0; t < cfg_.num_cores; ++t) {
+    lms_.push_back(std::make_unique<MemModule>(
+        "lm" + std::to_string(t), kLmBase + static_cast<Addr>(t) * kLmStride,
+        cfg_.lm_bytes));
+    cores_.push_back(std::make_unique<CoreState>(cfg_.dcache));
+  }
+  stats_.resize(cfg_.num_cores);
+}
+
+Addr Machine::lm_base(int tile) const {
+  PMC_CHECK(tile >= 0 && tile < cfg_.num_cores);
+  return kLmBase + static_cast<Addr>(tile) * kLmStride;
+}
+
+int Machine::tile_of(Addr a) const {
+  if (a < kLmBase || a >= kLmBase + static_cast<Addr>(cfg_.num_cores) * kLmStride) {
+    return -1;
+  }
+  const int tile = static_cast<int>((a - kLmBase) / kLmStride);
+  return a - lm_base(tile) < cfg_.lm_bytes ? tile : -1;
+}
+
+MemModule& Machine::module_for(Addr a, size_t n) {
+  if (sdram_.contains(a, n)) return sdram_;
+  const int tile = tile_of(a);
+  PMC_CHECK_MSG(tile >= 0 && lms_[tile]->contains(a, n),
+                "unmapped address " << a << " (+" << n << ")");
+  return *lms_[tile];
+}
+
+void Machine::poke(Addr a, const void* data, size_t n) {
+  PMC_CHECK_MSG(!ran_, "poke() after run()");
+  module_for(a, n).write(0, a, data, n);
+}
+
+void Machine::peek(Addr a, void* out, size_t n) {
+  module_for(a, n).read(UINT64_MAX, a, out, n);
+}
+
+void Machine::run(const std::function<void(Core&)>& body) {
+  PMC_CHECK_MSG(!ran_, "a Machine instance runs once");
+  ran_ = true;
+  sched_.run([this, &body](int id) {
+    Core core(*this, id);
+    body(core);
+    stats_[id].cycles_total = sched_.now(id);
+  });
+}
+
+CoreStats Machine::stats_sum() const {
+  CoreStats sum;
+  for (const auto& s : stats_) sum += s;
+  return sum;
+}
+
+uint64_t Machine::state_hash() {
+  sdram_.drain_all();
+  uint64_t h = util::kFnvOffset;
+  h = util::hash_combine(h, sdram_.content_hash());
+  for (int t = 0; t < cfg_.num_cores; ++t) {
+    lms_[t]->drain_all();
+    h = util::hash_combine(h, lms_[t]->content_hash());
+    h = util::hash_combine(h, stats_[t].cycles_total);
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Core facade
+// ---------------------------------------------------------------------------
+
+int Core::num_cores() const { return m_.cfg_.num_cores; }
+uint64_t Core::now() const { return m_.sched_.now(id_); }
+const MachineConfig& Core::config() const { return m_.cfg_; }
+CoreStats& Core::stats() { return m_.stats_[id_]; }
+
+void Core::charge(uint64_t busy, uint64_t stall,
+                  uint64_t CoreStats::*bucket) {
+  auto& s = m_.stats_[id_];
+  s.busy += busy;
+  if (stall != 0) s.*bucket += stall;
+  m_.sched_.advance(id_, busy + stall);
+}
+
+uint64_t CoreStats::*Core::read_bucket(MemClass c) const {
+  return c == MemClass::kSync ? &CoreStats::stall_sync_read
+                              : &CoreStats::stall_shared_read;
+}
+
+void Core::compute(uint64_t instructions) {
+  if (instructions == 0) return;
+  auto& s = m_.stats_[id_];
+  auto& cs = *m_.cores_[id_];
+  const auto& t = m_.cfg_.timing;
+  s.instructions += instructions;
+  // Deterministic expected-value accounting of the background load.
+  cs.imiss_acc += instructions * m_.cfg_.profile.imiss_per_mille;
+  cs.priv_acc += instructions * m_.cfg_.profile.priv_miss_per_mille;
+  const uint64_t imiss = cs.imiss_acc / 1000;
+  const uint64_t pmiss = cs.priv_acc / 1000;
+  cs.imiss_acc %= 1000;
+  cs.priv_acc %= 1000;
+  s.busy += instructions;
+  s.stall_ifetch += imiss * t.imiss_penalty;
+  s.stall_private_read += pmiss * t.priv_miss_penalty;
+  m_.sched_.advance(id_, instructions + imiss * t.imiss_penalty +
+                             pmiss * t.priv_miss_penalty);
+}
+
+void Core::idle(uint64_t cycles) {
+  m_.stats_[id_].idle += cycles;
+  m_.sched_.advance(id_, cycles);
+}
+
+void Core::cached_access(Addr a, void* rd_out, const void* wr_data, size_t n) {
+  auto& s = m_.stats_[id_];
+  auto& cache = m_.cores_[id_]->dcache;
+  const auto& t = m_.cfg_.timing;
+  const uint32_t lb = cache.line_bytes();
+  size_t done = 0;
+  while (done < n) {
+    const Addr addr = a + static_cast<Addr>(done);
+    const Addr line = cache.line_base(addr);
+    const size_t in_line = std::min<size_t>(n - done, line + lb - addr);
+    uint8_t* data = cache.lookup(line);
+    if (data != nullptr) {
+      s.dcache_hits++;
+      charge(t.cache_hit, 0, &CoreStats::stall_shared_read);
+    } else {
+      s.dcache_misses++;
+      Cache::Victim victim;
+      data = cache.install(line, &victim);
+      uint64_t pre_stall = 0;
+      if (victim.dirty) {
+        // Post the writeback; the fill waits for the bus slot.
+        const uint64_t start =
+            m_.sdram_.reserve_port(now(), lb / 4);
+        m_.sdram_.post_write(start + t.sdram_line_wb_visible, victim.addr,
+                             victim.data.data(), victim.data.size());
+        s.writebacks++;
+        pre_stall += t.sdram_line_wb_cost;
+      }
+      // The fill samples SDRAM when the request reaches it (half the fill
+      // latency); the rest is the response flight. In-flight writes arriving
+      // later than the sample point are genuinely missed.
+      const uint64_t fill_req = std::max<uint64_t>(t.sdram_line_fill / 2, 1);
+      auto bucket = wr_data != nullptr ? &CoreStats::stall_write
+                                       : &CoreStats::stall_shared_read;
+      charge(1, pre_stall + fill_req - 1, bucket);
+      m_.sdram_.read(now(), line, data, lb);
+      charge(0, t.sdram_line_fill - fill_req, bucket);
+    }
+    const size_t off = addr - line;
+    if (wr_data != nullptr) {
+      std::memcpy(data + off, static_cast<const uint8_t*>(wr_data) + done,
+                  in_line);
+      cache.mark_dirty(line);
+    } else {
+      std::memcpy(static_cast<uint8_t*>(rd_out) + done, data + off, in_line);
+    }
+    done += in_line;
+  }
+}
+
+void Core::uncached_access(Addr a, void* rd_out, const void* wr_data, size_t n,
+                           MemClass c) {
+  const auto& t = m_.cfg_.timing;
+  // Uncached SDRAM traffic moves word by word over the shared bus.
+  size_t done = 0;
+  while (done < n) {
+    const size_t chunk = std::min<size_t>(4 - ((a + done) % 4), n - done);
+    if (wr_data != nullptr) {
+      charge(1, t.sdram_write_cost - 1, &CoreStats::stall_write);
+      m_.sdram_.post_write(now() + t.sdram_write_visible,
+                           a + static_cast<Addr>(done),
+                           static_cast<const uint8_t*>(wr_data) + done, chunk);
+    } else {
+      // Sample at request arrival (half the round trip), not at completion.
+      const uint64_t req = std::max<uint64_t>(t.sdram_read / 2, 1);
+      charge(1, req - 1, read_bucket(c));
+      m_.sdram_.read(now(), a + static_cast<Addr>(done),
+                     static_cast<uint8_t*>(rd_out) + done, chunk);
+      charge(0, t.sdram_read - req, read_bucket(c));
+    }
+    done += chunk;
+  }
+}
+
+void Core::access(Addr a, void* rd_out, const void* wr_data, size_t n,
+                  MemClass c) {
+  PMC_CHECK(n > 0);
+  auto& s = m_.stats_[id_];
+  if (wr_data != nullptr) {
+    s.stores++;
+  } else {
+    s.loads++;
+  }
+  const int tile = m_.tile_of(a);
+  if (tile >= 0) {
+    PMC_CHECK_MSG(tile == id_,
+                  "core " << id_ << " cannot read/write tile " << tile
+                          << "'s local memory directly: the interconnect is "
+                             "write-only (use remote_write)");
+    const auto& t = m_.cfg_.timing;
+    MemModule& lm = *m_.lms_[tile];
+    const uint64_t words = (n + 3) / 4;  // single-cycle per word on the LMB
+    if (wr_data != nullptr) {
+      charge(words * t.lm_store, 0, &CoreStats::stall_write);
+      lm.write(now(), a, wr_data, n);
+    } else {
+      charge(words * t.lm_load, 0, read_bucket(c));
+      lm.read(now(), a, rd_out, n);
+    }
+    return;
+  }
+  PMC_CHECK_MSG(m_.sdram_.contains(a, n), "unmapped address " << a);
+  const bool cached = c == MemClass::kSharedData && m_.cfg_.cache_shared;
+  if (cached) {
+    cached_access(a, rd_out, wr_data, n);
+  } else {
+    uncached_access(a, rd_out, wr_data, n, c);
+  }
+}
+
+uint8_t Core::load_u8(Addr a, MemClass c) {
+  uint8_t v;
+  access(a, &v, nullptr, 1, c);
+  return v;
+}
+
+uint32_t Core::load_u32(Addr a, MemClass c) {
+  PMC_CHECK_MSG(a % 4 == 0, "misaligned u32 load");
+  uint32_t v;
+  access(a, &v, nullptr, 4, c);
+  return v;
+}
+
+void Core::store_u8(Addr a, uint8_t v, MemClass c) {
+  access(a, nullptr, &v, 1, c);
+}
+
+void Core::store_u32(Addr a, uint32_t v, MemClass c) {
+  PMC_CHECK_MSG(a % 4 == 0, "misaligned u32 store");
+  access(a, nullptr, &v, 4, c);
+}
+
+void Core::read_block(Addr a, void* out, size_t n, MemClass c) {
+  access(a, out, nullptr, n, c);
+}
+
+void Core::write_block(Addr a, const void* data, size_t n, MemClass c) {
+  access(a, nullptr, data, n, c);
+}
+
+uint64_t Core::remote_write(int dst_tile, Addr dst_addr, const void* data,
+                            size_t n) {
+  PMC_CHECK(dst_tile >= 0 && dst_tile < m_.cfg_.num_cores);
+  PMC_CHECK_MSG(dst_tile != id_, "remote_write to own tile: use store");
+  MemModule& dst = *m_.lms_[dst_tile];
+  PMC_CHECK(dst.contains(dst_addr, n));
+  auto& s = m_.stats_[id_];
+  const auto& t = m_.cfg_.timing;
+  // Sender enqueues the packet into its network interface and proceeds.
+  charge(1, t.noc_send_cost, &CoreStats::stall_write);
+  const uint64_t arrival = m_.noc_.deliver(now(), id_, dst_tile, dst, n);
+  dst.post_write(arrival, dst_addr, data, n);
+  s.remote_writes++;
+  s.noc_bytes_sent += n;
+  return arrival;
+}
+
+void Core::dma_read(Addr src, void* out, size_t n, MemClass c) {
+  PMC_CHECK(n > 0);
+  PMC_CHECK_MSG(m_.sdram_.contains(src, n), "dma_read is SDRAM-only");
+  const auto& t = m_.cfg_.timing;
+  const uint64_t words = (n + 3) / 4;
+  // Setup round trip, sample at request arrival, then pipelined streaming.
+  const uint64_t req = std::max<uint64_t>(t.sdram_read / 2, 1);
+  charge(1, req - 1, read_bucket(c));
+  m_.sdram_.read(now(), src, out, n);
+  charge(0, t.sdram_read - req + words * t.dma_per_word, read_bucket(c));
+  m_.stats_[id_].loads++;
+}
+
+uint64_t Core::dma_write(Addr dst, const void* data, size_t n, MemClass c) {
+  PMC_CHECK(n > 0);
+  PMC_CHECK_MSG(m_.sdram_.contains(dst, n), "dma_write is SDRAM-only");
+  (void)c;
+  const auto& t = m_.cfg_.timing;
+  const uint64_t words = (n + 3) / 4;
+  charge(1, t.sdram_write_cost - 1 + words * t.dma_per_word,
+         &CoreStats::stall_write);
+  const uint64_t start = m_.sdram_.reserve_port(now(), words);
+  const uint64_t arrival = start + t.sdram_write_visible;
+  m_.sdram_.post_write(arrival, dst, data, n);
+  m_.stats_[id_].stores++;
+  return arrival;
+}
+
+void Core::charge_stall(uint64_t cycles, StallBucket bucket) {
+  switch (bucket) {
+    case StallBucket::kSharedRead:
+      charge(0, cycles, &CoreStats::stall_shared_read);
+      break;
+    case StallBucket::kSyncRead:
+      charge(0, cycles, &CoreStats::stall_sync_read);
+      break;
+    case StallBucket::kWrite:
+      charge(0, cycles, &CoreStats::stall_write);
+      break;
+    case StallBucket::kFlush:
+      charge(0, cycles, &CoreStats::stall_flush);
+      break;
+  }
+}
+
+uint64_t Core::cache_wbinval(Addr a, size_t n) {
+  auto& s = m_.stats_[id_];
+  auto& cache = m_.cores_[id_]->dcache;
+  const auto& t = m_.cfg_.timing;
+  const uint32_t lb = cache.line_bytes();
+  std::vector<uint8_t> dirty;
+  uint64_t last_arrival = 0;
+  for (Addr line = cache.line_base(a); line < a + n; line += lb) {
+    uint64_t stall = t.cache_op_per_line;
+    if (cache.wbinval_line(line, &dirty)) {
+      s.lines_flushed++;
+      if (!dirty.empty()) {
+        const uint64_t start = m_.sdram_.reserve_port(now(), lb / 4);
+        const uint64_t arrival = start + t.sdram_line_wb_visible;
+        m_.sdram_.post_write(arrival, line, dirty.data(), dirty.size());
+        last_arrival = std::max(last_arrival, arrival);
+        s.writebacks++;
+        stall += t.sdram_line_wb_cost;
+      }
+    }
+    charge(0, stall, &CoreStats::stall_flush);
+  }
+  return last_arrival;
+}
+
+void Core::wait_until(uint64_t t, StallBucket bucket) {
+  const uint64_t t_now = now();
+  if (t > t_now) charge_stall(t - t_now, bucket);
+}
+
+void Core::cache_inval(Addr a, size_t n) {
+  auto& s = m_.stats_[id_];
+  auto& cache = m_.cores_[id_]->dcache;
+  const auto& t = m_.cfg_.timing;
+  const uint32_t lb = cache.line_bytes();
+  for (Addr line = cache.line_base(a); line < a + n; line += lb) {
+    if (cache.inval_line(line)) s.lines_flushed++;
+    charge(0, t.cache_op_per_line, &CoreStats::stall_flush);
+  }
+}
+
+uint32_t Core::atomic_swap(Addr a, uint32_t value) {
+  PMC_CHECK(a % 4 == 0);
+  PMC_CHECK_MSG(m_.sdram_.contains(a, 4), "atomics live on the SDRAM port");
+  const auto& t = m_.cfg_.timing;
+  const uint64_t total = t.sdram_read + t.atomic_extra;
+  const uint64_t req = std::max<uint64_t>(total / 2, 1);
+  charge(1, req - 1, &CoreStats::stall_sync_read);
+  m_.stats_[id_].atomics++;
+  const uint32_t old = m_.sdram_.atomic_swap_u32(now(), a, value);
+  charge(0, total - req, &CoreStats::stall_sync_read);
+  return old;
+}
+
+uint32_t Core::atomic_add(Addr a, uint32_t delta) {
+  PMC_CHECK(a % 4 == 0);
+  PMC_CHECK_MSG(m_.sdram_.contains(a, 4), "atomics live on the SDRAM port");
+  const auto& t = m_.cfg_.timing;
+  const uint64_t total = t.sdram_read + t.atomic_extra;
+  const uint64_t req = std::max<uint64_t>(total / 2, 1);
+  charge(1, req - 1, &CoreStats::stall_sync_read);
+  m_.stats_[id_].atomics++;
+  const uint32_t old = m_.sdram_.atomic_add_u32(now(), a, delta);
+  charge(0, total - req, &CoreStats::stall_sync_read);
+  return old;
+}
+
+uint32_t Core::atomic_cas(Addr a, uint32_t expected, uint32_t desired) {
+  PMC_CHECK(a % 4 == 0);
+  PMC_CHECK_MSG(m_.sdram_.contains(a, 4), "atomics live on the SDRAM port");
+  const auto& t = m_.cfg_.timing;
+  const uint64_t total = t.sdram_read + t.atomic_extra;
+  const uint64_t req = std::max<uint64_t>(total / 2, 1);
+  charge(1, req - 1, &CoreStats::stall_sync_read);
+  m_.stats_[id_].atomics++;
+  const uint32_t old = m_.sdram_.atomic_cas_u32(now(), a, expected, desired);
+  charge(0, total - req, &CoreStats::stall_sync_read);
+  return old;
+}
+
+}  // namespace pmc::sim

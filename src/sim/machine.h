@@ -1,0 +1,189 @@
+// The simulated many-core SoC (paper Fig. 7): tiles of {in-order core,
+// single-cycle local memory, private write-back D-cache}, a write-only NoC
+// between tiles, and SDRAM with an atomic unit behind a shared bus.
+//
+// Application code runs natively inside Machine::run(), calling the Core
+// facade for every simulated memory operation; the deterministic Scheduler
+// interleaves cores by simulated time. See DESIGN.md §2 for what this
+// substitutes for the paper's FPGA platform.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/cache.h"
+#include "sim/mem_module.h"
+#include "sim/noc.h"
+#include "sim/scheduler.h"
+#include "sim/stats.h"
+#include "sim/timing.h"
+
+namespace pmc::sim {
+
+/// Address map: tile-local memories, then SDRAM.
+inline constexpr Addr kLmBase = 0x1000'0000;
+inline constexpr Addr kLmStride = 0x0010'0000;  // 1 MiB per tile slot
+inline constexpr Addr kSdramBase = 0x4000'0000;
+
+/// Classification of explicit accesses for stall attribution (Fig. 8).
+enum class MemClass : uint8_t {
+  kSharedData,  // application shared objects
+  kSync,        // lock words, barrier counters
+  kLocal,       // own local memory / scratch-pad data
+};
+
+struct MachineConfig {
+  int num_cores = 32;
+  int mesh_width = 8;
+  uint32_t lm_bytes = 256 * 1024;
+  uint32_t sdram_bytes = 8 * 1024 * 1024;
+  CacheConfig dcache;
+  TimingConfig timing;
+  WorkloadProfile profile;
+  uint64_t max_cycles = UINT64_C(1) << 40;
+  /// SWCC mode caches kSharedData SDRAM accesses; no-CC mode bypasses the
+  /// cache for them (the Fig. 8 baseline). kSync is always uncached.
+  bool cache_shared = true;
+
+  /// The 32-core ML605-like preset used throughout the experiments.
+  static MachineConfig ml605(int cores = 32);
+  /// The Fig. 1 two-memory configuration: 2 cores, SDRAM much slower than
+  /// the NoC path, so the data write can lose the race against the flag.
+  static MachineConfig fig1_twomem();
+};
+
+class Machine;
+
+/// Per-core facade handed to application code. Every method charges
+/// simulated time; many are handoff points.
+class Core {
+ public:
+  Core(Machine& m, int id) : m_(m), id_(id) {}
+
+  int id() const { return id_; }
+  int num_cores() const;
+  uint64_t now() const;
+  Machine& machine() { return m_; }
+  const MachineConfig& config() const;
+  CoreStats& stats();
+
+  /// Executes `instructions` straight-line instructions: busy time plus the
+  /// statistical instruction-fetch and private-data stall model.
+  void compute(uint64_t instructions);
+  /// Advances time without executing (backoff/sleep).
+  void idle(uint64_t cycles);
+
+  // -- Data access (routed by address) --------------------------------------
+  uint8_t load_u8(Addr a, MemClass c);
+  uint32_t load_u32(Addr a, MemClass c);
+  void store_u8(Addr a, uint8_t v, MemClass c);
+  void store_u32(Addr a, uint32_t v, MemClass c);
+  void read_block(Addr a, void* out, size_t n, MemClass c);
+  void write_block(Addr a, const void* data, size_t n, MemClass c);
+
+  /// Writes into another tile's local memory over the write-only NoC;
+  /// returns the packet's arrival time. Reading another tile's memory is
+  /// impossible (checked).
+  uint64_t remote_write(int dst_tile, Addr dst_addr, const void* data,
+                        size_t n);
+
+  /// Pipelined block transfer from/to SDRAM (DMA-style: one setup round trip
+  /// plus dma_per_word per word) — the cost model for object staging.
+  void dma_read(Addr src, void* out, size_t n, MemClass c);
+  /// Returns the time the written bytes become visible in SDRAM.
+  uint64_t dma_write(Addr dst, const void* data, size_t n, MemClass c);
+
+  /// Explicitly charges stall cycles to a Fig. 8 bucket (used by the runtime
+  /// back-ends for protocol waits like DSM object handoff).
+  enum class StallBucket : uint8_t { kSharedRead, kSyncRead, kWrite, kFlush };
+  void charge_stall(uint64_t cycles, StallBucket bucket);
+  /// Stalls until simulated time t (no-op if already past).
+  void wait_until(uint64_t t, StallBucket bucket);
+
+  // -- Cache maintenance (own D-cache, SDRAM range) --------------------------
+  /// Writeback+invalidate; returns the latest SDRAM arrival time of the
+  /// posted writebacks (0 when nothing was dirty).
+  uint64_t cache_wbinval(Addr a, size_t n);
+  void cache_inval(Addr a, size_t n);
+
+  // -- Atomic unit at the SDRAM controller ----------------------------------
+  uint32_t atomic_swap(Addr a, uint32_t value);
+  uint32_t atomic_add(Addr a, uint32_t delta);
+  uint32_t atomic_cas(Addr a, uint32_t expected, uint32_t desired);
+
+  /// Polls until pred() returns true. pred must itself perform costed
+  /// simulated loads; exponential idle backoff bounds host overhead while
+  /// staying deterministic.
+  template <typename Pred>
+  void spin_until(Pred&& pred, uint32_t backoff_start = 2,
+                  uint32_t backoff_max = 64) {
+    uint32_t backoff = backoff_start;
+    while (!pred()) {
+      idle(backoff);
+      backoff = backoff < backoff_max ? backoff * 2 : backoff_max;
+    }
+  }
+
+ private:
+  friend class Machine;
+  void charge(uint64_t busy, uint64_t stall, uint64_t CoreStats::*bucket);
+  uint64_t CoreStats::*read_bucket(MemClass c) const;
+  void cached_access(Addr a, void* rd_out, const void* wr_data, size_t n);
+  void uncached_access(Addr a, void* rd_out, const void* wr_data, size_t n,
+                       MemClass c);
+  void access(Addr a, void* rd_out, const void* wr_data, size_t n, MemClass c);
+
+  Machine& m_;
+  int id_;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& cfg);
+
+  const MachineConfig& config() const { return cfg_; }
+  int num_cores() const { return cfg_.num_cores; }
+
+  /// Runs body(core) on every core. A Machine instance runs once.
+  void run(const std::function<void(Core&)>& body);
+
+  MemModule& sdram() { return sdram_; }
+  MemModule& local_mem(int tile) { return *lms_[tile]; }
+  Noc& noc() { return noc_; }
+  Addr lm_base(int tile) const;
+  /// Which tile's local memory contains `a`, or -1.
+  int tile_of(Addr a) const;
+
+  const CoreStats& stats(int core) const { return stats_[core]; }
+  CoreStats stats_sum() const;
+  /// Drains in-flight writes and fingerprints all memory + clocks
+  /// (determinism checks). Only valid after run().
+  uint64_t state_hash();
+
+  /// Host-side backdoor for initializing memory before run() (no timing).
+  void poke(Addr a, const void* data, size_t n);
+  void peek(Addr a, void* out, size_t n);
+
+ private:
+  friend class Core;
+  struct CoreState {
+    Cache dcache;
+    uint64_t imiss_acc = 0;
+    uint64_t priv_acc = 0;
+    explicit CoreState(const CacheConfig& c) : dcache(c) {}
+  };
+  MemModule& module_for(Addr a, size_t n);
+
+  MachineConfig cfg_;
+  Scheduler sched_;
+  std::vector<std::unique_ptr<MemModule>> lms_;
+  MemModule sdram_;
+  Noc noc_;
+  std::vector<CoreStats> stats_;
+  std::vector<std::unique_ptr<CoreState>> cores_;
+  bool ran_ = false;
+};
+
+}  // namespace pmc::sim

@@ -1,0 +1,91 @@
+#include "sim/mem_module.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace pmc::sim {
+
+MemModule::MemModule(std::string name, Addr base, size_t size)
+    : name_(std::move(name)), base_(base), store_(size, 0) {
+  PMC_CHECK(size > 0);
+}
+
+uint8_t* MemModule::at(Addr a, size_t n) {
+  PMC_CHECK_MSG(contains(a, n), name_ << ": access [" << a << ", " << a + n
+                                      << ") outside [" << base_ << ", "
+                                      << base_ + store_.size() << ")");
+  return store_.data() + (a - base_);
+}
+
+void MemModule::apply_pending(uint64_t t) {
+  while (!pending_.empty() && pending_.top().arrival <= t) {
+    const Pending& p = pending_.top();
+    std::memcpy(at(p.addr, p.data.size()), p.data.data(), p.data.size());
+    pending_.pop();
+  }
+}
+
+void MemModule::read(uint64_t t, Addr a, void* out, size_t n) {
+  apply_pending(t);
+  std::memcpy(out, at(a, n), n);
+}
+
+void MemModule::write(uint64_t t, Addr a, const void* data, size_t n) {
+  apply_pending(t);
+  std::memcpy(at(a, n), data, n);
+}
+
+void MemModule::post_write(uint64_t arrival, Addr a, const void* data,
+                           size_t n) {
+  PMC_CHECK(contains(a, n));
+  Pending p;
+  p.arrival = arrival;
+  p.seq = next_seq_++;
+  p.addr = a;
+  p.data.assign(static_cast<const uint8_t*>(data),
+                static_cast<const uint8_t*>(data) + n);
+  pending_.push(std::move(p));
+}
+
+uint32_t MemModule::atomic_swap_u32(uint64_t t, Addr a, uint32_t value) {
+  apply_pending(t);
+  uint32_t old;
+  std::memcpy(&old, at(a, 4), 4);
+  std::memcpy(at(a, 4), &value, 4);
+  return old;
+}
+
+uint32_t MemModule::atomic_add_u32(uint64_t t, Addr a, uint32_t delta) {
+  apply_pending(t);
+  uint32_t old;
+  std::memcpy(&old, at(a, 4), 4);
+  const uint32_t neu = old + delta;
+  std::memcpy(at(a, 4), &neu, 4);
+  return old;
+}
+
+uint32_t MemModule::atomic_cas_u32(uint64_t t, Addr a, uint32_t expected,
+                                   uint32_t desired) {
+  apply_pending(t);
+  uint32_t old;
+  std::memcpy(&old, at(a, 4), 4);
+  if (old == expected) std::memcpy(at(a, 4), &desired, 4);
+  return old;
+}
+
+uint64_t MemModule::reserve_port(uint64_t earliest, uint64_t occupancy) {
+  const uint64_t start = std::max(earliest, port_free_);
+  port_free_ = start + occupancy;
+  return start;
+}
+
+void MemModule::drain_all() { apply_pending(UINT64_MAX); }
+
+uint64_t MemModule::content_hash() const {
+  return util::fnv1a(store_.data(), store_.size());
+}
+
+}  // namespace pmc::sim

@@ -1,0 +1,80 @@
+// A memory module: byte storage plus a queue of in-flight writes.
+//
+// Writes posted over an interconnect carry an arrival time; a read at time t
+// first applies every pending write with arrival ≤ t (in (arrival, seq)
+// order). Because the scheduler only runs the minimum-time core, all posts
+// are made before any read that could observe them — so lazy draining is
+// exact. In-flight writes are what make the Fig. 1 reordering observable:
+// two writes to modules with different latencies become visible out of
+// issue order.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace pmc::sim {
+
+using Addr = uint32_t;
+
+class MemModule {
+ public:
+  MemModule(std::string name, Addr base, size_t size);
+
+  const std::string& name() const { return name_; }
+  Addr base() const { return base_; }
+  size_t size() const { return store_.size(); }
+  bool contains(Addr a, size_t n) const {
+    return a >= base_ && a + n <= base_ + store_.size();
+  }
+
+  /// Immediate read at time t (local bus or arrived request).
+  void read(uint64_t t, Addr a, void* out, size_t n);
+  /// Immediate write at time t (local bus): earlier in-flight writes are
+  /// applied first so a same-address race resolves by arrival order.
+  void write(uint64_t t, Addr a, const void* data, size_t n);
+  /// A write arriving over an interconnect at time `arrival`.
+  void post_write(uint64_t arrival, Addr a, const void* data, size_t n);
+
+  /// Atomic read-modify-write at time t (the hardware atomic unit port).
+  uint32_t atomic_swap_u32(uint64_t t, Addr a, uint32_t value);
+  uint32_t atomic_add_u32(uint64_t t, Addr a, uint32_t delta);
+  /// Compare-and-swap; returns the old value (success iff old == expected).
+  uint32_t atomic_cas_u32(uint64_t t, Addr a, uint32_t expected,
+                          uint32_t desired);
+
+  /// Port serialization for incoming interconnect traffic: returns the
+  /// earliest start ≥ `earliest` and occupies the port for `occupancy`.
+  uint64_t reserve_port(uint64_t earliest, uint64_t occupancy);
+
+  size_t pending_writes() const { return pending_.size(); }
+  /// Applies every pending write (end of simulation), regardless of time.
+  void drain_all();
+  /// FNV-1a hash of the entire storage (determinism checks).
+  uint64_t content_hash() const;
+
+ private:
+  struct Pending {
+    uint64_t arrival;
+    uint64_t seq;
+    Addr addr;
+    std::vector<uint8_t> data;
+    bool operator>(const Pending& o) const {
+      return arrival != o.arrival ? arrival > o.arrival : seq > o.seq;
+    }
+  };
+
+  void apply_pending(uint64_t t);
+  uint8_t* at(Addr a, size_t n);
+
+  std::string name_;
+  Addr base_;
+  std::vector<uint8_t> store_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
+      pending_;
+  uint64_t next_seq_ = 0;
+  uint64_t port_free_ = 0;
+};
+
+}  // namespace pmc::sim

@@ -1,0 +1,46 @@
+#include "sim/noc.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace pmc::sim {
+
+Noc::Noc(int num_tiles, int mesh_width, const TimingConfig& timing)
+    : num_tiles_(num_tiles), mesh_width_(mesh_width), timing_(timing) {
+  PMC_CHECK(num_tiles >= 1);
+  PMC_CHECK(mesh_width >= 1);
+  channel_last_arrival_.assign(
+      static_cast<size_t>(num_tiles_) * num_tiles_, 0);
+}
+
+uint32_t Noc::hops(int from, int to) const {
+  PMC_CHECK(from >= 0 && from < num_tiles_ && to >= 0 && to < num_tiles_);
+  const int fx = from % mesh_width_, fy = from / mesh_width_;
+  const int tx = to % mesh_width_, ty = to / mesh_width_;
+  return static_cast<uint32_t>(std::abs(fx - tx) + std::abs(fy - ty));
+}
+
+uint64_t Noc::deliver(uint64_t now, int src, int dst, MemModule& dst_mod,
+                      size_t bytes) {
+  PMC_CHECK(bytes > 0);
+  const uint64_t words = (bytes + 3) / 4;
+  const uint64_t flight = timing_.noc_base +
+                          static_cast<uint64_t>(timing_.noc_per_hop) *
+                              hops(src, dst) +
+                          timing_.noc_per_word * words;
+  uint64_t arrival = now + flight;
+  // FIFO per channel: a later packet on the same (src, dst) pair never
+  // overtakes an earlier one.
+  uint64_t& last = channel_last_arrival_[index(src, dst)];
+  arrival = std::max(arrival, last + 1);
+  // Destination write port serializes incoming packets.
+  arrival = dst_mod.reserve_port(arrival, words) + words;
+  last = arrival;
+  ++packets_;
+  bytes_ += bytes;
+  return arrival;
+}
+
+}  // namespace pmc::sim

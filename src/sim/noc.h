@@ -1,0 +1,48 @@
+// Write-only network-on-chip (paper Fig. 7).
+//
+// Tiles are arranged in a mesh; a packet from tile s to tile d takes
+// base + per_hop·manhattan(s,d) cycles of head latency plus per-word
+// serialization, and the destination's write port serializes incoming
+// packets. Per (source, destination) channel ordering is FIFO — the paper's
+// "no interconnect reorders operations of one processor" — but packets from
+// one source to *different* destinations may complete out of order, which
+// is exactly the Fig. 1 failure mode.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/mem_module.h"
+#include "sim/timing.h"
+
+namespace pmc::sim {
+
+class Noc {
+ public:
+  Noc(int num_tiles, int mesh_width, const TimingConfig& timing);
+
+  int num_tiles() const { return num_tiles_; }
+  uint32_t hops(int from, int to) const;
+
+  /// Computes the arrival time of an n-byte write from tile `src` entering
+  /// the NoC at `now`, destined for `dst_mod` (the local memory of tile
+  /// `dst`). Maintains per-channel FIFO order and destination port
+  /// occupancy. The caller posts the payload at the returned arrival time.
+  uint64_t deliver(uint64_t now, int src, int dst, MemModule& dst_mod,
+                   size_t bytes);
+
+  uint64_t packets_sent() const { return packets_; }
+  uint64_t bytes_sent() const { return bytes_; }
+
+ private:
+  int index(int src, int dst) const { return src * num_tiles_ + dst; }
+
+  int num_tiles_;
+  int mesh_width_;
+  TimingConfig timing_;
+  std::vector<uint64_t> channel_last_arrival_;  // per (src, dst)
+  uint64_t packets_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace pmc::sim

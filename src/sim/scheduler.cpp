@@ -1,0 +1,78 @@
+#include "sim/scheduler.h"
+
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pmc::sim {
+
+Scheduler::Scheduler(int num_cores, uint64_t max_cycles)
+    : max_cycles_(max_cycles) {
+  PMC_CHECK(num_cores >= 1);
+  slots_.resize(static_cast<size_t>(num_cores));
+}
+
+int Scheduler::pick_next_locked() const {
+  int best = -1;
+  for (int i = 0; i < num_cores(); ++i) {
+    if (slots_[i].done) continue;
+    if (best == -1 || slots_[i].time < slots_[best].time) best = i;
+  }
+  return best;
+}
+
+void Scheduler::advance(int core, uint64_t delta) {
+  std::unique_lock<std::mutex> lk(mu_);
+  PMC_CHECK_MSG(current_ == core, "advance() from a core that is not running");
+  Slot& me = slots_[core];
+  me.time += delta;
+  PMC_CHECK_MSG(me.time < max_cycles_,
+                "simulation watchdog: core " << core << " passed "
+                    << max_cycles_ << " cycles (deadlock?)");
+  const int next = pick_next_locked();
+  if (next == core || next == -1) return;
+  current_ = next;
+  slots_[next].cv.notify_one();
+  me.cv.wait(lk, [&] { return current_ == core; });
+}
+
+void Scheduler::thread_main(int core, const std::function<void(int)>& body) {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    slots_[core].cv.wait(lk, [&] { return current_ == core; });
+  }
+  try {
+    body(core);
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!error_) error_ = std::current_exception();
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  slots_[core].done = true;
+  const int next = pick_next_locked();
+  if (next != -1) {
+    current_ = next;
+    slots_[next].cv.notify_one();
+  }
+}
+
+void Scheduler::run(const std::function<void(int)>& body) {
+  for (auto& s : slots_) {
+    s.time = 0;
+    s.done = false;
+  }
+  error_ = nullptr;
+  // Lowest id runs first among the all-zero clocks.
+  current_ = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(slots_.size());
+  for (int i = 0; i < num_cores(); ++i) {
+    threads.emplace_back([this, i, &body] { thread_main(i, body); });
+  }
+  // Threads self-schedule: core 0 sees current_ == 0 and starts.
+  for (auto& t : threads) t.join();
+  if (error_) std::rethrow_exception(error_);
+}
+
+}  // namespace pmc::sim

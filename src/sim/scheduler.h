@@ -1,0 +1,65 @@
+// Deterministic many-core scheduler.
+//
+// Each simulated core runs application code natively on its own host thread,
+// but exactly one core executes at any moment: the one with the smallest
+// (local_time, core_id). Every simulator call advances the caller's local
+// clock and is a potential handoff point. Consequences:
+//
+//  * all memory-system events are generated in nondecreasing global time
+//    order, so pending-write queues may be drained lazily at read time;
+//  * the simulation is bit-deterministic — scheduling depends only on
+//    simulated clocks, never on host thread timing;
+//  * no locks are needed around machine state (single runner), and the
+//    mutex/condvar handoff provides the host-level happens-before.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+
+namespace pmc::sim {
+
+class Scheduler {
+ public:
+  /// max_cycles: watchdog — a core advancing past this throws (deadlocked
+  /// polls in buggy programs would otherwise spin forever).
+  explicit Scheduler(int num_cores, uint64_t max_cycles = UINT64_C(1) << 40);
+
+  int num_cores() const { return static_cast<int>(slots_.size()); }
+
+  /// Runs body(core_id) on one host thread per core under min-time
+  /// scheduling; returns when all cores finish. Rethrows the first exception
+  /// any core raised.
+  void run(const std::function<void(int)>& body);
+
+  /// Local clock of `core`. Only meaningful from that core's own thread.
+  uint64_t now(int core) const { return slots_[core].time; }
+
+  /// Advances the calling core's clock and yields if it is no longer the
+  /// minimum. Must only be called by the currently running core.
+  void advance(int core, uint64_t delta);
+
+  /// True once run() completed and some core threw.
+  bool failed() const { return error_ != nullptr; }
+
+ private:
+  struct Slot {
+    uint64_t time = 0;
+    bool done = false;
+    std::condition_variable cv;
+  };
+
+  int pick_next_locked() const;
+  void thread_main(int core, const std::function<void(int)>& body);
+
+  mutable std::mutex mu_;
+  std::deque<Slot> slots_;
+  int current_ = 0;
+  uint64_t max_cycles_;
+  std::exception_ptr error_;
+};
+
+}  // namespace pmc::sim

@@ -1,0 +1,62 @@
+// Per-core event and stall counters (the paper's micro-architectural event
+// measurement support, §V-B), aggregated for the Fig. 8 breakdown.
+#pragma once
+
+#include <cstdint>
+
+namespace pmc::sim {
+
+struct CoreStats {
+  // Time decomposition: cycles_total == busy + sum of stalls + idle.
+  uint64_t cycles_total = 0;
+  uint64_t busy = 0;               // executing instructions ("utilization")
+  uint64_t stall_ifetch = 0;       // instruction cache misses
+  uint64_t stall_private_read = 0; // private data cache misses
+  uint64_t stall_shared_read = 0;  // shared data reads (miss or uncached)
+  uint64_t stall_sync_read = 0;    // lock/barrier word reads
+  uint64_t stall_write = 0;        // store buffer / posted write drain
+  uint64_t stall_flush = 0;        // cache maintenance (flush overhead row)
+  uint64_t idle = 0;               // explicit sleep/backoff
+
+  // Event counts.
+  uint64_t instructions = 0;
+  uint64_t loads = 0;
+  uint64_t stores = 0;
+  uint64_t dcache_hits = 0;
+  uint64_t dcache_misses = 0;
+  uint64_t writebacks = 0;
+  uint64_t lines_flushed = 0;
+  uint64_t remote_writes = 0;
+  uint64_t noc_bytes_sent = 0;
+  uint64_t atomics = 0;
+
+  uint64_t stall_total() const {
+    return stall_ifetch + stall_private_read + stall_shared_read +
+           stall_sync_read + stall_write + stall_flush;
+  }
+
+  CoreStats& operator+=(const CoreStats& o) {
+    cycles_total += o.cycles_total;
+    busy += o.busy;
+    stall_ifetch += o.stall_ifetch;
+    stall_private_read += o.stall_private_read;
+    stall_shared_read += o.stall_shared_read;
+    stall_sync_read += o.stall_sync_read;
+    stall_write += o.stall_write;
+    stall_flush += o.stall_flush;
+    idle += o.idle;
+    instructions += o.instructions;
+    loads += o.loads;
+    stores += o.stores;
+    dcache_hits += o.dcache_hits;
+    dcache_misses += o.dcache_misses;
+    writebacks += o.writebacks;
+    lines_flushed += o.lines_flushed;
+    remote_writes += o.remote_writes;
+    noc_bytes_sent += o.noc_bytes_sent;
+    atomics += o.atomics;
+    return *this;
+  }
+};
+
+}  // namespace pmc::sim

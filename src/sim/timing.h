@@ -1,0 +1,64 @@
+// Timing parameters of the simulated SoC.
+//
+// The defaults model the paper's platform class: MicroBlaze-style in-order
+// cores at ~100 MHz, single-cycle tile-local memories (LMB dual-port RAM),
+// a lightweight write-only NoC, and SDRAM behind a non-coherent cache.
+// Absolute values are representative, not calibrated — the experiments
+// compare *shapes* (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+
+namespace pmc::sim {
+
+struct TimingConfig {
+  // Tile-local memory (single-cycle dual-port RAM on the LMB).
+  uint32_t lm_load = 1;
+  uint32_t lm_store = 1;
+
+  // L1 data cache. MicroBlaze reaches its SDRAM cache over XCL, which costs
+  // an extra cycle compared to the single-cycle LMB — the asymmetry that
+  // makes scratch-pad staging pay off for high-reuse kernels (§VI-C).
+  uint32_t cache_hit = 2;
+
+  // SDRAM via the shared bus (uncached word access, round trip).
+  uint32_t sdram_read = 24;
+  // Posted uncached/writeback store: sender-visible cost per word (store
+  // buffer drain), and time until the bytes are visible in SDRAM.
+  uint32_t sdram_write_cost = 6;
+  uint32_t sdram_write_visible = 12;
+  // Cache line fill / writeback.
+  uint32_t sdram_line_fill = 34;
+  uint32_t sdram_line_wb_cost = 10;
+  uint32_t sdram_line_wb_visible = 20;
+
+  // Network-on-chip (write-only remote access, Fig. 7).
+  uint32_t noc_base = 4;      // head latency
+  uint32_t noc_per_hop = 2;   // per mesh hop
+  uint32_t noc_per_word = 1;  // serialization per 32-bit word
+  uint32_t noc_send_cost = 2; // sender-side cost to enqueue a packet
+
+  // Atomic unit at the SDRAM controller (swap/add round trip on top of the
+  // uncached read latency).
+  uint32_t atomic_extra = 8;
+
+  // Block (DMA-style) SDRAM transfer: one round-trip setup plus a pipelined
+  // per-word cost — used for object copies (SPM staging, DSM handoff).
+  uint32_t dma_per_word = 2;
+
+  // Cache maintenance (per line, plus writeback posting when dirty).
+  uint32_t cache_op_per_line = 1;
+
+  // Statistical background load (see DESIGN.md §2, substitution table).
+  uint32_t imiss_penalty = 18;
+  uint32_t priv_miss_penalty = 24;
+};
+
+/// Expected background misses per 1000 executed instructions; exact rational
+/// accounting keeps the simulation deterministic.
+struct WorkloadProfile {
+  uint32_t imiss_per_mille = 4;      // instruction cache misses
+  uint32_t priv_miss_per_mille = 10; // private-data read misses
+};
+
+}  // namespace pmc::sim

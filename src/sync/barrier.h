@@ -1,0 +1,32 @@
+// Sense-reversing barrier: one atomic-unit counter in SDRAM, release by
+// broadcast writes into every tile's local sense flag over the NoC, so
+// waiters spin locally.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace pmc::sync {
+
+class Barrier {
+ public:
+  /// count_word: a free SDRAM word (cache-line separated from data).
+  /// lm_flag_offset: offset of a free word in every tile's local memory.
+  Barrier(sim::Machine& m, sim::Addr count_word, uint32_t lm_flag_offset);
+
+  /// Blocks (in simulated time) until all cores arrived.
+  void wait(sim::Core& core);
+
+  uint64_t rounds() const { return rounds_; }
+
+ private:
+  sim::Machine& m_;
+  sim::Addr count_;
+  uint32_t lm_flag_offset_;
+  std::vector<uint32_t> epoch_;  // per core; only touched by that core
+  uint64_t rounds_ = 0;
+};
+
+}  // namespace pmc::sync

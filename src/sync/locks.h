@@ -1,0 +1,110 @@
+// Locks over the simulated SoC.
+//
+// Two implementations behind one interface:
+//
+//  * SpinLockManager — the naive baseline: a lock word in SDRAM hammered
+//    with remote test-and-set until free. Every poll is an atomic-unit
+//    round trip over the shared bus.
+//
+//  * DistLockManager — the paper's distributed lock (substitution for
+//    ref. [15], see DESIGN.md §2): an MCS-style queue whose tail word lives
+//    in SDRAM, while every waiter spins on a grant flag in its *own* local
+//    memory; the releaser hands over with a single write into the
+//    successor's local memory across the write-only NoC. Uncontended
+//    acquire/release is one atomic each; contended handoff costs one NoC
+//    packet and zero SDRAM polls.
+//
+// Memory layout: lock i uses one SDRAM word at sdram_area + i·64 (cache-line
+// separated), and — for the distributed lock — two words (grant, next) at
+// lm_offset + i·8 in every tile's local memory.
+//
+// Locks provide mutual exclusion only. Data visibility is deliberately NOT
+// their job: the PMC runtime back-ends implement the entry/exit data
+// movement of Table II on top.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/machine.h"
+
+namespace pmc::sync {
+
+/// Abstract lock manager: a pool of locks identified by dense ids.
+class LockManager {
+ public:
+  virtual ~LockManager() = default;
+
+  /// Creates a new lock (before Machine::run only). Returns its id.
+  virtual int create() = 0;
+  virtual int num_locks() const = 0;
+
+  virtual void acquire(sim::Core& core, int lock) = 0;
+  virtual void release(sim::Core& core, int lock) = 0;
+
+  /// The core that most recently held the lock (for the runtime's
+  /// "flush on transfer" decision in Table II), or -1 if never held.
+  /// Only meaningful for the current holder, between acquire and release.
+  virtual int previous_holder(int lock) const = 0;
+  /// The most recent owner of the lock (or -1 if never acquired).
+  virtual int last_owner(int lock) const = 0;
+};
+
+/// Naive remote test-and-set lock.
+class SpinLockManager final : public LockManager {
+ public:
+  SpinLockManager(sim::Machine& m, sim::Addr sdram_area, uint32_t area_bytes);
+
+  int create() override;
+  int num_locks() const override { return num_locks_; }
+  void acquire(sim::Core& core, int lock) override;
+  void release(sim::Core& core, int lock) override;
+  int previous_holder(int lock) const override { return prev_holder_[lock]; }
+  int last_owner(int lock) const override { return last_owner_[lock]; }
+
+ private:
+  sim::Addr word(int lock) const;
+
+  sim::Machine& m_;
+  sim::Addr area_;
+  uint32_t capacity_;
+  int num_locks_ = 0;
+  std::vector<int> prev_holder_;
+  std::vector<int> last_owner_;
+  std::vector<int> current_holder_;
+};
+
+/// MCS-style distributed lock with local-memory spinning.
+class DistLockManager final : public LockManager {
+ public:
+  /// lm_offset: offset within every tile's local memory reserved for the
+  /// per-lock {grant, next} words (8 bytes per lock).
+  DistLockManager(sim::Machine& m, sim::Addr sdram_area, uint32_t area_bytes,
+                  uint32_t lm_offset, uint32_t lm_bytes);
+
+  int create() override;
+  int num_locks() const override { return num_locks_; }
+  void acquire(sim::Core& core, int lock) override;
+  void release(sim::Core& core, int lock) override;
+  int previous_holder(int lock) const override { return prev_holder_[lock]; }
+  int last_owner(int lock) const override { return last_owner_[lock]; }
+
+  uint64_t handoffs() const { return handoffs_; }
+
+ private:
+  sim::Addr tail_word(int lock) const;
+  sim::Addr grant_addr(int core, int lock) const;
+  sim::Addr next_addr(int core, int lock) const;
+
+  sim::Machine& m_;
+  sim::Addr area_;
+  uint32_t capacity_;
+  uint32_t lm_offset_;
+  uint32_t lm_capacity_;
+  int num_locks_ = 0;
+  uint64_t handoffs_ = 0;
+  std::vector<int> prev_holder_;
+  std::vector<int> last_owner_;
+  std::vector<int> current_holder_;
+};
+
+}  // namespace pmc::sync

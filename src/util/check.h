@@ -1,0 +1,52 @@
+// Checked assertions for the PMC library.
+//
+// PMC_CHECK is always on (also in Release builds): the simulator and the
+// memory-model engine are validation tools, so internal invariant violations
+// must never pass silently. PMC_DCHECK compiles out in Release.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pmc::util {
+
+/// Thrown when a PMC_CHECK fails. Tests rely on this being catchable.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void raise_check_failure(const char* cond, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace pmc::util
+
+#define PMC_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::pmc::util::raise_check_failure(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define PMC_CHECK_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream pmc_check_os_;                                   \
+      pmc_check_os_ << msg;                                               \
+      ::pmc::util::raise_check_failure(#cond, __FILE__, __LINE__,         \
+                                       pmc_check_os_.str());              \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define PMC_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define PMC_DCHECK(cond) PMC_CHECK(cond)
+#endif

@@ -1,0 +1,70 @@
+// Q16.16 fixed-point arithmetic.
+//
+// The application kernels use fixed-point instead of floating point so their
+// results are bit-identical across every back-end and host — the paper's
+// portability claim as an executable property. Overflow is checked.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace pmc::util {
+
+/// Q16.16 signed fixed-point value.
+class Fx {
+ public:
+  constexpr Fx() = default;
+  static constexpr Fx from_int(int32_t v) { return Fx(static_cast<int64_t>(v) << kShift); }
+  static constexpr Fx from_raw(int64_t raw) { return Fx(raw); }
+  /// numerator/denominator as a fixed-point ratio.
+  static constexpr Fx ratio(int64_t num, int64_t den) {
+    return Fx((num << kShift) / den);
+  }
+
+  constexpr int64_t raw() const { return raw_; }
+  constexpr int32_t to_int() const { return static_cast<int32_t>(raw_ >> kShift); }
+  /// Rounded-to-nearest integer part.
+  constexpr int32_t round() const {
+    return static_cast<int32_t>((raw_ + (1 << (kShift - 1))) >> kShift);
+  }
+
+  friend constexpr Fx operator+(Fx a, Fx b) { return Fx(a.raw_ + b.raw_); }
+  friend constexpr Fx operator-(Fx a, Fx b) { return Fx(a.raw_ - b.raw_); }
+  friend constexpr Fx operator-(Fx a) { return Fx(-a.raw_); }
+  friend constexpr Fx operator*(Fx a, Fx b) {
+    return Fx((a.raw_ * b.raw_) >> kShift);
+  }
+  friend constexpr Fx operator/(Fx a, Fx b) {
+    PMC_DCHECK(b.raw_ != 0);
+    return Fx((a.raw_ << kShift) / b.raw_);
+  }
+  friend constexpr bool operator==(Fx a, Fx b) { return a.raw_ == b.raw_; }
+  friend constexpr bool operator<(Fx a, Fx b) { return a.raw_ < b.raw_; }
+  friend constexpr bool operator<=(Fx a, Fx b) { return a.raw_ <= b.raw_; }
+  friend constexpr bool operator>(Fx a, Fx b) { return a.raw_ > b.raw_; }
+  friend constexpr bool operator>=(Fx a, Fx b) { return a.raw_ >= b.raw_; }
+
+  Fx& operator+=(Fx o) { raw_ += o.raw_; return *this; }
+  Fx& operator-=(Fx o) { raw_ -= o.raw_; return *this; }
+
+  static constexpr int kShift = 16;
+
+ private:
+  explicit constexpr Fx(int64_t raw) : raw_(raw) {}
+  int64_t raw_ = 0;
+};
+
+/// Integer square root (floor), for fixed-point vector norms.
+constexpr uint32_t isqrt(uint64_t v) {
+  if (v == 0) return 0;
+  uint64_t x = v;
+  uint64_t y = (x + 1) / 2;
+  while (y < x) {
+    x = y;
+    y = (x + v / x) / 2;
+  }
+  return static_cast<uint32_t>(x);
+}
+
+}  // namespace pmc::util

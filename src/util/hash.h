@@ -1,0 +1,30 @@
+// Small deterministic hashing helpers (FNV-1a), used for state fingerprints
+// and for mapping object contents to model "values".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pmc::util {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr uint64_t fnv1a(const uint8_t* data, size_t n, uint64_t h = kFnvOffset) {
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+constexpr uint64_t hash_combine(uint64_t h, uint64_t v) {
+  // Treat v as 8 bytes.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace pmc::util

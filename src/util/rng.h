@@ -1,0 +1,76 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in workload generators flows through these generators so a
+// given seed reproduces the exact same workload on every platform. No
+// std::random_device, no global state.
+#pragma once
+
+#include <cstdint>
+
+namespace pmc::util {
+
+/// SplitMix64: used to spread user seeds into full 64-bit state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(uint64_t seed) : state_(seed) {}
+
+  constexpr uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality, deterministic PRNG.
+class Rng {
+ public:
+  explicit constexpr Rng(uint64_t seed) : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  constexpr uint64_t next_u64() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  constexpr uint32_t next_u32() { return static_cast<uint32_t>(next_u64() >> 32); }
+
+  /// Unbiased integer in [0, bound). bound must be > 0.
+  constexpr uint64_t next_below(uint64_t bound) {
+    // Lemire-style rejection; determinism matters more than speed here, so a
+    // simple threshold rejection loop is fine.
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Integer in [lo, hi] inclusive.
+  constexpr int64_t next_in(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(next_below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli draw with probability num/den.
+  constexpr bool chance(uint64_t num, uint64_t den) { return next_below(den) < num; }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace pmc::util

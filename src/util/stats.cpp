@@ -1,0 +1,72 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace pmc::util {
+
+void Summary::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double Summary::mean() const {
+  PMC_CHECK(!samples_.empty());
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const {
+  PMC_CHECK(!samples_.empty());
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Summary::max() const {
+  PMC_CHECK(!samples_.empty());
+  ensure_sorted();
+  return samples_.back();
+}
+
+double Summary::percentile(double p) const {
+  PMC_CHECK(!samples_.empty());
+  PMC_CHECK(p >= 0.0 && p <= 100.0);
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_[0];
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::string pct(double numerator, double denominator) {
+  char buf[32];
+  const double v = denominator == 0.0 ? 0.0 : 100.0 * numerator / denominator;
+  std::snprintf(buf, sizeof buf, "%.1f%%", v);
+  return buf;
+}
+
+std::string human_count(uint64_t v) {
+  char buf[32];
+  if (v >= 1000ULL * 1000 * 1000) {
+    std::snprintf(buf, sizeof buf, "%.2fG", static_cast<double>(v) / 1e9);
+  } else if (v >= 1000ULL * 1000) {
+    std::snprintf(buf, sizeof buf, "%.2fM", static_cast<double>(v) / 1e6);
+  } else if (v >= 1000ULL) {
+    std::snprintf(buf, sizeof buf, "%.2fk", static_cast<double>(v) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  }
+  return buf;
+}
+
+}  // namespace pmc::util

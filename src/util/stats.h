@@ -1,0 +1,36 @@
+// Simple descriptive statistics and percentage helpers used by the benchmark
+// harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pmc::util {
+
+/// Accumulates samples; provides min/max/mean/percentiles.
+class Summary {
+ public:
+  void add(double v) { samples_.push_back(v); sorted_ = false; }
+  size_t count() const { return samples_.size(); }
+  double sum() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// p in [0,100]; nearest-rank percentile.
+  double percentile(double p) const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Percentage with one decimal, e.g. "38.4%".
+std::string pct(double numerator, double denominator);
+
+/// Human-readable cycle count, e.g. "12.4M".
+std::string human_count(uint64_t v);
+
+}  // namespace pmc::util

@@ -1,0 +1,40 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pmc::util {
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render(bool with_header) const {
+  if (rows_.empty()) return "";
+  size_t ncols = 0;
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<size_t> width(ncols, 0);
+  for (const auto& r : rows_) {
+    for (size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  for (size_t ri = 0; ri < rows_.size(); ++ri) {
+    const auto& r = rows_[ri];
+    for (size_t c = 0; c < ncols; ++c) {
+      const std::string cell = c < r.size() ? r[c] : "";
+      os << "| " << cell << std::string(width[c] - cell.size(), ' ') << " ";
+    }
+    os << "|\n";
+    if (ri == 0 && with_header) {
+      for (size_t c = 0; c < ncols; ++c) {
+        os << "|" << std::string(width[c] + 2, '-');
+      }
+      os << "|\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace pmc::util

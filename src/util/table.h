@@ -1,0 +1,21 @@
+// ASCII table rendering for benchmark harness output (Fig. 8-style tables).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pmc::util {
+
+/// Column-aligned ASCII table. First added row can serve as header
+/// (rendered with a separator underneath when render(true)).
+class Table {
+ public:
+  void add_row(std::vector<std::string> cells);
+  /// Renders with padding; if with_header, a rule is drawn under row 0.
+  std::string render(bool with_header = true) const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pmc::util

@@ -1,0 +1,155 @@
+// The SPLASH-2-like kernels: bit-identical checksums across back-ends and
+// core counts, model-validated runs.
+#include <gtest/gtest.h>
+
+#include "apps/radiosity_like.h"
+#include "util/hash.h"
+#include "apps/raytrace_like.h"
+#include "apps/volrend_like.h"
+
+namespace pmc::apps {
+namespace {
+
+using rt::Target;
+
+ProgramOptions opts(Target t, int cores) {
+  ProgramOptions o;
+  o.target = t;
+  o.cores = cores;
+  o.machine.lm_bytes = 128 * 1024;
+  o.machine.sdram_bytes = 4 * 1024 * 1024;
+  o.machine.max_cycles = 800'000'000;
+  o.lock_capacity = 512;
+  return o;
+}
+
+RadiosityConfig small_radiosity() {
+  RadiosityConfig c;
+  c.patches = 48;
+  c.neighbors = 6;
+  c.iterations = 2;
+  return c;
+}
+
+RaytraceConfig small_raytrace() {
+  RaytraceConfig c;
+  c.width = 24;
+  c.height = 24;
+  c.spheres = 12;
+  return c;
+}
+
+VolrendConfig small_volrend() {
+  VolrendConfig c;
+  c.volume = 16;
+  c.image = 20;
+  return c;
+}
+
+// The kernels use SDRAM-placed objects, so they run on every target except
+// DSM — exactly the paper's situation ("the local memories in our system are
+// too small to put all data in them").
+std::vector<Target> kernel_targets() {
+  return {Target::kHostSC, Target::kNoCC, Target::kSWCC, Target::kSPM};
+}
+
+TEST(Kernels, RadiosityChecksumPortability) {
+  RadiosityLike ref(small_radiosity());
+  const uint64_t want = run_app(ref, opts(Target::kHostSC, 4)).checksum;
+  ASSERT_NE(want, 0u);
+  for (Target t : kernel_targets()) {
+    RadiosityLike app(small_radiosity());
+    const auto r = run_app(app, opts(t, 4));
+    EXPECT_EQ(r.checksum, want) << to_string(t);
+    EXPECT_TRUE(r.validated_ok) << to_string(t);
+  }
+}
+
+TEST(Kernels, RadiosityCoreCountInvariance) {
+  uint64_t want = 0;
+  for (int cores : {1, 2, 5, 8}) {
+    RadiosityLike app(small_radiosity());
+    const auto r = run_app(app, opts(Target::kSWCC, cores));
+    if (want == 0) {
+      want = r.checksum;
+    } else {
+      EXPECT_EQ(r.checksum, want) << cores << " cores";
+    }
+  }
+}
+
+TEST(Kernels, RaytraceChecksumPortability) {
+  RaytraceLike ref(small_raytrace());
+  const uint64_t want = run_app(ref, opts(Target::kHostSC, 4)).checksum;
+  for (Target t : kernel_targets()) {
+    RaytraceLike app(small_raytrace());
+    const auto r = run_app(app, opts(t, 4));
+    EXPECT_EQ(r.checksum, want) << to_string(t);
+    EXPECT_TRUE(r.validated_ok) << to_string(t);
+  }
+}
+
+TEST(Kernels, RaytraceProducesNonTrivialImage) {
+  RaytraceLike app(small_raytrace());
+  Program prog(opts(Target::kHostSC, 2));
+  app.build(prog);
+  prog.run([&](Env& env) { app.body(env); });
+  // At least one sphere must have been shaded.
+  EXPECT_NE(app.checksum(prog),
+            [] {
+              // checksum of an all-zero framebuffer
+              RaytraceConfig c = small_raytrace();
+              std::vector<uint8_t> zeros(static_cast<size_t>(c.width), 0);
+              uint64_t h = pmc::util::kFnvOffset;
+              for (int y = 0; y < c.height; ++y) {
+                h = pmc::util::fnv1a(zeros.data(), zeros.size(), h);
+              }
+              return h;
+            }());
+}
+
+TEST(Kernels, VolrendChecksumPortability) {
+  VolrendLike ref(small_volrend());
+  const uint64_t want = run_app(ref, opts(Target::kHostSC, 4)).checksum;
+  for (Target t : kernel_targets()) {
+    VolrendLike app(small_volrend());
+    const auto r = run_app(app, opts(t, 4));
+    EXPECT_EQ(r.checksum, want) << to_string(t);
+    EXPECT_TRUE(r.validated_ok) << to_string(t);
+  }
+}
+
+TEST(Kernels, SwccBeatsNoccOnReadMostlyKernels) {
+  // The Fig. 8 headline, in miniature: caching shared data (with software
+  // coherency) shortens the makespan of the read-mostly kernels.
+  for (int variant = 0; variant < 2; ++variant) {
+    std::unique_ptr<App> nocc_app, swcc_app;
+    if (variant == 0) {
+      nocc_app = std::make_unique<RaytraceLike>(small_raytrace());
+      swcc_app = std::make_unique<RaytraceLike>(small_raytrace());
+    } else {
+      nocc_app = std::make_unique<VolrendLike>(small_volrend());
+      swcc_app = std::make_unique<VolrendLike>(small_volrend());
+    }
+    const auto nocc = run_app(*nocc_app, opts(Target::kNoCC, 4));
+    const auto swcc = run_app(*swcc_app, opts(Target::kSWCC, 4));
+    EXPECT_LT(swcc.makespan, nocc.makespan)
+        << (variant == 0 ? "raytrace" : "volrend");
+    EXPECT_EQ(swcc.checksum, nocc.checksum);
+  }
+}
+
+TEST(Kernels, DeterministicAcrossRepeatedRuns) {
+  auto once = [] {
+    VolrendLike app(small_volrend());
+    return run_app(app, opts(Target::kSWCC, 3));
+  };
+  const auto a = once();
+  const auto b = once();
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.stats.cycles_total, b.stats.cycles_total);
+}
+
+}  // namespace
+}  // namespace pmc::apps

@@ -1,0 +1,163 @@
+// Fig. 9 FIFO: every reader receives every element, slot order is global,
+// per-writer order is preserved — on every back-end.
+#include "apps/mfifo.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "runtime/program.h"
+
+namespace pmc::apps {
+namespace {
+
+using rt::all_targets;
+using rt::is_sim;
+using rt::Target;
+
+rt::ProgramOptions opts(Target t, int cores) {
+  rt::ProgramOptions o;
+  o.target = t;
+  o.cores = cores;
+  o.machine.lm_bytes = 64 * 1024;
+  o.machine.sdram_bytes = 2 * 1024 * 1024;
+  o.machine.max_cycles = 400'000'000;
+  o.lock_capacity = 128;
+  return o;
+}
+
+class FifoTargets : public ::testing::TestWithParam<Target> {};
+
+TEST_P(FifoTargets, SingleWriterSingleReaderInOrder) {
+  rt::Program prog(opts(GetParam(), 2));
+  MFifo fifo(prog, 4, /*depth=*/4, /*readers=*/1);
+  const int items = 24;
+  std::vector<uint32_t> got;
+  prog.run([&](rt::Env& env) {
+    if (env.id() == 0) {
+      for (uint32_t i = 0; i < items; ++i) {
+        const uint32_t v = 1000 + i;
+        fifo.push(env, &v);
+      }
+    } else {
+      for (int i = 0; i < items; ++i) {
+        uint32_t v = 0;
+        fifo.pop(env, 0, &v);
+        got.push_back(v);
+      }
+    }
+  });
+  ASSERT_EQ(got.size(), static_cast<size_t>(items));
+  for (int i = 0; i < items; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)], 1000u + static_cast<uint32_t>(i));
+  }
+  if (is_sim(GetParam())) prog.require_valid();
+}
+
+TEST_P(FifoTargets, BroadcastToAllReaders) {
+  // 1 writer, 2 readers: both readers receive every element, in order.
+  rt::Program prog(opts(GetParam(), 3));
+  MFifo fifo(prog, 4, /*depth=*/3, /*readers=*/2);
+  const int items = 15;
+  std::vector<uint32_t> got[2];
+  prog.run([&](rt::Env& env) {
+    if (env.id() == 0) {
+      for (uint32_t i = 0; i < items; ++i) {
+        fifo.push(env, &i);
+      }
+    } else {
+      const int me = env.id() - 1;
+      for (int i = 0; i < items; ++i) {
+        uint32_t v = 0;
+        fifo.pop(env, me, &v);
+        got[me].push_back(v);
+      }
+    }
+  });
+  for (int r = 0; r < 2; ++r) {
+    ASSERT_EQ(got[r].size(), static_cast<size_t>(items));
+    for (int i = 0; i < items; ++i) {
+      EXPECT_EQ(got[r][static_cast<size_t>(i)], static_cast<uint32_t>(i));
+    }
+  }
+  if (is_sim(GetParam())) prog.require_valid();
+}
+
+TEST_P(FifoTargets, MultiWriterMultiReader) {
+  // 2 writers, 2 readers. Readers agree on one global order; each writer's
+  // elements appear in its push order.
+  rt::Program prog(opts(GetParam(), 4));
+  MFifo fifo(prog, 4, /*depth=*/4, /*readers=*/2);
+  const int per_writer = 10;
+  std::vector<uint32_t> got[2];
+  prog.run([&](rt::Env& env) {
+    if (env.id() < 2) {
+      const uint32_t tag = static_cast<uint32_t>(env.id()) << 24;
+      for (uint32_t i = 0; i < per_writer; ++i) {
+        const uint32_t v = tag | i;
+        fifo.push(env, &v);
+        env.compute(30 + 17 * static_cast<uint64_t>(env.id()));
+      }
+    } else {
+      const int me = env.id() - 2;
+      for (int i = 0; i < 2 * per_writer; ++i) {
+        uint32_t v = 0;
+        fifo.pop(env, me, &v);
+        got[me].push_back(v);
+      }
+    }
+  });
+  EXPECT_EQ(got[0], got[1]) << "all readers must agree on the slot order";
+  std::map<uint32_t, uint32_t> next_seq;
+  for (const uint32_t v : got[0]) {
+    const uint32_t writer = v >> 24;
+    const uint32_t seq = v & 0xffffff;
+    EXPECT_EQ(seq, next_seq[writer]++) << "per-writer order broken";
+  }
+  EXPECT_EQ(next_seq[0], static_cast<uint32_t>(per_writer));
+  EXPECT_EQ(next_seq[1], static_cast<uint32_t>(per_writer));
+  if (is_sim(GetParam())) prog.require_valid();
+}
+
+TEST_P(FifoTargets, LargePayloadsSurviveTransfer) {
+  rt::Program prog(opts(GetParam(), 2));
+  struct Packet {
+    uint32_t words[16];
+  };
+  MFifo fifo(prog, sizeof(Packet), /*depth=*/2, /*readers=*/1);
+  const int items = 6;
+  int mismatches = -1;
+  prog.run([&](rt::Env& env) {
+    if (env.id() == 0) {
+      for (uint32_t i = 0; i < items; ++i) {
+        Packet p;
+        for (uint32_t w = 0; w < 16; ++w) p.words[w] = i * 100 + w;
+        fifo.push(env, &p);
+      }
+    } else {
+      mismatches = 0;
+      for (uint32_t i = 0; i < items; ++i) {
+        Packet p{};
+        fifo.pop(env, 0, &p);
+        for (uint32_t w = 0; w < 16; ++w) {
+          if (p.words[w] != i * 100 + w) ++mismatches;
+        }
+      }
+    }
+  });
+  EXPECT_EQ(mismatches, 0);
+  if (is_sim(GetParam())) prog.require_valid();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Targets, FifoTargets, ::testing::ValuesIn(all_targets()),
+    [](const ::testing::TestParamInfo<Target>& pinfo) {
+      std::string n = to_string(pinfo.param);
+      for (auto& ch : n) {
+        if (ch == '-') ch = '_';
+      }
+      return n;
+    });
+
+}  // namespace
+}  // namespace pmc::apps

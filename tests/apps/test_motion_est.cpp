@@ -1,0 +1,91 @@
+// Motion estimation is self-checking: the search must recover the known
+// shift of every block (SAD 0), on every back-end including SPM and DSM.
+#include "apps/motion_est.h"
+
+#include <gtest/gtest.h>
+
+namespace pmc::apps {
+namespace {
+
+using rt::Target;
+
+ProgramOptions opts(Target t, int cores) {
+  ProgramOptions o;
+  o.target = t;
+  o.cores = cores;
+  o.machine.lm_bytes = 64 * 1024;
+  o.machine.sdram_bytes = 2 * 1024 * 1024;
+  o.machine.max_cycles = 800'000'000;
+  o.lock_capacity = 128;
+  return o;
+}
+
+MotionConfig small_config() {
+  MotionConfig c;
+  c.blocks_x = 3;
+  c.blocks_y = 2;
+  c.block = 6;
+  c.search = 3;
+  return c;
+}
+
+class MotionTargets : public ::testing::TestWithParam<Target> {};
+
+TEST_P(MotionTargets, RecoversTheKnownMotionVectors) {
+  MotionEst app(small_config());
+  ProgramOptions o = opts(GetParam(), 3);
+  app.tune(o);
+  Program prog(o);
+  app.build(prog);
+  prog.run([&](Env& env) { app.body(env); });
+  const auto found = app.found(prog);
+  const auto& want = app.expected();
+  ASSERT_EQ(found.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(found[i].dx, want[i].dx) << "block " << i;
+    EXPECT_EQ(found[i].dy, want[i].dy) << "block " << i;
+  }
+  if (is_sim(GetParam())) prog.require_valid();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Targets, MotionTargets, ::testing::ValuesIn(rt::all_targets()),
+    [](const ::testing::TestParamInfo<Target>& pinfo) {
+      std::string n = to_string(pinfo.param);
+      for (auto& ch : n) {
+        if (ch == '-') ch = '_';
+      }
+      return n;
+    });
+
+TEST(MotionEst, ChecksumStableAcrossCoreCounts) {
+  uint64_t want = 0;
+  for (int cores : {1, 2, 4}) {
+    MotionEst app(small_config());
+    const auto r = run_app(app, opts(Target::kSPM, cores));
+    if (want == 0) {
+      want = r.checksum;
+    } else {
+      EXPECT_EQ(r.checksum, want) << cores << " cores";
+    }
+  }
+}
+
+TEST(MotionEst, SpmBeatsNoccAndSwcc) {
+  // §VI-C: "experiments show a significant performance increase when this
+  // application is using SPMs, compared to the software cache coherency
+  // setup" — the window/block are read many times per staging.
+  MotionEst spm_app(small_config());
+  MotionEst swcc_app(small_config());
+  MotionEst nocc_app(small_config());
+  const auto spm = run_app(spm_app, opts(Target::kSPM, 3));
+  const auto swcc = run_app(swcc_app, opts(Target::kSWCC, 3));
+  const auto nocc = run_app(nocc_app, opts(Target::kNoCC, 3));
+  EXPECT_LT(spm.makespan, swcc.makespan);
+  EXPECT_LT(swcc.makespan, nocc.makespan);
+  EXPECT_EQ(spm.checksum, swcc.checksum);
+  EXPECT_EQ(spm.checksum, nocc.checksum);
+}
+
+}  // namespace
+}  // namespace pmc::apps

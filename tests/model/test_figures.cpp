@@ -1,0 +1,131 @@
+// Reconstruction of the dependency graphs printed in the paper (Figs. 2–5).
+// Each test issues the figure's operations in the depicted interleaving and
+// asserts the ordering relations the figure draws.
+#include <gtest/gtest.h>
+
+#include "model/execution.h"
+
+namespace pmc::model {
+namespace {
+
+// Fig. 2: Process 1: X=1; X=2 — init ≺P X=1 ≺P X=2.
+TEST(Figures, Fig2ProgramOrder) {
+  Execution e(1, 1);
+  const OpId init = e.init_op(0);
+  const OpId w1 = e.write(0, 0, 1);
+  const OpId w2 = e.write(0, 0, 2);
+  EXPECT_TRUE(e.hb_global(init, w1));
+  EXPECT_TRUE(e.hb_global(w1, w2));
+  // The printed graph is transitively reduced; init→w2 must still hold.
+  EXPECT_TRUE(e.hb_global(init, w2));
+}
+
+// Fig. 3: X=1; if(X==1) X=2 — the read is locally pinned between the writes
+// and "can only return the value 1".
+TEST(Figures, Fig3LocalOrderOfRead) {
+  Execution e(1, 1);
+  const OpId w1 = e.write(0, 0, 1);
+  // Before issuing the read, the only legal source is X=1.
+  const auto legal = e.legal_sources_now(0, 0);
+  ASSERT_EQ(legal.size(), 1u);
+  EXPECT_EQ(legal[0], w1);
+  const OpId r = e.read(0, 0, 1, w1);
+  const OpId w2 = e.write(0, 0, 2);
+  EXPECT_TRUE(e.hb_view(0, w1, r));
+  EXPECT_TRUE(e.hb_view(0, r, w2));
+  EXPECT_TRUE(e.hb_global(w1, w2));
+}
+
+// Fig. 4: exclusive access, interleaving where process 2 wins the lock.
+TEST(Figures, Fig4ExclusiveAccessDepictedInterleaving) {
+  Execution e(2, 1, {0});
+  // Process 2 (index 1 here): acq X; X=1; X=2; rel X.
+  const OpId acq4 = e.acquire(1, 0);
+  const OpId w5 = e.write(1, 0, 1);
+  const OpId w6 = e.write(1, 0, 2);
+  const OpId rel7 = e.release(1, 0);
+  // Process 1 (index 0): acq X; r = X; rel X.
+  const OpId acq1 = e.acquire(0, 0);
+  // Figure edges.
+  EXPECT_TRUE(e.hb_global(e.init_op(0), acq4));  // init ≺S acq (line 4)
+  EXPECT_TRUE(e.hb_global(acq4, w5));            // ≺P
+  EXPECT_TRUE(e.hb_global(w5, w6));              // ≺P
+  EXPECT_TRUE(e.hb_global(w6, rel7));            // ≺P
+  EXPECT_TRUE(e.hb_global(rel7, acq1));          // ≺S across processes
+  // The read must return 2: intermediate value 1 is hidden.
+  const auto legal = e.legal_sources_now(0, 0);
+  ASSERT_EQ(legal.size(), 1u);
+  EXPECT_EQ(e.op(legal[0]).value, 2u);
+  const OpId r2 = e.read(0, 0, 2, legal[0]);
+  const OpId rel3 = e.release(0, 0);
+  EXPECT_TRUE(e.hb_view(0, acq1, r2));  // 1≺ℓ in the figure
+  EXPECT_TRUE(e.hb_view(0, r2, rel3));  // 1≺ℓ
+  EXPECT_TRUE(e.hb_global(acq1, rel3));  // ≺P keeps the lock chain global
+}
+
+// Fig. 5: the full message-passing example with fences.
+TEST(Figures, Fig5CommunicationExample) {
+  // Locations: 0 = X, 1 = f.
+  Execution e(2, 2, {0, 0});
+  // Process 1: acq X; X=42; fence; rel X; acq f; f=1; rel f.
+  const OpId acq_x = e.acquire(0, 0);
+  const OpId w42 = e.write(0, 0, 42);
+  const OpId f3 = e.fence(0);
+  const OpId rel_x = e.release(0, 0);
+  const OpId acq_f = e.acquire(0, 1);
+  const OpId w_f = e.write(0, 1, 1);
+  const OpId rel_f = e.release(0, 1);
+  // Process 2: poll f; fence; acq X; r = X; rel X.
+  const OpId poll = e.read(1, 1, 1, w_f);
+  const OpId f11 = e.fence(1);
+  const OpId acq_x2 = e.acquire(1, 0);
+
+  // Figure edges, process 1.
+  EXPECT_TRUE(e.hb_global(acq_x, w42));   // ≺P
+  EXPECT_TRUE(e.hb_view(0, w42, f3));     // 1≺ℓ (write→fence is local)
+  EXPECT_TRUE(e.hb_global(f3, rel_x));    // ≺F
+  EXPECT_TRUE(e.hb_global(acq_x, f3));    // ≺F
+  EXPECT_TRUE(e.hb_global(w42, rel_x));   // ≺P — the load-bearing edge
+  EXPECT_TRUE(e.hb_global(acq_f, w_f));   // ≺P
+  EXPECT_TRUE(e.hb_global(w_f, rel_f));   // ≺P
+
+  // Figure edges, process 2.
+  EXPECT_TRUE(e.hb_view(1, poll, f11));     // 2≺ℓ
+  EXPECT_TRUE(e.hb_global(f11, acq_x2));    // ≺F
+  EXPECT_TRUE(e.hb_global(rel_x, acq_x2));  // ≺S across processes
+
+  // The guaranteed outcome: the read of X can only return 42.
+  const auto legal = e.legal_sources_now(1, 0);
+  ASSERT_EQ(legal.size(), 1u);
+  EXPECT_EQ(e.op(legal[0]).value, 42u);
+  const OpId r14 = e.read(1, 0, 42, legal[0]);
+  const OpId rel15 = e.release(1, 0);
+  EXPECT_TRUE(e.hb_view(1, acq_x2, r14));
+  EXPECT_TRUE(e.hb_view(1, r14, rel15));
+  // Global chain from the write of 42 to process 2's acquire.
+  EXPECT_TRUE(e.hb_global(w42, acq_x2));
+}
+
+// Fig. 5's remark: "there is no way for process 2 to make sure the value 42
+// of X is read at line 14, without acquiring it". Same program but the
+// reader skips the acquire: the stale ⊥/0 value stays legal.
+TEST(Figures, Fig5WithoutAcquireStaleReadIsLegal) {
+  Execution e(2, 2, {0, 0});
+  e.acquire(0, 0);
+  e.write(0, 0, 42);
+  e.fence(0);
+  e.release(0, 0);
+  e.acquire(0, 1);
+  const OpId w_f = e.write(0, 1, 1);
+  e.release(0, 1);
+  e.read(1, 1, 1, w_f);
+  e.fence(1);
+  // No acquire of X: both the initial value and 42 are legal.
+  const auto legal = e.legal_sources_now(1, 0);
+  ASSERT_EQ(legal.size(), 2u);
+  EXPECT_EQ(e.op(legal[0]).value, 0u);
+  EXPECT_EQ(e.op(legal[1]).value, 42u);
+}
+
+}  // namespace
+}  // namespace pmc::model

@@ -1,0 +1,170 @@
+// Litmus-test outcome checks: the paper's figures as executable claims.
+#include "model/litmus.h"
+
+#include <gtest/gtest.h>
+
+#include "model/litmus_library.h"
+#include "util/check.h"
+
+namespace pmc::model {
+namespace {
+
+using litmus::fig1_mp_plain;
+using litmus::fig4_exclusive;
+using litmus::fig5_mp_annotated;
+using litmus::fig5_mp_no_reader_fence;
+using litmus::fig5_mp_no_writer_fence;
+
+ExploreOptions program_order() { return {IssueMode::kProgramOrder, 3, 5'000'000}; }
+// Window 4 so a hoisted critical section can also retire its release —
+// otherwise the deadlocked path is pruned and the stale outcome hides.
+ExploreOptions weak_issue() { return {IssueMode::kWeakIssue, 4, 5'000'000}; }
+
+TEST(Litmus, Fig1PlainMessagePassingAllowsStaleRead) {
+  const auto res = explore(fig1_mp_plain(), program_order());
+  EXPECT_FALSE(res.truncated);
+  // Both the fresh and the stale value are reachable — the motivating bug.
+  EXPECT_TRUE(res.outcomes.count({42}));
+  EXPECT_TRUE(res.outcomes.count({0}));
+  EXPECT_EQ(res.outcomes.size(), 2u);
+}
+
+TEST(Litmus, Fig5AnnotatedMessagePassingIsExact) {
+  for (const auto& opts : {program_order(), weak_issue()}) {
+    const auto res = explore(fig5_mp_annotated(), opts);
+    EXPECT_FALSE(res.truncated);
+    EXPECT_EQ(res.outcomes, std::set<Outcome>{{42}})
+        << "mode=" << static_cast<int>(opts.mode);
+    EXPECT_FALSE(res.race_observed);
+  }
+}
+
+TEST(Litmus, Fig5ReaderFenceIsEssentialUnderWeakIssue) {
+  // In program order the missing fence is invisible...
+  const auto in_order = explore(fig5_mp_no_reader_fence(), program_order());
+  EXPECT_EQ(in_order.outcomes, std::set<Outcome>{{42}});
+  // ...but a weak issue engine may hoist the acquire above the poll loop
+  // (Table I r→A is blank) and the stale read appears.
+  const auto weak = explore(fig5_mp_no_reader_fence(), weak_issue());
+  EXPECT_TRUE(weak.outcomes.count({42}));
+  EXPECT_TRUE(weak.outcomes.count({0}))
+      << "hoisted acquire should expose the stale value";
+}
+
+TEST(Litmus, Fig5WriterFenceIsModelRedundant) {
+  // X=42 ≺P rel X already holds, so removing the line-3 fence changes
+  // nothing — an analysis result the model makes checkable.
+  for (const auto& opts : {program_order(), weak_issue()}) {
+    const auto with_fence = explore(fig5_mp_annotated(), opts);
+    const auto without = explore(fig5_mp_no_writer_fence(), opts);
+    EXPECT_EQ(with_fence.outcomes, without.outcomes);
+  }
+}
+
+TEST(Litmus, Fig4ExclusiveAccessHidesIntermediateValue) {
+  const auto res = explore(fig4_exclusive(), program_order());
+  EXPECT_TRUE(res.outcomes.count({0}));
+  EXPECT_TRUE(res.outcomes.count({2}));
+  EXPECT_FALSE(res.outcomes.count({1}))
+      << "the intermediate value must never escape the critical section";
+  EXPECT_EQ(res.outcomes.size(), 2u);
+}
+
+TEST(Litmus, StoreBufferingUnsynchronizedAllowsEverything) {
+  const auto res = explore(litmus::sb_plain(), program_order());
+  EXPECT_EQ(res.outcomes.size(), 4u);
+  EXPECT_TRUE(res.outcomes.count({0, 0}));
+  EXPECT_TRUE(res.outcomes.count({1, 1}));
+}
+
+TEST(Litmus, StoreBufferingWithEntryExitPairsIsSequentiallyConsistent) {
+  // §IV-E: with per-object acquire/release pairs and fences, PMC behaves
+  // like PC, which simulates SC for data-race-free programs: (0,0) vanishes.
+  for (const auto& opts : {program_order(), weak_issue()}) {
+    const auto res = explore(litmus::sb_locked(), opts);
+    EXPECT_FALSE(res.outcomes.count({0, 0}))
+        << "mode=" << static_cast<int>(opts.mode);
+    EXPECT_TRUE(res.outcomes.count({1, 0}));
+    EXPECT_TRUE(res.outcomes.count({0, 1}));
+    EXPECT_TRUE(res.outcomes.count({1, 1}));
+    EXPECT_FALSE(res.race_observed);
+  }
+}
+
+TEST(Litmus, ReadCoherenceForbidsGoingBackwards) {
+  const auto res = explore(litmus::coherence_rr(), program_order());
+  EXPECT_TRUE(res.outcomes.count({0, 0}));
+  EXPECT_TRUE(res.outcomes.count({0, 1}));
+  EXPECT_TRUE(res.outcomes.count({1, 1}));
+  EXPECT_FALSE(res.outcomes.count({1, 0}))
+      << "Definition 12 monotonicity: newer value cannot be followed by older";
+}
+
+TEST(Litmus, UnprotectedWriteRaceIsDetected) {
+  const auto res = explore(litmus::racy_write_write(), program_order());
+  EXPECT_TRUE(res.race_observed);
+}
+
+TEST(Litmus, LoadBufferingIsUnconstrainedWithoutSync) {
+  // No cross-thread r→w edge exists in Table I, so even (1,1) — each load
+  // observing the other thread's later store — has an interleaving-free
+  // justification under slow reads... but with issue-order exploration the
+  // loads can only see issued writes, so (1,1) needs weak issue.
+  const auto in_order = explore(litmus::lb_plain(), program_order());
+  EXPECT_TRUE(in_order.outcomes.count({0, 0}));
+  EXPECT_TRUE(in_order.outcomes.count({0, 1}));
+  EXPECT_TRUE(in_order.outcomes.count({1, 0}));
+  EXPECT_FALSE(in_order.outcomes.count({1, 1}));
+  const auto weak = explore(litmus::lb_plain(), weak_issue());
+  EXPECT_TRUE(weak.outcomes.count({1, 1}))
+      << "store may hoist above the unrelated load under weak issue";
+}
+
+TEST(Litmus, WriteToReadCausalityHoldsWithAnnotations) {
+  // If P2 saw Y=1 (written by P1 after it read X), what P2 then reads from
+  // X must be at least what P1 saw. Forbidden: r1=1 (P1 saw X=1), r2=1
+  // (P2 saw Y=1), r3=0 (P2 missed X=1).
+  for (const auto& opts : {program_order(), weak_issue()}) {
+    const auto res = explore(litmus::wrc_locked(), opts);
+    for (const auto& outcome : res.outcomes) {
+      EXPECT_FALSE(outcome[0] == 1 && outcome[1] == 1 && outcome[2] == 0)
+          << "causality violated";
+    }
+    EXPECT_TRUE(res.outcomes.count({1, 1, 1}));
+    EXPECT_FALSE(res.race_observed);
+  }
+}
+
+TEST(Litmus, OutcomeAllowedHelper) {
+  EXPECT_TRUE(outcome_allowed(fig1_mp_plain(), {0}));
+  EXPECT_FALSE(outcome_allowed(fig5_mp_annotated(), {0}));
+}
+
+TEST(Litmus, AllLibraryTestsExploreCleanly) {
+  for (const auto& test : litmus::all_tests()) {
+    const auto res = explore(test, program_order());
+    EXPECT_FALSE(res.truncated) << test.name;
+    EXPECT_FALSE(res.outcomes.empty()) << test.name;
+  }
+}
+
+TEST(Litmus, MalformedReleaseIsRejected) {
+  LitmusTest t;
+  t.name = "bad_release";
+  t.num_locs = 1;
+  t.num_regs = 0;
+  t.threads = {{{LitmusOp::release(0)}}};
+  EXPECT_THROW(explore(t, program_order()), util::CheckFailure);
+}
+
+TEST(Litmus, LocationBoundsAreValidated) {
+  LitmusTest t;
+  t.name = "bad_loc";
+  t.num_locs = 1;
+  t.num_regs = 1;
+  t.threads = {{{LitmusOp::load(3, 0)}}};
+  EXPECT_THROW(explore(t, program_order()), util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace pmc::model

@@ -1,0 +1,87 @@
+// Exhaustive checks of the Table I cell predicate.
+#include "model/table1.h"
+
+#include <gtest/gtest.h>
+
+namespace pmc::model {
+namespace {
+
+constexpr LocId kV = 0;
+constexpr LocId kW = 1;
+
+TEST(Table1, ReadRow) {
+  EXPECT_EQ(table1_edge(OpKind::kRead, kV, OpKind::kRead, kV), EdgeKind::kLocal);
+  EXPECT_EQ(table1_edge(OpKind::kRead, kV, OpKind::kWrite, kV), EdgeKind::kLocal);
+  EXPECT_EQ(table1_edge(OpKind::kRead, kV, OpKind::kRelease, kV),
+            EdgeKind::kLocal);
+  EXPECT_EQ(table1_edge(OpKind::kRead, kV, OpKind::kAcquire, kV), std::nullopt);
+  EXPECT_EQ(table1_edge(OpKind::kRead, kV, OpKind::kFence, kAnyLoc),
+            EdgeKind::kLocal);
+}
+
+TEST(Table1, WriteRow) {
+  EXPECT_EQ(table1_edge(OpKind::kWrite, kV, OpKind::kRead, kV), EdgeKind::kLocal);
+  EXPECT_EQ(table1_edge(OpKind::kWrite, kV, OpKind::kWrite, kV),
+            EdgeKind::kProgram);
+  EXPECT_EQ(table1_edge(OpKind::kWrite, kV, OpKind::kRelease, kV),
+            EdgeKind::kProgram);
+  EXPECT_EQ(table1_edge(OpKind::kWrite, kV, OpKind::kAcquire, kV), std::nullopt);
+  EXPECT_EQ(table1_edge(OpKind::kWrite, kV, OpKind::kFence, kAnyLoc),
+            EdgeKind::kLocal);
+}
+
+TEST(Table1, AcquireRow) {
+  EXPECT_EQ(table1_edge(OpKind::kAcquire, kV, OpKind::kRead, kV),
+            EdgeKind::kLocal);
+  EXPECT_EQ(table1_edge(OpKind::kAcquire, kV, OpKind::kWrite, kV),
+            EdgeKind::kProgram);
+  EXPECT_EQ(table1_edge(OpKind::kAcquire, kV, OpKind::kRelease, kV),
+            EdgeKind::kProgram);
+  EXPECT_EQ(table1_edge(OpKind::kAcquire, kV, OpKind::kAcquire, kV),
+            std::nullopt);
+  EXPECT_EQ(table1_edge(OpKind::kAcquire, kV, OpKind::kFence, kAnyLoc),
+            EdgeKind::kFence);
+}
+
+TEST(Table1, ReleaseRow) {
+  EXPECT_EQ(table1_edge(OpKind::kRelease, kV, OpKind::kRead, kV), std::nullopt);
+  EXPECT_EQ(table1_edge(OpKind::kRelease, kV, OpKind::kWrite, kV), std::nullopt);
+  EXPECT_EQ(table1_edge(OpKind::kRelease, kV, OpKind::kRelease, kV),
+            std::nullopt);
+  EXPECT_EQ(table1_edge(OpKind::kRelease, kV, OpKind::kAcquire, kV),
+            EdgeKind::kSync);
+  EXPECT_EQ(table1_edge(OpKind::kRelease, kV, OpKind::kFence, kAnyLoc),
+            EdgeKind::kFence);
+}
+
+TEST(Table1, FenceRow) {
+  EXPECT_EQ(table1_edge(OpKind::kFence, kAnyLoc, OpKind::kRead, kV),
+            std::nullopt);
+  EXPECT_EQ(table1_edge(OpKind::kFence, kAnyLoc, OpKind::kWrite, kV),
+            EdgeKind::kFence);
+  EXPECT_EQ(table1_edge(OpKind::kFence, kAnyLoc, OpKind::kRelease, kV),
+            EdgeKind::kFence);
+  EXPECT_EQ(table1_edge(OpKind::kFence, kAnyLoc, OpKind::kAcquire, kV),
+            EdgeKind::kFence);
+  EXPECT_EQ(table1_edge(OpKind::kFence, kAnyLoc, OpKind::kFence, kAnyLoc),
+            std::nullopt);
+}
+
+TEST(Table1, DifferentLocationsNeverOrderExceptThroughFences) {
+  for (OpKind a : {OpKind::kRead, OpKind::kWrite, OpKind::kAcquire,
+                   OpKind::kRelease}) {
+    for (OpKind b : {OpKind::kRead, OpKind::kWrite, OpKind::kAcquire,
+                     OpKind::kRelease}) {
+      EXPECT_EQ(table1_edge(a, kV, b, kW), std::nullopt)
+          << to_string(a) << "→" << to_string(b);
+    }
+  }
+  // Fences span locations in both directions.
+  EXPECT_TRUE(table1_edge(OpKind::kWrite, kV, OpKind::kFence, kAnyLoc)
+                  .has_value());
+  EXPECT_TRUE(table1_edge(OpKind::kFence, kAnyLoc, OpKind::kWrite, kW)
+                  .has_value());
+}
+
+}  // namespace
+}  // namespace pmc::model

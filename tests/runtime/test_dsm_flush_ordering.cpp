@@ -1,0 +1,79 @@
+// Regression test for a real protocol hazard found during design (documented
+// in backends/dsm.cpp): two flush broadcasts from *different* owners travel
+// on different NoC channels and could reorder at a third tile, making its
+// replica go backwards — a Definition 12 monotonicity violation. The fix is
+// that flush() waits for its own packets to arrive before the section can
+// release. This test hammers exactly that window.
+#include <gtest/gtest.h>
+
+#include "runtime/program.h"
+
+namespace pmc::rt {
+namespace {
+
+TEST(DsmFlushOrdering, ObserverNeverSeesValuesGoBackwards) {
+  ProgramOptions o;
+  o.target = Target::kDSM;
+  o.cores = 4;  // cores 0/1 alternate ownership+flush, 2/3 observe
+  o.machine.lm_bytes = 64 * 1024;
+  o.machine.max_cycles = UINT64_C(2'000'000'000);
+  o.lock_capacity = 16;
+  // Sharpen the race: long head latency, so broadcasts stay in flight.
+  o.machine.timing.noc_base = 24;
+  Program prog(o);
+  const ObjId x = prog.create_typed<uint32_t>(0, Placement::kReplicated, "x");
+  const int rounds = 40;
+  int regressions = 0;
+  prog.run([&](Env& env) {
+    if (env.id() < 2) {
+      for (int i = 0; i < rounds; ++i) {
+        env.entry_x(x);
+        env.st<uint32_t>(x, 0, env.ld<uint32_t>(x) + 1);
+        env.flush(x);  // broadcast under rapidly alternating ownership
+        env.exit_x(x);
+      }
+    } else {
+      uint32_t last = 0;
+      while (last < 2 * rounds) {
+        env.entry_ro(x);
+        const uint32_t v = env.ld<uint32_t>(x);
+        env.exit_ro(x);
+        if (v < last) ++regressions;
+        if (v > last) last = v;
+        env.compute(7);
+      }
+    }
+  });
+  EXPECT_EQ(regressions, 0)
+      << "a replica went backwards: flush broadcasts reordered";
+  EXPECT_EQ(prog.result<uint32_t>(x), 2u * rounds);
+  prog.require_valid();
+}
+
+TEST(DsmFlushOrdering, TransferAfterFlushSeesTheFlushedVersion) {
+  // Acquire-transfer must never deliver an older state than a completed
+  // flush (the transfer source is the last owner, serialized by the lock).
+  ProgramOptions o;
+  o.target = Target::kDSM;
+  o.cores = 3;
+  o.machine.lm_bytes = 64 * 1024;
+  o.machine.max_cycles = UINT64_C(2'000'000'000);
+  o.lock_capacity = 16;
+  Program prog(o);
+  const ObjId x = prog.create_typed<uint32_t>(0, Placement::kReplicated, "x");
+  prog.run([&](Env& env) {
+    for (int i = 0; i < 20; ++i) {
+      env.entry_x(x);
+      const uint32_t v = env.ld<uint32_t>(x);
+      env.st<uint32_t>(x, 0, v + 1);
+      if (i % 3 == 0) env.flush(x);
+      env.exit_x(x);
+      env.compute(11 + static_cast<uint64_t>(env.id()) * 5);
+    }
+  });
+  EXPECT_EQ(prog.result<uint32_t>(x), 60u);
+  prog.require_valid();
+}
+
+}  // namespace
+}  // namespace pmc::rt

@@ -1,0 +1,111 @@
+// The paper's running example (Figs. 5/6): annotated message passing must
+// deliver 42 on every back-end — the core portability claim.
+#include <gtest/gtest.h>
+
+#include "runtime/program.h"
+#include "util/check.h"
+
+namespace pmc::rt {
+namespace {
+
+ProgramOptions opts(Target t) {
+  ProgramOptions o;
+  o.target = t;
+  o.cores = 2;
+  o.machine.lm_bytes = 64 * 1024;
+  o.machine.sdram_bytes = 1024 * 1024;
+  o.machine.max_cycles = 100'000'000;
+  o.lock_capacity = 16;
+  return o;
+}
+
+class MessagePassing : public ::testing::TestWithParam<Target> {};
+
+// Fig. 6, verbatim structure. X is a multi-word payload so the flag really
+// races against a larger transfer; f is a word (no ro-lock needed to poll).
+TEST_P(MessagePassing, Fig6DeliversThePayload) {
+  Program prog(opts(GetParam()));
+  struct Payload {
+    uint32_t a, b, c;
+  };
+  const Payload want{42, 43, 44};
+  const ObjId x =
+      prog.create_object(sizeof(Payload), Placement::kReplicated, "X");
+  const ObjId f = prog.create_typed<uint32_t>(0, Placement::kReplicated, "f");
+  Payload got{};
+  prog.run([&](Env& env) {
+    if (env.id() == 0) {
+      env.entry_x(x);       // 1: entry_x(X)
+      env.st(x, 0, want);   // 2: X = 42
+      env.fence();          // 3: fence()
+      env.exit_x(x);        // 4: exit_x(X)
+      env.entry_x(f);       // 6: entry_x(f)
+      env.st<uint32_t>(f, 0, 1);  // 7: f = 1
+      env.flush(f);         // 8: flush(f)
+      env.exit_x(f);        // 9: exit_x(f)
+    } else {
+      uint32_t poll = 0;
+      do {                  // 10-13: poll f read-only
+        env.entry_ro(f);
+        poll = env.ld<uint32_t>(f);
+        env.exit_ro(f);
+      } while (poll != 1);
+      env.fence();          // 14: fence()
+      env.entry_x(x);       // 16: entry_x(X)
+      got = env.ld<Payload>(x);
+      env.exit_x(x);        // 18: exit_x(X)
+    }
+  });
+  EXPECT_EQ(got.a, want.a);
+  EXPECT_EQ(got.b, want.b);
+  EXPECT_EQ(got.c, want.c);
+  if (is_sim(GetParam())) prog.require_valid();
+}
+
+// Repeated rounds of ping-pong message passing stress ownership transfer.
+TEST_P(MessagePassing, PingPongRounds) {
+  Program prog(opts(GetParam()));
+  const ObjId data = prog.create_typed<uint32_t>(0, Placement::kReplicated, "d");
+  const ObjId turn = prog.create_typed<uint32_t>(0, Placement::kReplicated, "t");
+  const int rounds = 12;
+  uint32_t last_seen[2] = {0, 0};
+  prog.run([&](Env& env) {
+    const uint32_t me = static_cast<uint32_t>(env.id());
+    for (int r = 0; r < rounds; ++r) {
+      // Wait for my turn.
+      uint32_t t;
+      do {
+        env.entry_ro(turn);
+        t = env.ld<uint32_t>(turn);
+        env.exit_ro(turn);
+      } while (t % 2 != me);
+      env.fence();
+      env.entry_x(data);
+      const uint32_t v = env.ld<uint32_t>(data);
+      last_seen[me] = v;
+      env.st<uint32_t>(data, 0, v + 1);
+      env.exit_x(data);
+      env.entry_x(turn);
+      env.st<uint32_t>(turn, 0, t + 1);
+      env.flush(turn);
+      env.exit_x(turn);
+    }
+  });
+  EXPECT_EQ(prog.result<uint32_t>(data), static_cast<uint32_t>(2 * rounds));
+  EXPECT_EQ(last_seen[0], static_cast<uint32_t>(2 * rounds - 2));
+  EXPECT_EQ(last_seen[1], static_cast<uint32_t>(2 * rounds - 1));
+  if (is_sim(GetParam())) prog.require_valid();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Targets, MessagePassing, ::testing::ValuesIn(all_targets()),
+    [](const ::testing::TestParamInfo<Target>& pinfo) {
+      std::string n = to_string(pinfo.param);
+      for (auto& ch : n) {
+        if (ch == '-') ch = '_';
+      }
+      return n;
+    });
+
+}  // namespace
+}  // namespace pmc::rt

@@ -1,0 +1,152 @@
+// Program basics and annotation-discipline enforcement, on every target.
+#include "runtime/program.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace pmc::rt {
+namespace {
+
+class EveryTarget : public ::testing::TestWithParam<Target> {};
+
+ProgramOptions opts(Target t, int cores = 2) {
+  ProgramOptions o;
+  o.target = t;
+  o.cores = cores;
+  o.machine.lm_bytes = 64 * 1024;
+  o.machine.sdram_bytes = 1024 * 1024;
+  o.machine.max_cycles = 100'000'000;
+  o.lock_capacity = 64;
+  return o;
+}
+
+TEST_P(EveryTarget, CreateInitReadBack) {
+  Program prog(opts(GetParam()));
+  const uint32_t init = 0x12345678;
+  const ObjId x = prog.create_typed<uint32_t>(init, Placement::kReplicated, "x");
+  prog.run([&](Env& env) {
+    if (env.id() == 0) {
+      env.entry_x(x);
+      const uint32_t v = env.ld<uint32_t>(x);
+      env.st(x, 0, v + 1);
+      env.exit_x(x);
+    }
+  });
+  EXPECT_EQ(prog.result<uint32_t>(x), init + 1);
+}
+
+TEST_P(EveryTarget, LockedCounterCountsExactly) {
+  Program prog(opts(GetParam(), 4));
+  const ObjId ctr = prog.create_typed<uint32_t>(0, Placement::kReplicated, "ctr");
+  const int rounds = 20;
+  prog.run([&](Env& env) {
+    for (int i = 0; i < rounds; ++i) {
+      env.entry_x(ctr);
+      env.st(ctr, 0, env.ld<uint32_t>(ctr) + 1);
+      env.exit_x(ctr);
+      env.compute(5);
+    }
+  });
+  EXPECT_EQ(prog.result<uint32_t>(ctr), 4u * rounds);
+  if (is_sim(GetParam())) prog.require_valid();
+}
+
+TEST_P(EveryTarget, ReadOutsideSectionIsRejected) {
+  Program prog(opts(GetParam(), 1));
+  const ObjId x = prog.create_typed<uint32_t>(0, Placement::kReplicated, "x");
+  EXPECT_THROW(prog.run([&](Env& env) { env.ld<uint32_t>(x); }),
+               util::CheckFailure);
+}
+
+TEST_P(EveryTarget, WriteInReadOnlySectionIsRejected) {
+  Program prog(opts(GetParam(), 1));
+  const ObjId x = prog.create_typed<uint32_t>(0, Placement::kReplicated, "x");
+  EXPECT_THROW(prog.run([&](Env& env) {
+                 env.entry_ro(x);
+                 env.st<uint32_t>(x, 0, 1);
+               }),
+               util::CheckFailure);
+}
+
+TEST_P(EveryTarget, NonLifoExitIsRejected) {
+  Program prog(opts(GetParam(), 1));
+  const ObjId a = prog.create_typed<uint32_t>(0, Placement::kReplicated, "a");
+  const ObjId b = prog.create_typed<uint32_t>(0, Placement::kReplicated, "b");
+  EXPECT_THROW(prog.run([&](Env& env) {
+                 env.entry_x(a);
+                 env.entry_x(b);
+                 env.exit_x(a);  // out of order
+               }),
+               util::CheckFailure);
+}
+
+TEST_P(EveryTarget, UnclosedSectionIsRejected) {
+  Program prog(opts(GetParam(), 1));
+  const ObjId x = prog.create_typed<uint32_t>(0, Placement::kReplicated, "x");
+  EXPECT_THROW(prog.run([&](Env& env) { env.entry_x(x); }),
+               util::CheckFailure);
+}
+
+TEST_P(EveryTarget, BarrierSynchronizesPhases) {
+  Program prog(opts(GetParam(), 4));
+  const ObjId sum = prog.create_typed<uint32_t>(0, Placement::kReplicated, "sum");
+  prog.run([&](Env& env) {
+    env.entry_x(sum);
+    env.st(sum, 0, env.ld<uint32_t>(sum) + 1);
+    env.exit_x(sum);
+    env.barrier();
+    // After the barrier all contributions are in.
+    env.entry_x(sum);
+    const uint32_t v = env.ld<uint32_t>(sum);
+    env.exit_x(sum);
+    PMC_CHECK(v == 4);
+  });
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Targets, EveryTarget,
+    ::testing::ValuesIn(all_targets()),
+    [](const ::testing::TestParamInfo<Target>& pinfo) {
+      std::string n = to_string(pinfo.param);
+      for (auto& ch : n) {
+        if (ch == '-') ch = '_';
+      }
+      return n;
+    });
+
+TEST(Program, FlushOutsideExclusiveSectionIsRejected) {
+  Program prog(opts(Target::kSWCC, 1));
+  const ObjId x = prog.create_typed<uint32_t>(0, Placement::kSdram, "x");
+  EXPECT_THROW(prog.run([&](Env& env) { env.flush(x); }),
+               util::CheckFailure);
+  Program prog2(opts(Target::kSWCC, 1));
+  const ObjId y = prog2.create_typed<uint32_t>(0, Placement::kSdram, "y");
+  EXPECT_THROW(prog2.run([&](Env& env) {
+                 env.entry_ro(y);
+                 env.flush(y);  // §V-A: only inside entry_x/exit_x
+               }),
+               util::CheckFailure);
+}
+
+TEST(Program, DsmRequiresReplicatedObjects) {
+  Program prog(opts(Target::kDSM, 2));
+  const ObjId x = prog.create_typed<uint32_t>(0, Placement::kSdram, "x");
+  EXPECT_THROW(prog.run([&](Env& env) {
+                 if (env.id() == 0) {
+                   env.entry_x(x);
+                   env.exit_x(x);
+                 }
+               }),
+               util::CheckFailure);
+}
+
+TEST(Program, RunsOnlyOnce) {
+  Program prog(opts(Target::kSWCC, 1));
+  prog.run([](Env&) {});
+  EXPECT_THROW(prog.run([](Env&) {}), util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace pmc::rt

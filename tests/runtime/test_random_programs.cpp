@@ -1,0 +1,184 @@
+// Property/fuzz suite: randomized annotated programs run on every simulated
+// back-end (plus host), with three cross-cutting properties:
+//  1. the final object contents are identical across all back-ends
+//     (portability as determinism);
+//  2. every run satisfies the Definition 12 trace validator;
+//  3. the simulation itself is bit-deterministic (state hash).
+//
+// Program shape: each core performs a random sequence of exclusive
+// read-modify-writes, read-only observations, flushes and barriers over a
+// shared object set — lock-disciplined by construction, nondeterminism
+// confined to lock order, results order-insensitive (commutative updates).
+#include <gtest/gtest.h>
+
+#include "runtime/program.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace pmc::rt {
+namespace {
+
+struct FuzzConfig {
+  uint64_t seed = 0;
+  int cores = 4;
+  int objects = 6;
+  int steps = 60;  // operations per core
+};
+
+ProgramOptions opts(Target t, const FuzzConfig& f) {
+  ProgramOptions o;
+  o.target = t;
+  o.cores = f.cores;
+  o.machine.lm_bytes = 64 * 1024;
+  o.machine.sdram_bytes = 2 * 1024 * 1024;
+  o.machine.max_cycles = UINT64_C(2'000'000'000);
+  o.lock_capacity = 64;
+  return o;
+}
+
+/// Runs the random program; returns the FNV digest of all final objects.
+uint64_t run_fuzz(Target t, const FuzzConfig& f, bool* validated_ok) {
+  Program prog(opts(t, f));
+  std::vector<ObjId> objs;
+  for (int i = 0; i < f.objects; ++i) {
+    objs.push_back(prog.create_typed<uint32_t>(
+        static_cast<uint32_t>(i * 1000), Placement::kReplicated,
+        "fuzz" + std::to_string(i)));
+  }
+  prog.run([&](Env& env) {
+    // Per-core deterministic op stream (independent of interleaving).
+    util::Rng rng(f.seed * 1315423911u + static_cast<uint64_t>(env.id()));
+    for (int s = 0; s < f.steps; ++s) {
+      const ObjId o = objs[rng.next_below(static_cast<uint64_t>(f.objects))];
+      switch (rng.next_below(10)) {
+        case 0:
+        case 1:
+        case 2:
+        case 3: {  // commutative exclusive update
+          env.entry_x(o);
+          const uint32_t v = env.ld<uint32_t>(o);
+          env.st(o, 0, v + 1 + static_cast<uint32_t>(env.id()));
+          env.exit_x(o);
+          break;
+        }
+        case 4: {  // update with mid-section flush
+          env.entry_x(o);
+          env.st(o, 0, env.ld<uint32_t>(o) + 3);
+          env.flush(o);
+          env.compute(rng.next_below(40));
+          env.st(o, 0, env.ld<uint32_t>(o) + 4);
+          env.exit_x(o);
+          break;
+        }
+        case 5:
+        case 6: {  // read-only observation (value unused: slow read)
+          env.entry_ro(o);
+          env.ld<uint32_t>(o);
+          env.exit_ro(o);
+          break;
+        }
+        case 7: {  // nested sections over two objects (LIFO)
+          const ObjId o2 =
+              objs[rng.next_below(static_cast<uint64_t>(f.objects))];
+          if (o2 == o) break;
+          env.entry_x(o);
+          env.entry_ro(o2);
+          const uint32_t v = env.ld<uint32_t>(o2);
+          env.st(o, 0, env.ld<uint32_t>(o) + (v & 1));
+          env.exit_ro(o2);
+          env.exit_x(o);
+          break;
+        }
+        case 8:
+          env.compute(rng.next_below(60));
+          break;
+        case 9:
+          env.fence();
+          break;
+      }
+    }
+    env.barrier();
+  });
+  if (validated_ok != nullptr && prog.validator() != nullptr) {
+    *validated_ok = prog.validator()->ok();
+  }
+  uint64_t h = util::kFnvOffset;
+  for (const ObjId o : objs) {
+    h = util::hash_combine(h, prog.result<uint32_t>(o));
+  }
+  return h;
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzSeeds, AllBackendsValidateAndConverge) {
+  FuzzConfig f;
+  f.seed = GetParam();
+  f.cores = 3 + static_cast<int>(GetParam() % 3);
+
+  // Case 7 reads a second object inside a section and folds (v & 1) into
+  // the update, so the result depends on the interleaving — back-ends may
+  // legitimately differ there. Totals must still validate, and *per
+  // back-end* the run must be reproducible.
+  for (Target t : sim_targets()) {
+    bool ok = false;
+    const uint64_t digest1 = run_fuzz(t, f, &ok);
+    EXPECT_TRUE(ok) << to_string(t) << " seed=" << f.seed;
+    bool ok2 = false;
+    const uint64_t digest2 = run_fuzz(t, f, &ok2);
+    EXPECT_EQ(digest1, digest2)
+        << to_string(t) << " is not deterministic, seed=" << f.seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range<uint64_t>(0, 10));
+
+TEST(Fuzz, EagerAndLazyReleaseConvergeOnDsm) {
+  FuzzConfig f;
+  f.seed = 99;
+  for (bool eager : {false, true}) {
+    ProgramOptions o = opts(Target::kDSM, f);
+    o.policy.dsm_eager_release = eager;
+    Program prog(o);
+    const ObjId x = prog.create_typed<uint32_t>(0, Placement::kReplicated, "x");
+    prog.run([&](Env& env) {
+      for (int i = 0; i < 30; ++i) {
+        env.entry_x(x);
+        env.st(x, 0, env.ld<uint32_t>(x) + 1);
+        env.exit_x(x);
+      }
+    });
+    EXPECT_EQ(prog.result<uint32_t>(x), 4u * 30u) << "eager=" << eager;
+    prog.require_valid();
+  }
+}
+
+TEST(Fuzz, EagerReleaseMakesUnacquiredReadersFresh) {
+  // With eager release every exit broadcasts, so a reader polling its local
+  // replica observes updates without ever acquiring — the convenience the
+  // paper attributes to flush.
+  ProgramOptions o = opts(Target::kDSM, FuzzConfig{});
+  o.cores = 2;
+  o.policy.dsm_eager_release = true;
+  Program prog(o);
+  const ObjId x = prog.create_typed<uint32_t>(0, Placement::kReplicated, "x");
+  uint32_t seen = 0;
+  prog.run([&](Env& env) {
+    if (env.id() == 0) {
+      env.entry_x(x);
+      env.st<uint32_t>(x, 0, 7);
+      env.exit_x(x);  // eager: broadcast happens here
+    } else {
+      do {
+        env.entry_ro(x);
+        seen = env.ld<uint32_t>(x);
+        env.exit_ro(x);
+      } while (seen != 7);
+    }
+  });
+  EXPECT_EQ(seen, 7u);
+  prog.require_valid();
+}
+
+}  // namespace
+}  // namespace pmc::rt

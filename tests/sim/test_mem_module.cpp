@@ -1,0 +1,112 @@
+// Memory module: storage, in-flight writes, arrival ordering, atomics.
+#include "sim/mem_module.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace pmc::sim {
+namespace {
+
+TEST(MemModule, ReadBackWrites) {
+  MemModule m("m", 0x1000, 256);
+  const uint32_t v = 0xdeadbeef;
+  m.write(0, 0x1010, &v, 4);
+  uint32_t out = 0;
+  m.read(0, 0x1010, &out, 4);
+  EXPECT_EQ(out, v);
+}
+
+TEST(MemModule, PendingWriteInvisibleBeforeArrival) {
+  MemModule m("m", 0, 64);
+  const uint32_t v = 7;
+  m.post_write(/*arrival=*/100, 0, &v, 4);
+  uint32_t out = 1;
+  m.read(99, 0, &out, 4);
+  EXPECT_EQ(out, 0u);  // not yet arrived
+  m.read(100, 0, &out, 4);
+  EXPECT_EQ(out, 7u);
+}
+
+TEST(MemModule, PendingWritesApplyInArrivalOrder) {
+  MemModule m("m", 0, 64);
+  const uint32_t a = 1, b = 2;
+  // Posted in one order, arriving in the other — the Fig. 1 mechanism.
+  m.post_write(200, 0, &a, 4);
+  m.post_write(150, 0, &b, 4);
+  uint32_t out = 0;
+  m.read(175, 0, &out, 4);
+  EXPECT_EQ(out, 2u);
+  m.read(250, 0, &out, 4);
+  EXPECT_EQ(out, 1u);
+}
+
+TEST(MemModule, SameArrivalOrderedBySequence) {
+  MemModule m("m", 0, 64);
+  const uint32_t a = 1, b = 2;
+  m.post_write(100, 0, &a, 4);
+  m.post_write(100, 0, &b, 4);
+  uint32_t out = 0;
+  m.read(100, 0, &out, 4);
+  EXPECT_EQ(out, 2u);  // later post wins the tie
+}
+
+TEST(MemModule, LocalWriteAppliesPendingFirst) {
+  MemModule m("m", 0, 64);
+  const uint32_t remote = 9, local = 5;
+  m.post_write(10, 0, &remote, 4);
+  m.write(20, 0, &local, 4);  // after the arrival: local value stands
+  uint32_t out = 0;
+  m.read(20, 0, &out, 4);
+  EXPECT_EQ(out, 5u);
+}
+
+TEST(MemModule, LateArrivalOverwritesLocalWrite) {
+  MemModule m("m", 0, 64);
+  const uint32_t remote = 9, local = 5;
+  m.post_write(50, 0, &remote, 4);
+  m.write(20, 0, &local, 4);
+  uint32_t out = 0;
+  m.read(60, 0, &out, 4);
+  EXPECT_EQ(out, 9u);  // in-flight write lands later: it wins
+}
+
+TEST(MemModule, AtomicSwapAndAdd) {
+  MemModule m("m", 0, 64);
+  EXPECT_EQ(m.atomic_swap_u32(0, 0, 11), 0u);
+  EXPECT_EQ(m.atomic_swap_u32(1, 0, 22), 11u);
+  EXPECT_EQ(m.atomic_add_u32(2, 0, 5), 22u);
+  uint32_t out = 0;
+  m.read(3, 0, &out, 4);
+  EXPECT_EQ(out, 27u);
+}
+
+TEST(MemModule, PortReservationSerializes) {
+  MemModule m("m", 0, 64);
+  EXPECT_EQ(m.reserve_port(100, 8), 100u);
+  EXPECT_EQ(m.reserve_port(100, 8), 108u);  // port busy until 108
+  EXPECT_EQ(m.reserve_port(200, 8), 200u);  // idle gap
+}
+
+TEST(MemModule, OutOfRangeAccessIsChecked) {
+  MemModule m("m", 0x100, 16);
+  uint32_t v = 0;
+  EXPECT_THROW(m.read(0, 0x0fc, &v, 4), util::CheckFailure);
+  EXPECT_THROW(m.read(0, 0x10e, &v, 4), util::CheckFailure);
+  EXPECT_FALSE(m.contains(0x10e, 4));
+  EXPECT_TRUE(m.contains(0x10c, 4));
+}
+
+TEST(MemModule, DrainAllAndHash) {
+  MemModule a("a", 0, 64), b("b", 0, 64);
+  const uint32_t v = 3;
+  a.post_write(1000, 0, &v, 4);
+  b.post_write(1000, 0, &v, 4);
+  a.drain_all();
+  b.drain_all();
+  EXPECT_EQ(a.pending_writes(), 0u);
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+}
+
+}  // namespace
+}  // namespace pmc::sim

@@ -1,0 +1,104 @@
+// Deterministic min-time scheduler tests.
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace pmc::sim {
+namespace {
+
+TEST(Scheduler, SingleCoreRunsToCompletion) {
+  Scheduler s(1);
+  int steps = 0;
+  s.run([&](int core) {
+    EXPECT_EQ(core, 0);
+    for (int i = 0; i < 10; ++i) s.advance(0, 5);
+    steps = 10;
+  });
+  EXPECT_EQ(steps, 10);
+}
+
+TEST(Scheduler, InterleavesByMinimumTime) {
+  // Core 0 advances in steps of 10, core 1 in steps of 3: the recorded
+  // global order must be sorted by (time-before-step, id).
+  Scheduler s(2);
+  std::vector<std::pair<uint64_t, int>> order;
+  s.run([&](int core) {
+    const uint64_t step = core == 0 ? 10 : 3;
+    for (int i = 0; i < 6; ++i) {
+      order.emplace_back(s.now(core), core);
+      s.advance(core, step);
+    }
+  });
+  ASSERT_EQ(order.size(), 12u);
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(order[i - 1], order[i]) << "at step " << i;
+  }
+}
+
+TEST(Scheduler, TieBreaksByLowerId) {
+  Scheduler s(3);
+  std::vector<int> first_at_zero;
+  s.run([&](int core) {
+    first_at_zero.push_back(core);
+    s.advance(core, 1);
+  });
+  ASSERT_EQ(first_at_zero.size(), 3u);
+  EXPECT_EQ(first_at_zero[0], 0);
+  EXPECT_EQ(first_at_zero[1], 1);
+  EXPECT_EQ(first_at_zero[2], 2);
+}
+
+TEST(Scheduler, DeterministicAcrossRuns) {
+  auto record = [] {
+    Scheduler s(4);
+    std::vector<int> order;
+    s.run([&](int core) {
+      for (int i = 0; i < 20; ++i) {
+        order.push_back(core);
+        s.advance(core, static_cast<uint64_t>((core * 7 + i * 3) % 11 + 1));
+      }
+    });
+    return order;
+  };
+  const auto a = record();
+  const auto b = record();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Scheduler, WatchdogThrows) {
+  Scheduler s(1, /*max_cycles=*/1000);
+  EXPECT_THROW(s.run([&](int core) {
+                 for (;;) s.advance(core, 100);
+               }),
+               util::CheckFailure);
+}
+
+TEST(Scheduler, ExceptionInOneCorePropagates) {
+  Scheduler s(2, /*max_cycles=*/100'000);
+  EXPECT_THROW(s.run([&](int core) {
+                 if (core == 0) throw std::runtime_error("boom");
+                 // Core 1 spins until the watchdog fires.
+                 for (;;) s.advance(core, 1000);
+               }),
+               std::runtime_error);
+  EXPECT_TRUE(s.failed());
+}
+
+TEST(Scheduler, ManyCoresFinishIndependently) {
+  Scheduler s(16);
+  std::vector<uint64_t> final_time(16);
+  s.run([&](int core) {
+    for (int i = 0; i <= core; ++i) s.advance(core, 2);
+    final_time[core] = s.now(core);
+  });
+  for (int c = 0; c < 16; ++c) {
+    EXPECT_EQ(final_time[c], static_cast<uint64_t>(2 * (c + 1)));
+  }
+}
+
+}  // namespace
+}  // namespace pmc::sim

@@ -1,0 +1,90 @@
+// Barrier: no core exits before the last enters; repeated rounds work.
+#include "sync/barrier.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace pmc::sync {
+namespace {
+
+using sim::Core;
+using sim::Machine;
+using sim::MachineConfig;
+
+MachineConfig cfg(int cores) {
+  MachineConfig c = MachineConfig::ml605(cores);
+  c.lm_bytes = 8 * 1024;
+  c.sdram_bytes = 128 * 1024;
+  c.max_cycles = 200'000'000;
+  return c;
+}
+
+TEST(Barrier, SeparatesPhases) {
+  const int n = 8;
+  Machine m(cfg(n));
+  Barrier bar(m, sim::kSdramBase, /*lm_flag_offset=*/0);
+  std::vector<uint64_t> enter(n), exit_(n);
+  m.run([&](Core& c) {
+    c.compute(static_cast<uint64_t>(c.id()) * 37 + 5);  // staggered arrival
+    enter[c.id()] = c.now();
+    bar.wait(c);
+    exit_[c.id()] = c.now();
+  });
+  const uint64_t last_enter = *std::max_element(enter.begin(), enter.end());
+  const uint64_t first_exit = *std::min_element(exit_.begin(), exit_.end());
+  EXPECT_GE(first_exit, last_enter)
+      << "a core left the barrier before the last one arrived";
+  EXPECT_EQ(bar.rounds(), 1u);
+}
+
+TEST(Barrier, ManyRounds) {
+  const int n = 6;
+  const int rounds = 20;
+  Machine m(cfg(n));
+  Barrier bar(m, sim::kSdramBase, 0);
+  std::vector<int> phase(n, 0);
+  int errors = 0;
+  m.run([&](Core& c) {
+    for (int r = 0; r < rounds; ++r) {
+      phase[c.id()] = r + 1;
+      bar.wait(c);
+      // After the barrier every core must have finished phase r+1.
+      for (int o = 0; o < n; ++o) {
+        if (phase[o] < r + 1) ++errors;
+      }
+      bar.wait(c);  // second barrier so nobody races ahead into r+2
+    }
+  });
+  EXPECT_EQ(errors, 0);
+  EXPECT_EQ(bar.rounds(), static_cast<uint64_t>(2 * rounds));
+}
+
+TEST(Barrier, SingleCoreDegenerate) {
+  Machine m(cfg(1));
+  Barrier bar(m, sim::kSdramBase, 0);
+  m.run([&](Core& c) {
+    bar.wait(c);
+    bar.wait(c);
+  });
+  EXPECT_EQ(bar.rounds(), 2u);
+}
+
+TEST(Barrier, DeterministicTiming) {
+  auto once = [] {
+    Machine m(cfg(8));
+    Barrier bar(m, sim::kSdramBase, 0);
+    m.run([&](Core& c) {
+      for (int r = 0; r < 5; ++r) {
+        c.compute(static_cast<uint64_t>((c.id() * 13 + r * 7) % 50));
+        bar.wait(c);
+      }
+    });
+    return m.state_hash();
+  };
+  EXPECT_EQ(once(), once());
+}
+
+}  // namespace
+}  // namespace pmc::sync

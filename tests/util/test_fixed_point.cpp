@@ -1,0 +1,57 @@
+#include "util/fixed_point.h"
+
+#include <gtest/gtest.h>
+
+namespace pmc::util {
+namespace {
+
+TEST(Fx, IntRoundTrip) {
+  for (int32_t v : {-100, -1, 0, 1, 7, 32000}) {
+    EXPECT_EQ(Fx::from_int(v).to_int(), v);
+  }
+}
+
+TEST(Fx, Arithmetic) {
+  const Fx a = Fx::from_int(6);
+  const Fx b = Fx::from_int(4);
+  EXPECT_EQ((a + b).to_int(), 10);
+  EXPECT_EQ((a - b).to_int(), 2);
+  EXPECT_EQ((a * b).to_int(), 24);
+  EXPECT_EQ((a / b).raw(), Fx::ratio(3, 2).raw());
+}
+
+TEST(Fx, RatioAndRounding) {
+  EXPECT_EQ(Fx::ratio(1, 2).round(), 1);   // 0.5 rounds up
+  EXPECT_EQ(Fx::ratio(1, 4).round(), 0);
+  EXPECT_EQ(Fx::ratio(3, 4).round(), 1);
+  EXPECT_EQ(Fx::ratio(-1, 2).to_int(), -1);  // floor semantics of >>
+}
+
+TEST(Fx, Comparisons) {
+  EXPECT_TRUE(Fx::from_int(1) < Fx::from_int(2));
+  EXPECT_TRUE(Fx::from_int(2) >= Fx::ratio(3, 2));
+  EXPECT_TRUE(Fx::from_int(3) == Fx::ratio(6, 2));
+}
+
+TEST(Fx, MultiplicationPreservesFractions) {
+  const Fx half = Fx::ratio(1, 2);
+  EXPECT_EQ((half * Fx::from_int(10)).to_int(), 5);
+  EXPECT_EQ((half * half).raw(), Fx::ratio(1, 4).raw());
+}
+
+TEST(Isqrt, ExactSquares) {
+  for (uint64_t v : {0ULL, 1ULL, 4ULL, 9ULL, 144ULL, 1ULL << 40}) {
+    const uint32_t r = isqrt(v);
+    EXPECT_EQ(static_cast<uint64_t>(r) * r, v);
+  }
+}
+
+TEST(Isqrt, FloorBehaviour) {
+  EXPECT_EQ(isqrt(2), 1u);
+  EXPECT_EQ(isqrt(8), 2u);
+  EXPECT_EQ(isqrt(99), 9u);
+  EXPECT_EQ(isqrt(10000 - 1), 99u);
+}
+
+}  // namespace
+}  // namespace pmc::util

@@ -1,0 +1,76 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/hash.h"
+#include "util/table.h"
+
+namespace pmc::util {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(Summary, Percentiles) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.percentile(50), 50.5, 0.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+}
+
+TEST(Summary, EmptyChecks) {
+  Summary s;
+  EXPECT_THROW(s.mean(), CheckFailure);
+  EXPECT_THROW(s.percentile(50), CheckFailure);
+}
+
+TEST(Pct, Formatting) {
+  EXPECT_EQ(pct(1, 2), "50.0%");
+  EXPECT_EQ(pct(1, 3), "33.3%");
+  EXPECT_EQ(pct(0, 0), "0.0%");
+}
+
+TEST(HumanCount, Scales) {
+  EXPECT_EQ(human_count(999), "999");
+  EXPECT_EQ(human_count(1500), "1.50k");
+  EXPECT_EQ(human_count(2'500'000), "2.50M");
+  EXPECT_EQ(human_count(3'000'000'000ULL), "3.00G");
+}
+
+TEST(Table, RendersAligned) {
+  Table t;
+  t.add_row({"app", "time"});
+  t.add_row({"radiosity", "12"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| app       | time |"), std::string::npos);
+  EXPECT_NE(out.find("| radiosity | 12   |"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Hash, Fnv1aStability) {
+  const uint8_t data[] = {1, 2, 3};
+  EXPECT_EQ(fnv1a(data, 3), fnv1a(data, 3));
+  EXPECT_NE(fnv1a(data, 3), fnv1a(data, 2));
+  EXPECT_NE(hash_combine(kFnvOffset, 1), hash_combine(kFnvOffset, 2));
+}
+
+TEST(Check, MacroThrowsWithMessage) {
+  try {
+    PMC_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "expected throw";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace pmc::util
