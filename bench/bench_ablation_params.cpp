@@ -70,18 +70,26 @@ int main(int argc, char** argv) {
   const int cores = static_cast<int>(flag_int(argc, argv, "cores", 8));
   std::printf("== parameter ablations ==\n\n");
 
+  JsonReport json("ablation_params");
+  json.add("cores", cores);
+
   util::Table t1;
   t1.add_row({"line bytes", "VOLREND-like SWCC makespan"});
   for (uint32_t line : {16u, 32u, 64u}) {
-    t1.add_row({fmt_u64(line), fmt_u64(volrend_with_line(cores, line))});
+    const uint64_t makespan = volrend_with_line(cores, line);
+    t1.add_row({fmt_u64(line), fmt_u64(makespan)});
+    json.add("swcc_line" + fmt_u64(line) + "_makespan", makespan);
   }
   std::printf("cache line size under SWCC:\n%s\n", t1.render().c_str());
 
   util::Table t2;
   t2.add_row({"object bytes", "lazy release", "eager release"});
   for (uint32_t bytes : {16u, 64u, 256u, 1024u}) {
-    t2.add_row({fmt_u64(bytes), fmt_u64(dsm_handoff_cycles(2, bytes, false)),
-                fmt_u64(dsm_handoff_cycles(2, bytes, true))});
+    const uint64_t lazy = dsm_handoff_cycles(2, bytes, false);
+    const uint64_t eager = dsm_handoff_cycles(2, bytes, true);
+    t2.add_row({fmt_u64(bytes), fmt_u64(lazy), fmt_u64(eager)});
+    json.add("dsm_obj" + fmt_u64(bytes) + "_lazy_makespan", lazy);
+    json.add("dsm_obj" + fmt_u64(bytes) + "_eager_makespan", eager);
   }
   std::printf("DSM ping-pong makespan vs object size (2 cores), lazy vs "
               "eager release (Section V-A):\n%s\n",
@@ -100,5 +108,6 @@ int main(int argc, char** argv) {
               "transferred object; eager release pays a\nbroadcast per exit "
               "and scales with the tile count, lazy pays one targeted "
               "transfer per acquire.\n");
+  if (!json.maybe_write(argc, argv)) return 1;
   return 0;
 }

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "apps/app.h"
 #include "util/table.h"
@@ -43,6 +45,64 @@ inline std::string fmt_u64(uint64_t v) {
   std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
   return buf;
 }
+
+/// Machine-readable result sink for the perf trajectory (bench/README.md).
+///
+/// Every harness accumulates its headline numbers here and calls
+/// maybe_write() at the end of main. With `--json` (or `--json=PATH`) on the
+/// command line the metrics are written as one flat JSON object to
+/// BENCH_<name>.json in the working directory (or PATH); without the flag
+/// nothing is emitted, so default output is unchanged. Keys are stable
+/// across PRs — CI and future sessions diff these files run over run.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    metrics_.emplace_back(key, buf);
+  }
+  void add(const std::string& key, uint64_t value) {
+    metrics_.emplace_back(key, fmt_u64(value));
+  }
+  void add(const std::string& key, int value) {
+    add(key, static_cast<uint64_t>(value < 0 ? 0 : value));
+  }
+
+  /// Writes BENCH_<name>.json if --json[=PATH] was passed. Returns false on
+  /// an I/O error (callers treat that as a harness failure).
+  bool maybe_write(int argc, char** argv) const {
+    std::string path;
+    const std::string prefix = "--json=";
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        path = "BENCH_" + name_ + ".json";
+      } else if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+        path = argv[i] + prefix.size();
+        if (path.empty()) path = "BENCH_" + name_ + ".json";
+      }
+    }
+    if (path.empty()) return true;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "!! cannot open %s for writing\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\"", name_.c_str());
+    for (const auto& [key, value] : metrics_) {
+      std::fprintf(f, ",\n  \"%s\": %s", key.c_str(), value.c_str());
+    }
+    std::fprintf(f, "\n}\n");
+    const bool ok = std::fclose(f) == 0;
+    if (ok) std::printf("wrote %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> metrics_;  // key -> literal
+};
 
 /// The Fig. 8 time decomposition of one run, aggregated over cores.
 struct Breakdown {

@@ -83,6 +83,10 @@ int main(int argc, char** argv) {
 
   std::printf("== Fig. 9 case study: multi-reader/multi-writer FIFO ==\n\n");
 
+  JsonReport json("fifo_dsm");
+  json.add("items", static_cast<uint64_t>(items));
+  json.add("readers", readers);
+
   util::Table t1;
   t1.add_row({"back-end", "cycles/item", "reader SDRAM data-stall cycles"});
   for (rt::Target target :
@@ -91,6 +95,9 @@ int main(int argc, char** argv) {
                                /*payload=*/32, /*depth=*/8);
     t1.add_row({rt::to_string(target), fmt_u64(r.cycles_per_item),
                 fmt_u64(r.sdram_sync_stalls)});
+    const std::string slug = rt::to_string(target);
+    json.add(slug + "_cycles_per_item", r.cycles_per_item);
+    json.add(slug + "_reader_sdram_stalls", r.sdram_sync_stalls);
   }
   std::printf("%u items, 2 writers, %d readers, 32 B payload, depth 8:\n%s\n",
               items, readers, t1.render().c_str());
@@ -122,5 +129,6 @@ int main(int argc, char** argv) {
   std::printf("expected shape: DSM readers poll local memory (near-zero "
               "reader SDRAM stalls);\nno-CC pays uncached SDRAM for every "
               "poll and copy.\n");
+  if (!json.maybe_write(argc, argv)) return 1;
   return 0;
 }

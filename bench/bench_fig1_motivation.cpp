@@ -98,9 +98,15 @@ int main(int argc, char** argv) {
   }
   const uint32_t fixed = run_annotated();
   std::printf("annotated (Fig. 6) program: process 2 read X = %u\n", fixed);
+  const bool reproduced = raw != 42 && fixed == 42;
   std::printf("\nresult: %s\n",
-              (raw != 42 && fixed == 42)
+              reproduced
                   ? "reproduced — the raw program breaks, PMC annotations fix it"
                   : "UNEXPECTED (check timing configuration)");
-  return (raw != 42 && fixed == 42) ? 0 : 1;
+  JsonReport json("fig1_motivation");
+  json.add("raw_printed", static_cast<uint64_t>(raw));
+  json.add("annotated_printed", static_cast<uint64_t>(fixed));
+  json.add("reproduced", static_cast<uint64_t>(reproduced ? 1 : 0));
+  if (!json.maybe_write(argc, argv)) return 1;
+  return reproduced ? 0 : 1;
 }

@@ -81,6 +81,8 @@ int main(int argc, char** argv) {
   util::Table table;
   table.add_row({"app", "config", "exec time", "busy", "I-stall", "priv rd",
                  "shared rd", "sync", "write", "flush", "util"});
+  JsonReport json("fig8_swcc");
+  json.add("cores", cores);
   double improvements = 0;
   double flush_worst = 0;
   for (int which = 0; which < 3; ++which) {
@@ -126,6 +128,11 @@ int main(int argc, char** argv) {
     std::printf("%s: SWCC improves execution time by %.1f%%; "
                 "flush overhead %.2f%% of run time\n",
                 kNames[which], improvement, flush_pct);
+    const char* kSlugs[3] = {"radiosity", "raytrace", "volrend"};
+    json.add(std::string(kSlugs[which]) + "_nocc_cycles", nocc.total);
+    json.add(std::string(kSlugs[which]) + "_swcc_cycles", swcc.total);
+    json.add(std::string(kSlugs[which]) + "_improvement_pct", improvement);
+    json.add(std::string(kSlugs[which]) + "_flush_pct", flush_pct);
   }
   std::printf("\naverage SWCC improvement: %.1f%%  (paper: 22%%)\n",
               improvements / 3.0);
@@ -136,5 +143,8 @@ int main(int argc, char** argv) {
               "'util' = busy/total of that run.\n");
   std::printf("'sync' holds lock/barrier stalls and wait backoff, which the "
               "paper folds into its shared-read bar.\n");
+  json.add("avg_improvement_pct", improvements / 3.0);
+  json.add("worst_flush_pct", flush_worst);
+  if (!json.maybe_write(argc, argv)) return 1;
   return 0;
 }

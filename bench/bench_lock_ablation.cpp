@@ -68,17 +68,22 @@ int main(int argc, char** argv) {
               "(%d cores, %d rounds each) ==\n\n",
               cores, rounds);
 
+  JsonReport json("lock_ablation");
+  json.add("cores", cores);
+  json.add("rounds", rounds);
+
   util::Table t;
   t.add_row({"scenario", "lock", "makespan", "atomic ops", "NoC packets"});
   struct Scenario {
     const char* name;
+    const char* slug;
     int ncores;
     uint32_t cs, gap;
   };
   const Scenario scenarios[] = {
-      {"uncontended (1 core)", 1, 20, 20},
-      {"light contention", cores, 20, 400},
-      {"heavy contention", cores, 200, 20},
+      {"uncontended (1 core)", "uncontended", 1, 20, 20},
+      {"light contention", "light", cores, 20, 400},
+      {"heavy contention", "heavy", cores, 200, 20},
   };
   for (const auto& s : scenarios) {
     for (bool dist : {false, true}) {
@@ -86,11 +91,17 @@ int main(int argc, char** argv) {
       t.add_row({s.name, dist ? "distributed" : "spin-TAS",
                  fmt_u64(r.makespan), fmt_u64(r.atomics),
                  fmt_u64(r.noc_packets)});
+      const std::string key =
+          std::string(s.slug) + (dist ? "_dist" : "_spin");
+      json.add(key + "_makespan", r.makespan);
+      json.add(key + "_atomics", r.atomics);
+      json.add(key + "_noc_packets", r.noc_packets);
     }
   }
   std::printf("%s\n", t.render().c_str());
   std::printf("expected shape: under contention the distributed lock's "
               "atomic-op count stays at ~2 per round\nwhile the spin lock's "
               "explodes; its handoffs appear as NoC packets instead.\n");
+  if (!json.maybe_write(argc, argv)) return 1;
   return 0;
 }

@@ -42,6 +42,9 @@ int main(int argc, char** argv) {
   std::printf("== Fig. 10 case study: motion estimation on SPM (%d cores) ==\n\n",
               cores);
 
+  JsonReport json("motion_spm");
+  json.add("cores", cores);
+
   util::Table t;
   t.add_row({"block", "search", "SPM cycles", "SWCC cycles", "no-CC cycles",
              "SPM vs SWCC", "SWCC vs no-CC"});
@@ -67,9 +70,17 @@ int main(int argc, char** argv) {
     t.add_row({fmt_u64(static_cast<uint64_t>(cfg.block)),
                "±" + fmt_u64(static_cast<uint64_t>(cfg.search)),
                fmt_u64(spm), fmt_u64(swcc), fmt_u64(nocc), a, b});
+    const std::string key = "b" + fmt_u64(static_cast<uint64_t>(cfg.block)) +
+                            "s" + fmt_u64(static_cast<uint64_t>(cfg.search));
+    json.add(key + "_spm_cycles", spm);
+    json.add(key + "_swcc_cycles", swcc);
+    json.add(key + "_nocc_cycles", nocc);
+    json.add(key + "_spm_speedup_vs_swcc",
+             static_cast<double>(swcc) / static_cast<double>(spm));
   }
   std::printf("%s\n", t.render().c_str());
   std::printf("expected shape: SPM < SWCC < no-CC, with the SPM advantage "
               "growing with the search area\n(more reads per staged byte).\n");
+  if (!json.maybe_write(argc, argv)) return 1;
   return 0;
 }
