@@ -25,6 +25,18 @@ inline int64_t flag_int(int argc, char** argv, const char* name,
   return def;
 }
 
+/// String-valued --name=value flag; def (may be nullptr) when absent.
+inline const char* flag_str(int argc, char** argv, const char* name,
+                            const char* def) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return def;
+}
+
 inline bool flag_set(int argc, char** argv, const char* name) {
   const std::string f = std::string("--") + name;
   for (int i = 1; i < argc; ++i) {

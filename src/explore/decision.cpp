@@ -1,0 +1,61 @@
+#include "explore/decision.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace pmc::explore {
+
+std::string to_string(const DecisionString& ds) {
+  std::string out;
+  for (const Decision& d : ds) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(d.step);
+    out += ':';
+    out += std::to_string(d.choice);
+  }
+  return out;
+}
+
+namespace {
+
+uint64_t parse_u64(std::string_view text, size_t* pos) {
+  PMC_CHECK_MSG(*pos < text.size() && text[*pos] >= '0' && text[*pos] <= '9',
+                "decision string: expected a number at offset " << *pos);
+  uint64_t v = 0;
+  while (*pos < text.size() && text[*pos] >= '0' && text[*pos] <= '9') {
+    v = v * 10 + static_cast<uint64_t>(text[*pos] - '0');
+    ++*pos;
+  }
+  return v;
+}
+
+}  // namespace
+
+DecisionString parse_decision_string(std::string_view text) {
+  DecisionString ds;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    Decision d;
+    d.step = parse_u64(text, &pos);
+    PMC_CHECK_MSG(pos < text.size() && text[pos] == ':',
+                  "decision string: expected ':' at offset " << pos);
+    ++pos;
+    const uint64_t choice = parse_u64(text, &pos);
+    PMC_CHECK_MSG(choice >= 1 && choice <= 1'000'000,
+                  "decision string: choice " << choice << " out of range");
+    d.choice = static_cast<int>(choice);
+    PMC_CHECK_MSG(ds.empty() || ds.back().step < d.step,
+                  "decision string: steps must be strictly increasing");
+    ds.push_back(d);
+    if (pos < text.size()) {
+      PMC_CHECK_MSG(text[pos] == ',',
+                    "decision string: expected ',' at offset " << pos);
+      ++pos;
+      PMC_CHECK_MSG(pos < text.size(), "decision string: trailing ','");
+    }
+  }
+  return ds;
+}
+
+}  // namespace pmc::explore

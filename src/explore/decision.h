@@ -1,0 +1,37 @@
+// Compact, replayable encoding of one explored schedule.
+//
+// A schedule is identified by its deviations from the default min-time
+// schedule: a strictly increasing sequence of (decision step, candidate
+// index) overrides. The textual form is "step:choice" pairs joined by
+// commas — e.g. "12:1,40:2" — and the empty string denotes the default
+// schedule. Because the simulation is bit-deterministic given the decision
+// string, any failing interleaving reported by the explorer can be
+// reproduced exactly from this string alone (DESIGN.md §6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pmc::explore {
+
+struct Decision {
+  uint64_t step = 0;  // global scheduling-decision index (sim::YieldPoint)
+  int choice = 0;     // candidate index to dispatch; >= 1 (0 is the default)
+
+  friend bool operator==(const Decision& a, const Decision& b) {
+    return a.step == b.step && a.choice == b.choice;
+  }
+};
+
+using DecisionString = std::vector<Decision>;
+
+/// "12:1,40:2"; "" for the default schedule.
+std::string to_string(const DecisionString& ds);
+
+/// Parses to_string's format. Throws util::CheckFailure on malformed input,
+/// non-increasing steps, or a choice < 1.
+DecisionString parse_decision_string(std::string_view text);
+
+}  // namespace pmc::explore

@@ -1,0 +1,97 @@
+#include "explore/explorer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace pmc::explore {
+
+RunOutcome Explorer::replay(const DecisionString& schedule, uint64_t horizon,
+                            bool* fully_applied) {
+  ReplayPolicy policy(schedule, horizon);
+  RunOutcome out = runner_(policy);
+  // An override whose choice no longer matches the candidate count aborts
+  // the run mid-way (unconsumed as well), so unused_overrides() == 0 is
+  // exactly "this outcome belongs to the requested schedule".
+  if (fully_applied != nullptr) {
+    *fully_applied = policy.unused_overrides() == 0;
+  }
+  return out;
+}
+
+ExploreReport Explorer::explore(const ExploreConfig& cfg) {
+  PMC_CHECK(cfg.preemption_bound >= 0);
+  ExploreReport rep;
+  std::unordered_set<uint64_t> traces;
+  std::vector<DecisionString> stack;
+  stack.push_back({});
+  while (!stack.empty()) {
+    if (rep.explored >= cfg.max_schedules) {
+      rep.truncated = true;
+      break;
+    }
+    DecisionString s = std::move(stack.back());
+    stack.pop_back();
+    ReplayPolicy policy(s, cfg.horizon);
+    const RunOutcome out = runner_(policy);
+    ++rep.explored;
+    traces.insert(out.trace_hash);
+    rep.max_decision_points =
+        std::max(rep.max_decision_points, policy.decision_points());
+    if (!out.ok) {
+      ++rep.failing;
+      if (rep.failing == 1) {
+        rep.first_failing = s;
+        rep.first_failing_message = out.message;
+        rep.schedules_to_first_failure = rep.explored;
+      }
+    }
+    if (static_cast<int>(s.size()) >= cfg.preemption_bound) continue;
+    // This run's decisions up to the horizon are shared by every child
+    // (identical override prefix ⇒ identical deterministic execution up to
+    // the new override), so the recorded candidate counts enumerate the
+    // children exactly. Children extend strictly after the last override,
+    // which generates every bounded schedule exactly once.
+    const uint64_t start = s.empty() ? 0 : s.back().step + 1;
+    const uint64_t end = std::min(policy.decision_points(), cfg.horizon);
+    for (uint64_t p = start; p < end; ++p) {
+      const int alternatives = policy.candidates_at(p) - 1;
+      if (alternatives <= 0) continue;
+      if (cfg.prune_delay && policy.pure_segment(p)) {
+        rep.pruned += static_cast<uint64_t>(alternatives);
+        continue;
+      }
+      for (int c = 1; c <= alternatives; ++c) {
+        DecisionString child = s;
+        child.push_back({p, c});
+        stack.push_back(std::move(child));
+      }
+    }
+  }
+  rep.distinct_traces = traces.size();
+  return rep;
+}
+
+DecisionString Explorer::minimize(DecisionString failing, uint64_t horizon) {
+  bool changed = true;
+  while (changed && !failing.empty()) {
+    changed = false;
+    for (size_t i = 0; i < failing.size(); ++i) {
+      DecisionString shorter = failing;
+      shorter.erase(shorter.begin() + static_cast<ptrdiff_t>(i));
+      // Dropping an override shifts the execution, so a later override can
+      // fall off the run (or outgrow the candidate count and abort the
+      // replay). Such a reduction did not reproduce the bug — skip it.
+      bool applied = false;
+      if (!replay(shorter, horizon, &applied).ok && applied) {
+        failing = std::move(shorter);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return failing;
+}
+
+}  // namespace pmc::explore

@@ -1,0 +1,88 @@
+// Preemption-bounded schedule exploration (DESIGN.md §6).
+//
+// The Explorer enumerates interleavings of one deterministic simulated
+// program by stateless re-execution: each schedule is a decision string, the
+// runner re-runs the whole program under a ReplayPolicy, and the recorded
+// candidate counts of the parent run (identical prefix ⇒ identical decisions)
+// let the Explorer enumerate all child schedules exactly, without snapshots.
+// The search is bounded by a preemption budget (max overrides per schedule)
+// and a horizon (only the first H decision points may branch), in the style
+// of CHESS-like systematic concurrency testing; delay-segment pruning skips
+// preemptions of segments that provably performed no memory-system effect.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "explore/decision.h"
+#include "explore/replay_policy.h"
+
+namespace pmc::explore {
+
+struct ExploreConfig {
+  /// Maximum overrides per schedule (preemption bound).
+  int preemption_bound = 2;
+  /// Only the first `horizon` scheduling decisions may branch.
+  uint64_t horizon = 24;
+  /// Hard cap on executed schedules; hitting it sets `truncated`.
+  uint64_t max_schedules = 50'000;
+  /// Skip preemptions of pure-delay segments (compute/idle backoff): moving
+  /// such a segment across the preempting core's operations cannot change
+  /// which values any read observes, only clock skews that the frontier warp
+  /// re-applies anyway. A pruned schedule is counted, not run; its deeper
+  /// extensions are not enumerated (bounded-search trade-off, DESIGN.md §6).
+  bool prune_delay = true;
+};
+
+/// Verdict of one schedule, produced by the runner.
+struct RunOutcome {
+  bool ok = true;
+  std::string message;      // first violation when !ok
+  uint64_t trace_hash = 0;  // fingerprint of the observable behavior
+};
+
+/// Runs the program once under `policy` (construct everything fresh, install
+/// the policy, run, validate) and reports the verdict.
+using ScheduleRunner = std::function<RunOutcome(ReplayPolicy& policy)>;
+
+struct ExploreReport {
+  uint64_t explored = 0;  // schedules executed
+  uint64_t pruned = 0;    // schedules enumerated but skipped by pruning
+  bool truncated = false;
+  uint64_t distinct_traces = 0;
+  uint64_t failing = 0;
+  DecisionString first_failing;  // meaningful iff failing > 0
+  std::string first_failing_message;
+  /// Schedules executed up to and including the first failing one (0 when
+  /// nothing failed) — the "time to find" a seeded bug; `explored` keeps
+  /// counting to the end of the bounded space.
+  uint64_t schedules_to_first_failure = 0;
+  uint64_t max_decision_points = 0;  // longest run observed
+};
+
+class Explorer {
+ public:
+  explicit Explorer(ScheduleRunner runner) : runner_(std::move(runner)) {}
+
+  /// Depth-first enumeration of all schedules within the bounds.
+  ExploreReport explore(const ExploreConfig& cfg);
+
+  /// Replays one schedule. When `fully_applied` is non-null it reports
+  /// whether every override matched a decision step — false means the
+  /// string is stale (wrong program/back-end/horizon, or shifted steps) and
+  /// the outcome describes some other schedule, not the requested one.
+  RunOutcome replay(const DecisionString& schedule, uint64_t horizon,
+                    bool* fully_applied = nullptr);
+
+  /// Greedy 1-minimal reduction of a failing schedule: repeatedly drops any
+  /// single override whose removal keeps the failure, until none can go.
+  /// A candidate reduction only counts as "still failing" when all its
+  /// overrides applied — a replay-mismatch abort is not the bug recurring.
+  DecisionString minimize(DecisionString failing, uint64_t horizon);
+
+ private:
+  ScheduleRunner runner_;
+};
+
+}  // namespace pmc::explore

@@ -1,0 +1,38 @@
+#include "explore/replay_policy.h"
+
+#include "util/check.h"
+
+namespace pmc::explore {
+
+ReplayPolicy::ReplayPolicy(DecisionString overrides, uint64_t horizon)
+    : overrides_(std::move(overrides)), horizon_(horizon) {
+  for (size_t i = 1; i < overrides_.size(); ++i) {
+    PMC_CHECK_MSG(overrides_[i - 1].step < overrides_[i].step,
+                  "replay overrides must have strictly increasing steps");
+  }
+}
+
+int ReplayPolicy::pick(const sim::YieldPoint& yp,
+                       const std::vector<sim::ScheduleCandidate>& cands) {
+  PMC_CHECK_MSG(yp.step == steps_, "scheduler decisions arrived out of order");
+  steps_ = yp.step + 1;
+  if (yp.step < horizon_) {
+    cand_count_.push_back(static_cast<int>(cands.size()));
+  }
+  if (yp.step < horizon_ + 1) {
+    observable_.push_back(yp.observable ? 1 : 0);
+  }
+  int choice = 0;
+  if (next_ < overrides_.size() && overrides_[next_].step == yp.step) {
+    choice = overrides_[next_].choice;
+    PMC_CHECK_MSG(
+        choice >= 1 && choice < static_cast<int>(cands.size()),
+        "replay decision " << overrides_[next_].step << ":" << choice
+                           << " does not match this program (only "
+                           << cands.size() << " runnable cores at that step)");
+    ++next_;
+  }
+  return choice;
+}
+
+}  // namespace pmc::explore

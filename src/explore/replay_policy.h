@@ -1,0 +1,53 @@
+// SchedulePolicy that replays a decision string and records what it saw.
+//
+// At every scheduling decision the policy applies the next override if its
+// step matches, and otherwise picks the min-time default. While running it
+// records, for every decision step up to the horizon, how many candidates
+// were runnable and whether the segment that just ended touched the memory
+// system — exactly the information the Explorer needs to enumerate and
+// prune the children of this schedule without re-running it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "explore/decision.h"
+#include "sim/scheduler.h"
+
+namespace pmc::explore {
+
+class ReplayPolicy final : public sim::SchedulePolicy {
+ public:
+  /// `horizon` bounds the recorded prefix (and thus which steps can branch).
+  ReplayPolicy(DecisionString overrides, uint64_t horizon);
+
+  int pick(const sim::YieldPoint& yp,
+           const std::vector<sim::ScheduleCandidate>& cands) override;
+
+  // -- Post-run observations --------------------------------------------------
+  /// Total scheduling decisions the run took.
+  uint64_t decision_points() const { return steps_; }
+  /// Candidate count at decision step `p` (recorded steps only, p < horizon).
+  int candidates_at(uint64_t p) const {
+    return p < cand_count_.size() ? cand_count_[p] : 0;
+  }
+  /// True when the segment dispatched at step `p` performed no memory-system
+  /// effect (pure compute/idle delay) — established by the yield that ended
+  /// it. Unknown (last segment / beyond horizon) reports false, so callers
+  /// never prune on missing information.
+  bool pure_segment(uint64_t p) const {
+    return p + 1 < observable_.size() && observable_[p + 1] == 0;
+  }
+  /// Overrides that never matched a decision step (stale replay string).
+  size_t unused_overrides() const { return overrides_.size() - next_; }
+
+ private:
+  DecisionString overrides_;
+  uint64_t horizon_;
+  size_t next_ = 0;
+  uint64_t steps_ = 0;
+  std::vector<int> cand_count_;      // indexed by step, up to horizon
+  std::vector<uint8_t> observable_;  // indexed by step, up to horizon + 1
+};
+
+}  // namespace pmc::explore

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string_view>
 
 #include "runtime/object.h"
 
@@ -48,6 +50,9 @@ class Backend {
 enum class BackendKind : uint8_t { kNoCC, kSWCC, kDSM, kSPM };
 
 const char* to_string(BackendKind k);
+/// Inverse of to_string: "nocc"/"swcc"/"dsm"/"spm" (exact match), or
+/// std::nullopt for anything else — CLIs report their own errors.
+std::optional<BackendKind> backend_from_string(std::string_view name);
 
 /// Deliberate protocol bugs for failure-injection tests: each one must be
 /// caught by the Definition 12 trace validator (tests/runtime/...).

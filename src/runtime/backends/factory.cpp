@@ -12,6 +12,14 @@ const char* to_string(BackendKind k) {
   return "?";
 }
 
+std::optional<BackendKind> backend_from_string(std::string_view name) {
+  for (BackendKind k : {BackendKind::kNoCC, BackendKind::kSWCC,
+                        BackendKind::kDSM, BackendKind::kSPM}) {
+    if (name == to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
 std::unique_ptr<Backend> make_backend(BackendKind kind, ObjectSpace& objs) {
   return make_backend(kind, objs, FaultInjection{});
 }

@@ -17,6 +17,19 @@ const char* to_string(Target t) {
   return "?";
 }
 
+std::optional<Target> target_from_string(std::string_view name) {
+  if (name == to_string(Target::kHostSC)) return Target::kHostSC;
+  const std::optional<BackendKind> k = backend_from_string(name);
+  if (!k) return std::nullopt;
+  switch (*k) {
+    case BackendKind::kNoCC: return Target::kNoCC;
+    case BackendKind::kSWCC: return Target::kSWCC;
+    case BackendKind::kDSM: return Target::kDSM;
+    case BackendKind::kSPM: return Target::kSPM;
+  }
+  return std::nullopt;
+}
+
 bool is_sim(Target t) { return t != Target::kHostSC; }
 
 std::vector<Target> all_targets() {
@@ -53,6 +66,9 @@ Program::Program(const ProgramOptions& opts) : opts_(opts) {
   mc.mesh_width = std::min(8, opts_.cores);
   mc.cache_shared = opts_.target == Target::kSWCC;
   machine_ = std::make_unique<sim::Machine>(mc);
+  if (opts_.schedule_policy != nullptr) {
+    machine_->set_schedule_policy(opts_.schedule_policy);
+  }
   const uint32_t cap = static_cast<uint32_t>(opts_.lock_capacity);
   locks_ = std::make_unique<sync::DistLockManager>(
       *machine_, sim::kSdramBase, cap * 64, /*lm_offset=*/0, cap * 8);

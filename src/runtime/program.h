@@ -22,6 +22,10 @@ namespace pmc::rt {
 enum class Target : uint8_t { kHostSC, kNoCC, kSWCC, kDSM, kSPM };
 
 const char* to_string(Target t);
+/// Inverse of to_string ("host-sc"/"nocc"/"swcc"/"dsm"/"spm"), or
+/// std::nullopt for anything else. Simulated names go through
+/// backend_from_string so the two stay in lockstep.
+std::optional<Target> target_from_string(std::string_view name);
 bool is_sim(Target t);
 /// All five targets, for parameterized suites.
 std::vector<Target> all_targets();
@@ -41,6 +45,10 @@ struct ProgramOptions {
   FaultInjection faults;
   /// Implementation choices (lazy vs eager release, §V-A).
   BackendPolicy policy;
+  /// Scheduling-decision override for schedule exploration (sim targets
+  /// only; not owned, must outlive run()). nullptr keeps the default
+  /// bit-deterministic min-time schedule.
+  sim::SchedulePolicy* schedule_policy = nullptr;
 };
 
 class Program {
@@ -87,6 +95,8 @@ class Program {
   sim::CoreStats stats_sum() const;
   /// nullptr unless a validated sim run completed.
   const model::TraceValidator* validator() const { return validator_.get(); }
+  /// The recorded model trace (empty unless a validated sim run completed).
+  const std::vector<model::TraceEvent>& trace() const { return rt_.trace; }
   /// Throws CheckFailure describing the first Definition 12 violation.
   void require_valid() const;
 

@@ -231,6 +231,12 @@ void Core::uncached_access(Addr a, void* rd_out, const void* wr_data, size_t n,
 void Core::access(Addr a, void* rd_out, const void* wr_data, size_t n,
                   MemClass c) {
   PMC_CHECK(n > 0);
+  // Memory effects happen between this call's clock advances (e.g. a posted
+  // write is enqueued after its cost was charged), so mark the segment
+  // observable both entering and leaving: the enclosing advances — and the
+  // next advance after the trailing effect — must not be treated as pure
+  // delay by schedule exploration.
+  m_.sched_.note_effect(id_);
   auto& s = m_.stats_[id_];
   if (wr_data != nullptr) {
     s.stores++;
@@ -253,6 +259,7 @@ void Core::access(Addr a, void* rd_out, const void* wr_data, size_t n,
       charge(words * t.lm_load, 0, read_bucket(c));
       lm.read(now(), a, rd_out, n);
     }
+    m_.sched_.note_effect(id_);
     return;
   }
   PMC_CHECK_MSG(m_.sdram_.contains(a, n), "unmapped address " << a);
@@ -262,6 +269,7 @@ void Core::access(Addr a, void* rd_out, const void* wr_data, size_t n,
   } else {
     uncached_access(a, rd_out, wr_data, n, c);
   }
+  m_.sched_.note_effect(id_);
 }
 
 uint8_t Core::load_u8(Addr a, MemClass c) {
@@ -296,6 +304,7 @@ void Core::write_block(Addr a, const void* data, size_t n, MemClass c) {
 
 uint64_t Core::remote_write(int dst_tile, Addr dst_addr, const void* data,
                             size_t n) {
+  m_.sched_.note_effect(id_);
   PMC_CHECK(dst_tile >= 0 && dst_tile < m_.cfg_.num_cores);
   PMC_CHECK_MSG(dst_tile != id_, "remote_write to own tile: use store");
   MemModule& dst = *m_.lms_[dst_tile];
@@ -308,11 +317,13 @@ uint64_t Core::remote_write(int dst_tile, Addr dst_addr, const void* data,
   dst.post_write(arrival, dst_addr, data, n);
   s.remote_writes++;
   s.noc_bytes_sent += n;
+  m_.sched_.note_effect(id_);
   return arrival;
 }
 
 void Core::dma_read(Addr src, void* out, size_t n, MemClass c) {
   PMC_CHECK(n > 0);
+  m_.sched_.note_effect(id_);
   PMC_CHECK_MSG(m_.sdram_.contains(src, n), "dma_read is SDRAM-only");
   const auto& t = m_.cfg_.timing;
   const uint64_t words = (n + 3) / 4;
@@ -322,10 +333,12 @@ void Core::dma_read(Addr src, void* out, size_t n, MemClass c) {
   m_.sdram_.read(now(), src, out, n);
   charge(0, t.sdram_read - req + words * t.dma_per_word, read_bucket(c));
   m_.stats_[id_].loads++;
+  m_.sched_.note_effect(id_);
 }
 
 uint64_t Core::dma_write(Addr dst, const void* data, size_t n, MemClass c) {
   PMC_CHECK(n > 0);
+  m_.sched_.note_effect(id_);
   PMC_CHECK_MSG(m_.sdram_.contains(dst, n), "dma_write is SDRAM-only");
   (void)c;
   const auto& t = m_.cfg_.timing;
@@ -336,6 +349,7 @@ uint64_t Core::dma_write(Addr dst, const void* data, size_t n, MemClass c) {
   const uint64_t arrival = start + t.sdram_write_visible;
   m_.sdram_.post_write(arrival, dst, data, n);
   m_.stats_[id_].stores++;
+  m_.sched_.note_effect(id_);
   return arrival;
 }
 
@@ -357,6 +371,7 @@ void Core::charge_stall(uint64_t cycles, StallBucket bucket) {
 }
 
 uint64_t Core::cache_wbinval(Addr a, size_t n) {
+  m_.sched_.note_effect(id_);
   auto& s = m_.stats_[id_];
   auto& cache = m_.cores_[id_]->dcache;
   const auto& t = m_.cfg_.timing;
@@ -378,6 +393,7 @@ uint64_t Core::cache_wbinval(Addr a, size_t n) {
     }
     charge(0, stall, &CoreStats::stall_flush);
   }
+  m_.sched_.note_effect(id_);
   return last_arrival;
 }
 
@@ -387,6 +403,7 @@ void Core::wait_until(uint64_t t, StallBucket bucket) {
 }
 
 void Core::cache_inval(Addr a, size_t n) {
+  m_.sched_.note_effect(id_);
   auto& s = m_.stats_[id_];
   auto& cache = m_.cores_[id_]->dcache;
   const auto& t = m_.cfg_.timing;
@@ -398,6 +415,7 @@ void Core::cache_inval(Addr a, size_t n) {
 }
 
 uint32_t Core::atomic_swap(Addr a, uint32_t value) {
+  m_.sched_.note_effect(id_);
   PMC_CHECK(a % 4 == 0);
   PMC_CHECK_MSG(m_.sdram_.contains(a, 4), "atomics live on the SDRAM port");
   const auto& t = m_.cfg_.timing;
@@ -406,11 +424,13 @@ uint32_t Core::atomic_swap(Addr a, uint32_t value) {
   charge(1, req - 1, &CoreStats::stall_sync_read);
   m_.stats_[id_].atomics++;
   const uint32_t old = m_.sdram_.atomic_swap_u32(now(), a, value);
+  m_.sched_.note_effect(id_);
   charge(0, total - req, &CoreStats::stall_sync_read);
   return old;
 }
 
 uint32_t Core::atomic_add(Addr a, uint32_t delta) {
+  m_.sched_.note_effect(id_);
   PMC_CHECK(a % 4 == 0);
   PMC_CHECK_MSG(m_.sdram_.contains(a, 4), "atomics live on the SDRAM port");
   const auto& t = m_.cfg_.timing;
@@ -419,11 +439,13 @@ uint32_t Core::atomic_add(Addr a, uint32_t delta) {
   charge(1, req - 1, &CoreStats::stall_sync_read);
   m_.stats_[id_].atomics++;
   const uint32_t old = m_.sdram_.atomic_add_u32(now(), a, delta);
+  m_.sched_.note_effect(id_);
   charge(0, total - req, &CoreStats::stall_sync_read);
   return old;
 }
 
 uint32_t Core::atomic_cas(Addr a, uint32_t expected, uint32_t desired) {
+  m_.sched_.note_effect(id_);
   PMC_CHECK(a % 4 == 0);
   PMC_CHECK_MSG(m_.sdram_.contains(a, 4), "atomics live on the SDRAM port");
   const auto& t = m_.cfg_.timing;
@@ -432,6 +454,7 @@ uint32_t Core::atomic_cas(Addr a, uint32_t expected, uint32_t desired) {
   charge(1, req - 1, &CoreStats::stall_sync_read);
   m_.stats_[id_].atomics++;
   const uint32_t old = m_.sdram_.atomic_cas_u32(now(), a, expected, desired);
+  m_.sched_.note_effect(id_);
   charge(0, total - req, &CoreStats::stall_sync_read);
   return old;
 }

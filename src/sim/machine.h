@@ -149,6 +149,13 @@ class Machine {
   /// Runs body(core) on every core. A Machine instance runs once.
   void run(const std::function<void(Core&)>& body);
 
+  /// Installs a scheduling-decision override (see sim/scheduler.h); must be
+  /// called before run(). Used by the schedule-exploration engine
+  /// (src/explore/) to model-check interleavings. Not owned.
+  void set_schedule_policy(SchedulePolicy* policy) {
+    sched_.set_policy(policy);
+  }
+
   MemModule& sdram() { return sdram_; }
   MemModule& local_mem(int tile) { return *lms_[tile]; }
   Noc& noc() { return noc_; }

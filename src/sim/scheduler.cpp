@@ -1,7 +1,7 @@
 #include "sim/scheduler.h"
 
+#include <algorithm>
 #include <thread>
-#include <vector>
 
 #include "util/check.h"
 
@@ -22,6 +22,38 @@ int Scheduler::pick_next_locked() const {
   return best;
 }
 
+int Scheduler::consult_policy_locked(int yielding) {
+  std::vector<ScheduleCandidate> cands;
+  cands.reserve(slots_.size());
+  for (int i = 0; i < num_cores(); ++i) {
+    if (!slots_[i].done) cands.push_back({i, slots_[i].time});
+  }
+  if (cands.empty()) return -1;
+  std::sort(cands.begin(), cands.end(),
+            [](const ScheduleCandidate& a, const ScheduleCandidate& b) {
+              return a.time != b.time ? a.time < b.time : a.core < b.core;
+            });
+  YieldPoint yp;
+  yp.step = step_++;
+  yp.yielding = yielding;
+  if (yielding >= 0) {
+    yp.observable = slots_[yielding].observable;
+    slots_[yielding].observable = false;
+  }
+  const int choice = policy_->pick(yp, cands);
+  PMC_CHECK_MSG(choice >= 0 && choice < static_cast<int>(cands.size()),
+                "schedule policy returned candidate index "
+                    << choice << " of " << cands.size() << " at step "
+                    << yp.step);
+  Slot& chosen = slots_[cands[static_cast<size_t>(choice)].core];
+  // Bypassed cores were effectively stalled: the dispatched core may never
+  // start a segment before the frontier, or its memory events could carry
+  // timestamps older than reads that already executed.
+  chosen.time = std::max(chosen.time, frontier_);
+  frontier_ = chosen.time;
+  return cands[static_cast<size_t>(choice)].core;
+}
+
 void Scheduler::advance(int core, uint64_t delta) {
   std::unique_lock<std::mutex> lk(mu_);
   PMC_CHECK_MSG(current_ == core, "advance() from a core that is not running");
@@ -30,7 +62,8 @@ void Scheduler::advance(int core, uint64_t delta) {
   PMC_CHECK_MSG(me.time < max_cycles_,
                 "simulation watchdog: core " << core << " passed "
                     << max_cycles_ << " cycles (deadlock?)");
-  const int next = pick_next_locked();
+  const int next =
+      policy_ != nullptr ? consult_policy_locked(core) : pick_next_locked();
   if (next == core || next == -1) return;
   current_ = next;
   slots_[next].cv.notify_one();
@@ -50,7 +83,8 @@ void Scheduler::thread_main(int core, const std::function<void(int)>& body) {
   }
   std::lock_guard<std::mutex> lk(mu_);
   slots_[core].done = true;
-  const int next = pick_next_locked();
+  const int next =
+      policy_ != nullptr ? consult_policy_locked(core) : pick_next_locked();
   if (next != -1) {
     current_ = next;
     slots_[next].cv.notify_one();
@@ -61,16 +95,25 @@ void Scheduler::run(const std::function<void(int)>& body) {
   for (auto& s : slots_) {
     s.time = 0;
     s.done = false;
+    s.observable = false;
   }
   error_ = nullptr;
-  // Lowest id runs first among the all-zero clocks.
+  step_ = 0;
+  frontier_ = 0;
+  // Lowest id runs first among the all-zero clocks — unless a policy
+  // overrides this very first decision too.
   current_ = 0;
+  if (policy_ != nullptr) {
+    std::lock_guard<std::mutex> lk(mu_);
+    current_ = consult_policy_locked(/*yielding=*/-1);
+    PMC_CHECK(current_ != -1);
+  }
   std::vector<std::thread> threads;
   threads.reserve(slots_.size());
   for (int i = 0; i < num_cores(); ++i) {
     threads.emplace_back([this, i, &body] { thread_main(i, body); });
   }
-  // Threads self-schedule: core 0 sees current_ == 0 and starts.
+  // Threads self-schedule: the chosen core sees current_ == id and starts.
   for (auto& t : threads) t.join();
   if (error_) std::rethrow_exception(error_);
 }

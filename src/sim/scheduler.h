@@ -11,6 +11,16 @@
 //    simulated clocks, never on host thread timing;
 //  * no locks are needed around machine state (single runner), and the
 //    mutex/condvar handoff provides the host-level happens-before.
+//
+// A SchedulePolicy (DESIGN.md §6) may override the pick at every decision
+// point. To keep the simulation timing-consistent when a non-minimal core is
+// chosen, the dispatched core's clock is warped forward to the scheduler
+// frontier (the latest dispatch time so far): a bypassed core behaves as if
+// it had been stalled by an external interrupt, and no core ever generates a
+// memory event with a timestamp older than an event already executed. Under
+// the default min-time pick the warp is provably a no-op, so installing no
+// policy (or one that always returns 0) preserves today's bit-deterministic
+// behavior exactly.
 #pragma once
 
 #include <condition_variable>
@@ -19,8 +29,42 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <vector>
 
 namespace pmc::sim {
+
+/// One runnable core at a decision point.
+struct ScheduleCandidate {
+  int core = -1;
+  uint64_t time = 0;
+};
+
+/// Context of one scheduling decision.
+struct YieldPoint {
+  /// Global decision index, starting at 0 with the initial dispatch.
+  /// Deterministic across runs of the same program, which makes it the
+  /// coordinate system of replayable decision strings (src/explore/).
+  uint64_t step = 0;
+  /// Core whose advance (or completion) triggered this decision; -1 for the
+  /// initial dispatch before any core ran.
+  int yielding = -1;
+  /// True when the yielding core touched the memory system (load, store,
+  /// atomic, NoC, DMA, cache maintenance) since its previous yield. False
+  /// means the segment that just ended was pure delay (compute/idle), which
+  /// schedule explorers use to prune equivalent interleavings.
+  bool observable = false;
+};
+
+/// Overrides the scheduler's pick at each decision point. pick() is called
+/// with the scheduler lock held and must not call back into the Scheduler;
+/// `cands` is sorted by (time, core_id), so index 0 is the min-time default.
+/// Returning 0 everywhere reproduces the default schedule bit-for-bit.
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+  virtual int pick(const YieldPoint& yp,
+                   const std::vector<ScheduleCandidate>& cands) = 0;
+};
 
 class Scheduler {
  public:
@@ -30,6 +74,10 @@ class Scheduler {
 
   int num_cores() const { return static_cast<int>(slots_.size()); }
 
+  /// Installs a decision-point override (nullptr restores the default
+  /// min-time pick). Must be called before run(); not owned.
+  void set_policy(SchedulePolicy* policy) { policy_ = policy; }
+
   /// Runs body(core_id) on one host thread per core under min-time
   /// scheduling; returns when all cores finish. Rethrows the first exception
   /// any core raised.
@@ -37,6 +85,16 @@ class Scheduler {
 
   /// Local clock of `core`. Only meaningful from that core's own thread.
   uint64_t now(int core) const { return slots_[core].time; }
+
+  /// Marks that `core` performed a memory-system effect since its last
+  /// advance (cheap no-op without a policy). Called by the machine layer
+  /// from the running core's own thread.
+  void note_effect(int core) {
+    if (policy_ != nullptr) slots_[core].observable = true;
+  }
+
+  /// Number of scheduling decisions taken so far (policy runs only).
+  uint64_t decisions() const { return step_; }
 
   /// Advances the calling core's clock and yields if it is no longer the
   /// minimum. Must only be called by the currently running core.
@@ -49,10 +107,14 @@ class Scheduler {
   struct Slot {
     uint64_t time = 0;
     bool done = false;
+    bool observable = false;  // effect since last yield (policy runs only)
     std::condition_variable cv;
   };
 
   int pick_next_locked() const;
+  /// Consults the policy, warps the chosen core's clock to the frontier and
+  /// advances the frontier; returns the chosen core or -1 when all done.
+  int consult_policy_locked(int yielding);
   void thread_main(int core, const std::function<void(int)>& body);
 
   mutable std::mutex mu_;
@@ -60,6 +122,9 @@ class Scheduler {
   int current_ = 0;
   uint64_t max_cycles_;
   std::exception_ptr error_;
+  SchedulePolicy* policy_ = nullptr;
+  uint64_t step_ = 0;      // decision counter (policy runs only)
+  uint64_t frontier_ = 0;  // latest dispatch time (policy runs only)
 };
 
 }  // namespace pmc::sim

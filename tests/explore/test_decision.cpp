@@ -1,0 +1,47 @@
+// Decision-string encode/parse round trips and rejection of malformed input.
+#include "explore/decision.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace pmc::explore {
+namespace {
+
+TEST(Decision, EmptyStringIsDefaultSchedule) {
+  EXPECT_EQ(to_string(DecisionString{}), "");
+  EXPECT_TRUE(parse_decision_string("").empty());
+}
+
+TEST(Decision, RoundTrip) {
+  const DecisionString ds = {{12, 1}, {40, 2}, {1000000, 7}};
+  const std::string text = to_string(ds);
+  EXPECT_EQ(text, "12:1,40:2,1000000:7");
+  EXPECT_EQ(parse_decision_string(text), ds);
+}
+
+TEST(Decision, SingleOverride) {
+  const auto ds = parse_decision_string("3:1");
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].step, 3u);
+  EXPECT_EQ(ds[0].choice, 1);
+}
+
+TEST(Decision, RejectsMalformedInput) {
+  EXPECT_THROW(parse_decision_string("abc"), util::CheckFailure);
+  EXPECT_THROW(parse_decision_string("3"), util::CheckFailure);
+  EXPECT_THROW(parse_decision_string("3:"), util::CheckFailure);
+  EXPECT_THROW(parse_decision_string("3:1,"), util::CheckFailure);
+  EXPECT_THROW(parse_decision_string(":1"), util::CheckFailure);
+  EXPECT_THROW(parse_decision_string("3:1 4:1"), util::CheckFailure);
+}
+
+TEST(Decision, RejectsDefaultChoiceAndNonIncreasingSteps) {
+  // choice 0 is the default pick — never a legal override.
+  EXPECT_THROW(parse_decision_string("3:0"), util::CheckFailure);
+  EXPECT_THROW(parse_decision_string("4:1,4:1"), util::CheckFailure);
+  EXPECT_THROW(parse_decision_string("5:1,4:1"), util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace pmc::explore

@@ -1,0 +1,186 @@
+// Explorer enumeration, pruning accounting, back-end model checking, and
+// seeded-bug discovery.
+//
+// The closed-form counting tests pin the enumeration exactly: for a 2-core
+// litmus program every decision step below the horizon has exactly two
+// runnable cores (one alternative), so the number of schedules with at most
+// k preemptions in the first H steps is sum_{j<=k} C(H, j). The explorer's
+// explored (pruning off) — or explored + pruned (k = 1) — must match it.
+#include "explore/explorer.h"
+
+#include <gtest/gtest.h>
+
+#include "explore/litmus_driver.h"
+#include "model/litmus_library.h"
+
+namespace pmc::explore {
+namespace {
+
+TEST(Annotatable, FiltersTheLitmusLibrary) {
+  EXPECT_TRUE(annotatable(model::litmus::fig5_mp_annotated()));
+  EXPECT_TRUE(annotatable(model::litmus::fig4_exclusive()));
+  EXPECT_TRUE(annotatable(model::litmus::sb_locked()));
+  EXPECT_TRUE(annotatable(model::litmus::wrc_locked()));
+  // Naked accesses cannot run on the §V-A runtime.
+  EXPECT_FALSE(annotatable(model::litmus::fig1_mp_plain()));
+  EXPECT_FALSE(annotatable(model::litmus::sb_plain()));
+  EXPECT_FALSE(annotatable(model::litmus::racy_write_write()));
+  EXPECT_FALSE(annotatable(model::litmus::coherence_rr()));
+  EXPECT_GE(annotatable_tests().size(), 6u);
+}
+
+// -- Closed-form enumeration (2 cores, 2 objects: fig5_mp_annotated) --------
+
+TEST(Explorer, ClosedFormCountWithoutPruning) {
+  const LitmusCheck check(model::litmus::fig5_mp_annotated(),
+                          rt::Target::kNoCC);
+  Explorer ex(check.runner());
+  ExploreConfig cfg;
+  cfg.preemption_bound = 2;
+  cfg.horizon = 10;
+  cfg.prune_delay = false;
+  const auto rep = ex.explore(cfg);
+  // C(10,0) + C(10,1) + C(10,2) = 1 + 10 + 45.
+  EXPECT_EQ(rep.explored, 56u);
+  EXPECT_EQ(rep.pruned, 0u);
+  EXPECT_FALSE(rep.truncated);
+  EXPECT_EQ(rep.failing, 0u);
+}
+
+TEST(Explorer, ClosedFormCountWithPruning) {
+  const LitmusCheck check(model::litmus::fig5_mp_annotated(),
+                          rt::Target::kNoCC);
+  Explorer ex(check.runner());
+  ExploreConfig cfg;
+  cfg.preemption_bound = 1;  // depth 1: pruned schedules have no children
+  cfg.horizon = 10;
+  cfg.prune_delay = true;
+  const auto rep = ex.explore(cfg);
+  // Every enumerated schedule is either run or pruned: C(10,0) + C(10,1).
+  EXPECT_EQ(rep.explored + rep.pruned, 11u);
+  EXPECT_GT(rep.pruned, 0u) << "fig5 has pure-delay segments to prune";
+  EXPECT_EQ(rep.failing, 0u);
+}
+
+TEST(Explorer, ThreeCoreClosedFormCount) {
+  // wrc_locked has 3 threads: two alternatives per step below the horizon.
+  const LitmusCheck check(model::litmus::wrc_locked(), rt::Target::kNoCC);
+  Explorer ex(check.runner());
+  ExploreConfig cfg;
+  cfg.preemption_bound = 1;
+  cfg.horizon = 8;
+  cfg.prune_delay = false;
+  const auto rep = ex.explore(cfg);
+  EXPECT_EQ(rep.explored, 1u + 2u * 8u);
+}
+
+TEST(Explorer, MaxSchedulesTruncates) {
+  const LitmusCheck check(model::litmus::fig5_mp_annotated(),
+                          rt::Target::kNoCC);
+  Explorer ex(check.runner());
+  ExploreConfig cfg;
+  cfg.preemption_bound = 2;
+  cfg.horizon = 10;
+  cfg.prune_delay = false;
+  cfg.max_schedules = 7;
+  const auto rep = ex.explore(cfg);
+  EXPECT_TRUE(rep.truncated);
+  EXPECT_EQ(rep.explored, 7u);
+}
+
+TEST(Explorer, ReplayReportsUnappliedOverrides) {
+  // A stale decision string (step beyond the run, or wrong program) must
+  // not masquerade as a verdict about the requested schedule.
+  const LitmusCheck check(model::litmus::fig5_mp_annotated(),
+                          rt::Target::kNoCC);
+  Explorer ex(check.runner());
+  bool applied = false;
+  const auto out = ex.replay({}, 16, &applied);
+  EXPECT_TRUE(out.ok);
+  EXPECT_TRUE(applied);
+  ex.replay({{99'999'999, 1}}, 16, &applied);
+  EXPECT_FALSE(applied);
+}
+
+// -- Model checking the back-ends across interleavings ----------------------
+
+class BackendSweep : public ::testing::TestWithParam<rt::Target> {};
+
+TEST_P(BackendSweep, EveryExploredScheduleIsModelValid) {
+  for (const auto& test : annotatable_tests()) {
+    const LitmusCheck check(test, GetParam());
+    Explorer ex(check.runner());
+    ExploreConfig cfg;
+    cfg.preemption_bound = 1;
+    cfg.horizon = 10;
+    const auto rep = ex.explore(cfg);
+    EXPECT_EQ(rep.failing, 0u)
+        << test.name << " on " << rt::to_string(GetParam()) << ": schedule \""
+        << to_string(rep.first_failing)
+        << "\": " << rep.first_failing_message;
+    EXPECT_GE(rep.explored, 1u);
+  }
+}
+
+TEST_P(BackendSweep, ExplorationReachesDistinctTraces) {
+  const LitmusCheck check(model::litmus::fig5_mp_annotated(), GetParam());
+  Explorer ex(check.runner());
+  ExploreConfig cfg;
+  cfg.preemption_bound = 1;
+  cfg.horizon = 12;
+  cfg.prune_delay = false;
+  const auto rep = ex.explore(cfg);
+  EXPECT_GT(rep.distinct_traces, 1u)
+      << "preemptions should produce observably different interleavings";
+}
+
+INSTANTIATE_TEST_SUITE_P(SimTargets, BackendSweep,
+                         ::testing::ValuesIn(rt::sim_targets()),
+                         [](const auto& info) {
+                           return std::string(rt::to_string(info.param));
+                         });
+
+// -- Seeded-bug discovery and minimization ----------------------------------
+
+class SeededBug : public ::testing::TestWithParam<rt::Target> {};
+
+TEST_P(SeededBug, HiddenUnderDefaultScheduleFoundByExploration) {
+  LitmusCheck check = seeded_bug_check(GetParam());
+  Explorer ex(check.runner());
+  ExploreConfig cfg;
+  cfg.preemption_bound = 2;
+  cfg.horizon = 16;
+
+  // The fault is schedule-dependent: the default min-time schedule gives the
+  // reader the lock first and sees nothing wrong.
+  EXPECT_TRUE(ex.replay({}, cfg.horizon).ok);
+
+  const auto rep = ex.explore(cfg);
+  ASSERT_GT(rep.failing, 0u) << "explorer must find the seeded fault";
+
+  // The failing schedule minimizes and replays deterministically.
+  const auto minimal = ex.minimize(rep.first_failing, cfg.horizon);
+  ASSERT_FALSE(minimal.empty());
+  EXPECT_LE(minimal.size(), rep.first_failing.size());
+  const auto again = ex.replay(minimal, cfg.horizon);
+  EXPECT_FALSE(again.ok);
+  EXPECT_EQ(again.message, ex.replay(minimal, cfg.horizon).message);
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultableTargets, SeededBug,
+                         ::testing::Values(rt::Target::kSWCC,
+                                           rt::Target::kDSM,
+                                           rt::Target::kSPM),
+                         [](const auto& info) {
+                           return std::string(rt::to_string(info.param));
+                         });
+
+TEST(SeededBugCoverage, NoCCHasNoSeedableFault) {
+  EXPECT_FALSE(has_seeded_fault(rt::Target::kNoCC));
+  EXPECT_TRUE(has_seeded_fault(rt::Target::kSWCC));
+  EXPECT_TRUE(has_seeded_fault(rt::Target::kDSM));
+  EXPECT_TRUE(has_seeded_fault(rt::Target::kSPM));
+}
+
+}  // namespace
+}  // namespace pmc::explore

@@ -1,0 +1,40 @@
+// backend_from_string / target_from_string: exact inverses of to_string.
+#include <gtest/gtest.h>
+
+#include "runtime/program.h"
+
+namespace pmc::rt {
+namespace {
+
+TEST(Factory, BackendFromStringRoundTrips) {
+  for (BackendKind k : {BackendKind::kNoCC, BackendKind::kSWCC,
+                        BackendKind::kDSM, BackendKind::kSPM}) {
+    const auto back = backend_from_string(to_string(k));
+    ASSERT_TRUE(back.has_value()) << to_string(k);
+    EXPECT_EQ(*back, k);
+  }
+}
+
+TEST(Factory, BackendFromStringRejectsUnknownNames) {
+  EXPECT_FALSE(backend_from_string("").has_value());
+  EXPECT_FALSE(backend_from_string("swc").has_value());
+  EXPECT_FALSE(backend_from_string("SWCC").has_value());
+  EXPECT_FALSE(backend_from_string("swcc ").has_value());
+  EXPECT_FALSE(backend_from_string("host-sc").has_value());
+}
+
+TEST(Factory, TargetFromStringRoundTrips) {
+  for (Target t : all_targets()) {
+    const auto target = target_from_string(to_string(t));
+    ASSERT_TRUE(target.has_value()) << to_string(t);
+    EXPECT_EQ(*target, t);
+  }
+}
+
+TEST(Factory, TargetFromStringRejectsUnknownNames) {
+  EXPECT_FALSE(target_from_string("cache-coherent").has_value());
+  EXPECT_FALSE(target_from_string("host").has_value());
+}
+
+}  // namespace
+}  // namespace pmc::rt

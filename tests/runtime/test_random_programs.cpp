@@ -11,6 +11,9 @@
 // confined to lock order, results order-insensitive (commutative updates).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <numeric>
+
 #include "runtime/program.h"
 #include "util/hash.h"
 #include "util/rng.h"
@@ -109,6 +112,21 @@ uint64_t run_fuzz(Target t, const FuzzConfig& f, bool* validated_ok) {
   return h;
 }
 
+/// Seed list for the parameterized suite. Defaults to 10 seeds; CI/nightly
+/// can widen coverage without a code change by exporting PMC_FUZZ_SEEDS=<n>
+/// (clamped to [1, 10000]).
+std::vector<uint64_t> fuzz_seeds() {
+  int64_t n = 10;
+  if (const char* env = std::getenv("PMC_FUZZ_SEEDS")) {
+    n = std::atoll(env);
+    if (n < 1) n = 1;
+    if (n > 10'000) n = 10'000;
+  }
+  std::vector<uint64_t> seeds(static_cast<size_t>(n));
+  std::iota(seeds.begin(), seeds.end(), UINT64_C(0));
+  return seeds;
+}
+
 class FuzzSeeds : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(FuzzSeeds, AllBackendsValidateAndConverge) {
@@ -131,7 +149,7 @@ TEST_P(FuzzSeeds, AllBackendsValidateAndConverge) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range<uint64_t>(0, 10));
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::ValuesIn(fuzz_seeds()));
 
 TEST(Fuzz, EagerAndLazyReleaseConvergeOnDsm) {
   FuzzConfig f;

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "util/check.h"
@@ -86,6 +87,160 @@ TEST(Scheduler, ExceptionInOneCorePropagates) {
                }),
                std::runtime_error);
   EXPECT_TRUE(s.failed());
+}
+
+// ---------------------------------------------------------------------------
+// SchedulePolicy hook
+// ---------------------------------------------------------------------------
+
+/// Records every decision; picks a scripted choice or the default.
+class RecordingPolicy : public SchedulePolicy {
+ public:
+  explicit RecordingPolicy(std::vector<std::pair<uint64_t, int>> overrides = {})
+      : overrides_(std::move(overrides)) {}
+
+  int pick(const YieldPoint& yp,
+           const std::vector<ScheduleCandidate>& cands) override {
+    points.push_back(yp);
+    cand_counts.push_back(cands.size());
+    dispatch_times.push_back(cands[0].time);  // min-time candidate
+    for (const auto& [step, choice] : overrides_) {
+      if (step == yp.step && choice < static_cast<int>(cands.size())) {
+        dispatch_times.back() = cands[static_cast<size_t>(choice)].time;
+        return choice;
+      }
+    }
+    return 0;
+  }
+
+  std::vector<YieldPoint> points;
+  std::vector<size_t> cand_counts;
+  std::vector<uint64_t> dispatch_times;  // pre-warp time of the chosen core
+
+ private:
+  std::vector<std::pair<uint64_t, int>> overrides_;
+};
+
+namespace workload {
+/// A fixed 3-core workload; records (core, time-at-step) "trace bytes".
+std::vector<uint8_t> run(Scheduler& s, std::vector<uint64_t>* final_clocks) {
+  std::vector<uint8_t> trace;
+  s.run([&](int core) {
+    for (int i = 0; i < 12; ++i) {
+      trace.push_back(static_cast<uint8_t>(core));
+      for (int b = 0; b < 8; ++b) {
+        trace.push_back(static_cast<uint8_t>(s.now(core) >> (8 * b)));
+      }
+      if (i % 3 == core % 3) s.note_effect(core);
+      s.advance(core, static_cast<uint64_t>((core * 5 + i * 7) % 9 + 1));
+    }
+  });
+  if (final_clocks != nullptr) {
+    final_clocks->clear();
+    for (int c = 0; c < s.num_cores(); ++c) final_clocks->push_back(s.now(c));
+  }
+  return trace;
+}
+}  // namespace workload
+
+TEST(Scheduler, BitDeterministicAcrossRuns) {
+  // Regression guard for the SchedulePolicy hook: two runs of the same
+  // program must produce identical per-core final clocks and identical
+  // trace bytes — scheduling depends only on simulated clocks, never on
+  // host thread timing.
+  Scheduler s1(3), s2(3);
+  std::vector<uint64_t> clocks1, clocks2;
+  const auto trace1 = workload::run(s1, &clocks1);
+  const auto trace2 = workload::run(s2, &clocks2);
+  EXPECT_EQ(clocks1, clocks2);
+  EXPECT_EQ(trace1, trace2);
+}
+
+TEST(Scheduler, DefaultPolicyPreservesDefaultScheduleExactly) {
+  Scheduler plain(3), hooked(3);
+  RecordingPolicy policy;  // always returns 0: the min-time default
+  hooked.set_policy(&policy);
+  std::vector<uint64_t> clocks_plain, clocks_hooked;
+  const auto trace_plain = workload::run(plain, &clocks_plain);
+  const auto trace_hooked = workload::run(hooked, &clocks_hooked);
+  EXPECT_EQ(trace_plain, trace_hooked);
+  EXPECT_EQ(clocks_plain, clocks_hooked);
+  EXPECT_GT(policy.points.size(), 0u);
+  EXPECT_EQ(hooked.decisions(), policy.points.size());
+}
+
+TEST(Scheduler, PolicySeesSortedCandidatesAndSequentialSteps) {
+  Scheduler s(3);
+  RecordingPolicy policy;
+  s.set_policy(&policy);
+  workload::run(s, nullptr);
+  ASSERT_FALSE(policy.points.empty());
+  EXPECT_EQ(policy.points.front().step, 0u);
+  EXPECT_EQ(policy.points.front().yielding, -1);  // initial dispatch
+  for (size_t i = 0; i < policy.points.size(); ++i) {
+    EXPECT_EQ(policy.points[i].step, i);
+  }
+  // All three cores runnable at the start; candidates shrink as cores end.
+  EXPECT_EQ(policy.cand_counts.front(), 3u);
+  EXPECT_EQ(policy.cand_counts.back(), 1u);
+}
+
+TEST(Scheduler, ObservabilityTracksNoteEffect) {
+  Scheduler s(1);
+  RecordingPolicy policy;
+  s.set_policy(&policy);
+  s.run([&](int core) {
+    s.advance(core, 1);        // decision 1: nothing observable
+    s.note_effect(core);
+    s.advance(core, 1);        // decision 2: effect since last yield
+    s.advance(core, 1);        // decision 3: flag consumed, pure again
+  });
+  ASSERT_GE(policy.points.size(), 4u);
+  EXPECT_FALSE(policy.points[1].observable);
+  EXPECT_TRUE(policy.points[2].observable);
+  EXPECT_FALSE(policy.points[3].observable);
+}
+
+TEST(Scheduler, OverrideChangesOrderDeterministically) {
+  RecordingPolicy a({{1, 1}, {4, 1}});
+  RecordingPolicy b({{1, 1}, {4, 1}});
+  Scheduler s1(3), s2(3), plain(3);
+  s1.set_policy(&a);
+  s2.set_policy(&b);
+  const auto t1 = workload::run(s1, nullptr);
+  const auto t2 = workload::run(s2, nullptr);
+  const auto t0 = workload::run(plain, nullptr);
+  EXPECT_EQ(t1, t2) << "overridden schedules must replay bit-identically";
+  EXPECT_NE(t1, t0) << "the override must actually change the interleaving";
+}
+
+TEST(Scheduler, FrontierKeepsDispatchTimesMonotonic) {
+  // Aggressively preempt: always pick the *last* (max-time) candidate. The
+  // frontier warp must keep dispatch times nondecreasing, or bypassed cores
+  // could generate memory events in the past of already-executed reads.
+  class MaxTimePolicy : public SchedulePolicy {
+   public:
+    int pick(const YieldPoint&,
+             const std::vector<ScheduleCandidate>& cands) override {
+      chosen_times.push_back(cands.back().time);
+      return static_cast<int>(cands.size()) - 1;
+    }
+    std::vector<uint64_t> chosen_times;
+  };
+  MaxTimePolicy policy;
+  Scheduler s(3);
+  s.set_policy(&policy);
+  std::vector<std::pair<uint64_t, int>> dispatched;
+  s.run([&](int core) {
+    for (int i = 0; i < 10; ++i) {
+      dispatched.emplace_back(s.now(core), core);
+      s.advance(core, static_cast<uint64_t>(core + 1));
+    }
+  });
+  // now() at the top of each resumption is the (post-warp) dispatch time.
+  for (size_t i = 1; i < dispatched.size(); ++i) {
+    EXPECT_GE(dispatched[i].first, dispatched[i - 1].first) << "at " << i;
+  }
 }
 
 TEST(Scheduler, ManyCoresFinishIndependently) {
