@@ -1,4 +1,5 @@
-// bench_explore: throughput of the schedule-exploration engine.
+// bench_explore: throughput and parallel scaling of the schedule-exploration
+// engine.
 //
 // Explores fig5_mp_annotated (message passing, the paper's running example)
 // on every simulated back-end under a fixed preemption bound and horizon,
@@ -6,12 +7,17 @@
 // the seeded-bug mode needs before the injected missing-flush fault is
 // found. Every schedule is a full program re-execution (stateless model
 // checking), so schedules/sec tracks the whole sim+runtime+validator stack.
+// The scaling section re-runs the fig4_exclusive sweep (all four back-ends)
+// at --jobs ∈ {1, 2, 4, …} up to --jobs, checking that the totals stay
+// bit-identical while the wall clock drops.
 //
-//   bench_explore [--preemptions=N] [--horizon=H] [--json[=PATH]]
+//   bench_explore [--preemptions=N] [--horizon=H] [--jobs=N] [--json[=PATH]]
 #include <chrono>
+#include <thread>
 
 #include "bench/bench_common.h"
 #include "explore/litmus_driver.h"
+#include "explore/parallel_explorer.h"
 #include "model/litmus_library.h"
 
 using namespace pmc;
@@ -76,6 +82,69 @@ int main(int argc, char** argv) {
                ? 0.0
                : static_cast<double>(total_pruned) /
                      static_cast<double>(total_explored + total_pruned));
+
+  // Parallel scaling: the fig4_exclusive sweep over all back-ends, sharded
+  // over 1, 2, 4, … workers. Totals must be bit-identical at every job
+  // count (the space is a fixed tree); only the wall clock may change.
+  const int max_jobs = static_cast<int>(bench::flag_int(argc, argv, "jobs", 8));
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+  std::printf("parallel scaling (fig4_exclusive sweep, all back-ends), "
+              "%u host cpu(s)\n\n",
+              host_cpus);
+  if (host_cpus < static_cast<unsigned>(max_jobs)) {
+    std::printf("note: only %u hardware thread(s) — the curve measures "
+                "overhead, not speedup; run on >= %d cores for scaling\n\n",
+                host_cpus, max_jobs);
+  }
+  util::Table scaling;
+  scaling.add_row({"jobs", "explored", "sched/s", "speedup"});
+  double base_rate = 0;
+  double best_rate = 0;
+  uint64_t scaling_explored = 0;
+  int measured_jobs = 1;  // the curve doubles, so record what actually ran
+  for (int jobs = 1; jobs <= max_jobs; jobs *= 2) {
+    measured_jobs = jobs;
+    uint64_t explored = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (rt::Target t : rt::sim_targets()) {
+      const explore::LitmusCheck check(model::litmus::fig4_exclusive(), t);
+      explore::ParallelExplorer ex(check.runner(), jobs);
+      const auto rep = ex.explore(cfg);
+      if (rep.failing != 0) {
+        std::fprintf(stderr, "!! %s: %llu model-invalid schedule(s)\n",
+                     rt::to_string(t),
+                     static_cast<unsigned long long>(rep.failing));
+        return 1;
+      }
+      explored += rep.explored;
+    }
+    const double secs = seconds_since(t0);
+    if (scaling_explored == 0) {
+      scaling_explored = explored;
+    } else if (explored != scaling_explored) {
+      std::fprintf(stderr,
+                   "!! explored totals changed with the job count (%llu vs "
+                   "%llu) — determinism bug\n",
+                   static_cast<unsigned long long>(explored),
+                   static_cast<unsigned long long>(scaling_explored));
+      return 1;
+    }
+    const double rate =
+        secs > 0 ? static_cast<double>(explored) / secs : 0.0;
+    if (jobs == 1) base_rate = rate;
+    if (rate > best_rate) best_rate = rate;
+    char speedup[32];
+    std::snprintf(speedup, sizeof speedup, "%.2fx",
+                  base_rate > 0 ? rate / base_rate : 0.0);
+    scaling.add_row({std::to_string(jobs), bench::fmt_u64(explored),
+                     bench::fmt_u64(static_cast<uint64_t>(rate)), speedup});
+    json.add("jobs_" + std::to_string(jobs) + "_schedules_per_sec", rate);
+  }
+  std::printf("%s\n", scaling.render().c_str());
+  json.add("host_cpus", static_cast<uint64_t>(host_cpus));
+  json.add("scaling_jobs", measured_jobs);
+  json.add("scaling_explored", scaling_explored);
+  json.add("parallel_speedup", base_rate > 0 ? best_rate / base_rate : 0.0);
 
   // Seeded-bug mode: schedules until the injected missing flush is exposed.
   uint64_t worst_to_find = 0;

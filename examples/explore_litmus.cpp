@@ -1,21 +1,28 @@
 // explore_litmus: model-check the Table II back-ends across interleavings.
 //
 // For each annotation-disciplined litmus test, enumerates scheduler
-// interleavings (preemption-bounded, see DESIGN.md §6) and validates every
-// resulting trace against the Definition 12 oracle plus the model's
+// interleavings (preemption-bounded, see DESIGN.md §6/§7) and validates
+// every resulting trace against the Definition 12 oracle plus the model's
 // reachable-outcome set. Clean mode must find zero failures; --seed-bug
 // injects the per-back-end "missing flush" fault that only reordered
 // schedules expose, and the explorer must find, minimize, and replay it.
+// --fuzz switches to differential fuzzing of randomized lock-disciplined
+// programs (the DiffCheck dual oracle). --jobs=N shards the exploration
+// frontier over N workers; reports stay deterministic at any job count.
 //
-//   explore_litmus --backend=swcc --preemptions=2 --horizon=24
+//   explore_litmus --backend=swcc --preemptions=2 --horizon=24 --jobs=4
 //   explore_litmus --seed-bug --backend=dsm
 //   explore_litmus --backend=dsm --test=fig4_exclusive --replay=3:1,4:1
+//   explore_litmus --fuzz=8 --jobs=2 --json
+//   explore_litmus --fuzz-seed=3 --backend=swcc --replay=2:1
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "bench/bench_common.h"
+#include "explore/diff_check.h"
 #include "explore/litmus_driver.h"
+#include "explore/parallel_explorer.h"
 #include "util/table.h"
 
 using namespace pmc;
@@ -36,9 +43,25 @@ std::vector<rt::Target> parse_backends(const char* arg) {
   return {*target};
 }
 
-int run_replay(const explore::LitmusCheck& check, const char* decisions,
-               uint64_t horizon) {
-  explore::Explorer ex(check.runner());
+/// Shape for --fuzz/--fuzz-seed: canonical per-seed shape, with optional
+/// explicit overrides (the knobs repro lines print).
+explore::ProgramShape fuzz_shape(uint64_t seed, int argc, char** argv) {
+  explore::ProgramShape shape = explore::shape_for_seed(seed);
+  if (const int64_t v = flag_int(argc, argv, "fuzz-cores", 0)) {
+    shape.cores = static_cast<int>(v);
+  }
+  if (const int64_t v = flag_int(argc, argv, "fuzz-objects", 0)) {
+    shape.objects = static_cast<int>(v);
+  }
+  if (const int64_t v = flag_int(argc, argv, "fuzz-steps", 0)) {
+    shape.steps = static_cast<int>(v);
+  }
+  return shape;
+}
+
+int run_replay(const explore::ScheduleRunner& runner, const char* what,
+               const char* backend, const char* decisions, uint64_t horizon) {
+  explore::ParallelExplorer ex(runner, 1);
   const auto ds = explore::parse_decision_string(decisions);
   bool applied = false;
   const auto out = ex.replay(ds, horizon, &applied);
@@ -50,14 +73,14 @@ int run_replay(const explore::LitmusCheck& check, const char* decisions,
                  explore::to_string(ds).c_str());
     return 2;
   }
-  std::printf("%s on %s, schedule \"%s\": %s\n", check.test().name.c_str(),
-              rt::to_string(check.target()),
+  std::printf("%s on %s, schedule \"%s\": %s\n", what, backend,
               explore::to_string(ds).c_str(),
               out.ok ? "model-valid" : out.message.c_str());
   return out.ok ? 0 : 1;
 }
 
-int run_seed_bug(rt::Target target, const explore::ExploreConfig& cfg) {
+int run_seed_bug(rt::Target target, const explore::ExploreConfig& cfg,
+                 int jobs, bench::JsonReport& json) {
   if (!explore::has_seeded_fault(target)) {
     std::printf("%-6s no seedable protocol fault (no-CC has no coherence "
                 "actions to omit) — skipped\n",
@@ -65,7 +88,7 @@ int run_seed_bug(rt::Target target, const explore::ExploreConfig& cfg) {
     return 0;
   }
   explore::LitmusCheck check = explore::seeded_bug_check(target);
-  explore::Explorer ex(check.runner());
+  explore::ParallelExplorer ex(check.runner(), jobs);
   // The fault hides under the default schedule; exploration must expose it.
   if (!ex.replay({}, cfg.horizon).ok) {
     std::printf("%-6s unexpected: fault already visible under the default "
@@ -83,18 +106,81 @@ int run_seed_bug(rt::Target target, const explore::ExploreConfig& cfg) {
   const auto minimal = ex.minimize(rep.first_failing, cfg.horizon);
   const auto confirm = ex.replay(minimal, cfg.horizon);
   std::printf(
-      "%-6s seeded fault found after %llu of %llu schedules (%llu failing)\n"
-      "       first failing schedule: \"%s\"\n"
-      "       minimized to:           \"%s\" (%zu preemption(s))\n"
+      "%-6s seeded fault: %llu of %llu explored schedules failing\n"
+      "       canonical failing schedule: \"%s\" (lexicographic minimum)\n"
+      "       minimized to:               \"%s\" (%zu preemption(s))\n"
       "       replay: %s\n",
-      rt::to_string(target),
-      static_cast<unsigned long long>(rep.schedules_to_first_failure),
+      rt::to_string(target), static_cast<unsigned long long>(rep.failing),
       static_cast<unsigned long long>(rep.explored),
-      static_cast<unsigned long long>(rep.failing),
       explore::to_string(rep.first_failing).c_str(),
       explore::to_string(minimal).c_str(), minimal.size(),
       confirm.ok ? "UNEXPECTEDLY VALID" : confirm.message.c_str());
+  const std::string key = std::string("seedbug_") + rt::to_string(target);
+  json.add(key + "_failing", rep.failing);
+  json.add(key + "_explored", rep.explored);
   return confirm.ok ? 1 : 0;
+}
+
+int run_fuzz(uint64_t base_seed, uint64_t count, bool seed_bug,
+             const std::vector<rt::Target>& backends,
+             const explore::ExploreConfig& cfg, int jobs, int argc,
+             char** argv, bench::JsonReport& json) {
+  const rt::FaultInjection faults =
+      seed_bug ? explore::all_seeded_faults() : rt::FaultInjection{};
+  std::printf("differential fuzzing: %llu program(s) from seed %llu, "
+              "preemptions<=%d, horizon=%llu, jobs=%d%s\n\n",
+              static_cast<unsigned long long>(count),
+              static_cast<unsigned long long>(base_seed), cfg.preemption_bound,
+              static_cast<unsigned long long>(cfg.horizon), jobs,
+              seed_bug ? ", seeded faults injected" : "");
+  util::Table table;
+  table.add_row({"seed", "cores", "ops", "explored", "pruned", "traces",
+                 "result"});
+  uint64_t total_explored = 0;
+  uint64_t total_pruned = 0;
+  uint64_t failures = 0;
+  int rc = 0;
+  for (uint64_t s = base_seed; s < base_seed + count; ++s) {
+    const explore::GenProgram prog =
+        explore::generate_program(fuzz_shape(s, argc, argv));
+    const explore::DiffCheck dc(prog, faults);
+    const explore::DiffReport rep = dc.check(cfg, jobs, backends);
+    total_explored += rep.explored;
+    total_pruned += rep.pruned;
+    table.add_row({std::to_string(s), std::to_string(prog.shape.cores),
+                   std::to_string(prog.ops()),
+                   std::to_string(rep.explored) + (rep.truncated ? "+" : ""),
+                   std::to_string(rep.pruned),
+                   std::to_string(rep.distinct_traces),
+                   rep.ok ? "ok" : "FAIL"});
+    if (!rep.ok) {
+      ++failures;
+      rc = seed_bug ? rc : 1;
+      const explore::DiffFailure& f = *rep.failure;
+      std::printf("!! seed %llu on %s: schedule \"%s\": %s\n   %s\n"
+                  "   minimized program:\n%s",
+                  static_cast<unsigned long long>(s),
+                  rt::to_string(f.target),
+                  explore::to_string(f.schedule).c_str(), f.message.c_str(),
+                  f.repro.c_str(), explore::to_string(f.program).c_str());
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  json.add("fuzz_programs", count);
+  json.add("fuzz_explored", total_explored);
+  json.add("fuzz_pruned", total_pruned);
+  json.add("fuzz_failures", failures);
+  if (seed_bug && failures == 0) {
+    std::printf("\n!! seeded faults were injected but no program failed\n");
+    return 1;
+  }
+  std::printf(seed_bug
+                  ? "\nseeded faults found by differential fuzzing on %llu of "
+                    "%llu program(s).\n"
+                  : "\n%llu of %llu program(s) failing.\n",
+              static_cast<unsigned long long>(failures),
+              static_cast<unsigned long long>(count));
+  return rc;
 }
 
 }  // namespace
@@ -107,14 +193,59 @@ int main(int argc, char** argv) {
   cfg.max_schedules =
       static_cast<uint64_t>(flag_int(argc, argv, "max-schedules", 50'000));
   cfg.prune_delay = !flag_set(argc, argv, "no-prune");
+  const int jobs = static_cast<int>(flag_int(argc, argv, "jobs", 1));
   const auto backends = parse_backends(flag_str(argc, argv, "backend", nullptr));
   const char* test_filter = flag_str(argc, argv, "test", nullptr);
   const char* replay = flag_str(argc, argv, "replay", nullptr);
+  const int64_t fuzz_count = flag_int(argc, argv, "fuzz", 0);
+  const int64_t fuzz_seed = flag_int(argc, argv, "fuzz-seed", -1);
 
+  bench::JsonReport json("explore_litmus");
+  json.add("jobs", jobs);
+
+  // -- Differential fuzzing modes ---------------------------------------------
+  if (fuzz_seed >= 0 && replay != nullptr) {
+    // Replay one schedule of one generated program on one back-end: the
+    // second half of every fuzz repro line.
+    if (backends.size() != 1) {
+      std::fprintf(stderr, "--fuzz-seed --replay needs --backend=\n");
+      return 2;
+    }
+    const explore::GenProgram prog = explore::generate_program(
+        fuzz_shape(static_cast<uint64_t>(fuzz_seed), argc, argv));
+    const rt::FaultInjection faults = flag_set(argc, argv, "seed-bug")
+                                          ? explore::all_seeded_faults()
+                                          : rt::FaultInjection{};
+    const explore::DiffCheck dc(prog, faults);
+    const std::string what =
+        "fuzz program seed " + std::to_string(fuzz_seed);
+    return run_replay(dc.runner(backends[0]), what.c_str(),
+                      rt::to_string(backends[0]), replay, cfg.horizon);
+  }
+  if (fuzz_count > 0 || fuzz_seed >= 0) {
+    // Fuzz defaults trade horizon for program count; explicit flags win.
+    explore::ExploreConfig fcfg = cfg;
+    fcfg.preemption_bound =
+        static_cast<int>(flag_int(argc, argv, "preemptions", 1));
+    fcfg.horizon = static_cast<uint64_t>(flag_int(argc, argv, "horizon", 10));
+    const uint64_t base =
+        fuzz_seed >= 0 ? static_cast<uint64_t>(fuzz_seed) : 0;
+    const uint64_t count =
+        fuzz_count > 0 ? static_cast<uint64_t>(fuzz_count) : 1;
+    json.add("preemptions", fcfg.preemption_bound);
+    json.add("horizon", fcfg.horizon);
+    const int rc = run_fuzz(base, count, flag_set(argc, argv, "seed-bug"),
+                            backends, fcfg, jobs, argc, argv, json);
+    return json.maybe_write(argc, argv) ? rc : 1;
+  }
+
+  // -- Litmus modes -----------------------------------------------------------
+  json.add("preemptions", cfg.preemption_bound);
+  json.add("horizon", cfg.horizon);
   if (flag_set(argc, argv, "seed-bug")) {
     int rc = 0;
-    for (rt::Target t : backends) rc |= run_seed_bug(t, cfg);
-    return rc;
+    for (rt::Target t : backends) rc |= run_seed_bug(t, cfg, jobs, json);
+    return json.maybe_write(argc, argv) ? rc : 1;
   }
 
   auto tests = explore::annotatable_tests();
@@ -134,22 +265,25 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--replay needs --backend= and --test=\n");
       return 2;
     }
-    return run_replay(explore::LitmusCheck(tests[0], backends[0]), replay,
-                      cfg.horizon);
+    const explore::LitmusCheck check(tests[0], backends[0]);
+    return run_replay(check.runner(), check.test().name.c_str(),
+                      rt::to_string(check.target()), replay, cfg.horizon);
   }
 
-  std::printf("schedule exploration: preemptions<=%d, horizon=%llu%s\n\n",
+  std::printf("schedule exploration: preemptions<=%d, horizon=%llu, "
+              "jobs=%d%s\n\n",
               cfg.preemption_bound,
-              static_cast<unsigned long long>(cfg.horizon),
+              static_cast<unsigned long long>(cfg.horizon), jobs,
               cfg.prune_delay ? "" : ", pruning off");
   util::Table table;
   table.add_row({"back-end", "test", "explored", "pruned", "traces",
                  "failing"});
   int rc = 0;
+  uint64_t failing_total = 0;
   for (rt::Target t : backends) {
     for (const auto& test : tests) {
       const explore::LitmusCheck check(test, t);
-      explore::Explorer ex(check.runner());
+      explore::ParallelExplorer ex(check.runner(), jobs);
       const auto rep = ex.explore(cfg);
       table.add_row({rt::to_string(t), test.name,
                      std::to_string(rep.explored) +
@@ -157,6 +291,17 @@ int main(int argc, char** argv) {
                      std::to_string(rep.pruned),
                      std::to_string(rep.distinct_traces),
                      std::to_string(rep.failing)});
+      // Per-(back-end, test) outcome set, so CI can assert the numbers
+      // themselves rather than just the exit code.
+      const std::string key =
+          std::string(rt::to_string(t)) + "_" + test.name;
+      json.add(key + "_explored", rep.explored);
+      json.add(key + "_pruned", rep.pruned);
+      json.add(key + "_traces", rep.distinct_traces);
+      json.add(key + "_failing", rep.failing);
+      json.add(key + "_allowed_outcomes",
+               static_cast<uint64_t>(check.allowed_outcomes()));
+      failing_total += rep.failing;
       if (rep.failing != 0) {
         rc = 1;
         std::printf("!! %s on %s: schedule \"%s\": %s\n", test.name.c_str(),
@@ -167,8 +312,9 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("%s", table.render().c_str());
+  json.add("failing_total", failing_total);
   std::printf(
       "\nevery explored schedule re-runs the program deterministically; a\n"
       "failing schedule is reproducible via --replay=<decision string>.\n");
-  return rc;
+  return json.maybe_write(argc, argv) ? rc : 1;
 }

@@ -17,6 +17,12 @@ std::string to_string(const DecisionString& ds) {
   return out;
 }
 
+bool lex_less(const DecisionString& a, const DecisionString& b) {
+  // Decision's defaulted <=> plus vector's lexicographic compare is exactly
+  // the documented order; the named function keeps call sites declarative.
+  return a < b;
+}
+
 namespace {
 
 uint64_t parse_u64(std::string_view text, size_t* pos) {

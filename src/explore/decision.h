@@ -9,6 +9,7 @@
 // reproduced exactly from this string alone (DESIGN.md §6).
 #pragma once
 
+#include <compare>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -20,15 +21,20 @@ struct Decision {
   uint64_t step = 0;  // global scheduling-decision index (sim::YieldPoint)
   int choice = 0;     // candidate index to dispatch; >= 1 (0 is the default)
 
-  friend bool operator==(const Decision& a, const Decision& b) {
-    return a.step == b.step && a.choice == b.choice;
-  }
+  friend auto operator<=>(const Decision&, const Decision&) = default;
 };
 
 using DecisionString = std::vector<Decision>;
 
 /// "12:1,40:2"; "" for the default schedule.
 std::string to_string(const DecisionString& ds);
+
+/// Strict lexicographic order by (step, choice) pairs; a proper prefix sorts
+/// before its extensions. This is the deterministic tie-break the parallel
+/// explorer uses to pick a canonical first failure: the lexicographic
+/// minimum over a fixed schedule space does not depend on the order in which
+/// workers happen to discover failures.
+bool lex_less(const DecisionString& a, const DecisionString& b);
 
 /// Parses to_string's format. Throws util::CheckFailure on malformed input,
 /// non-increasing steps, or a choice < 1.

@@ -207,6 +207,14 @@ rt::FaultInjection seeded_fault(rt::Target target) {
   return f;
 }
 
+rt::FaultInjection all_seeded_faults() {
+  rt::FaultInjection f;
+  f.swcc_skip_exit_writeback = true;
+  f.dsm_skip_transfer = true;
+  f.spm_skip_copy_back = true;
+  return f;
+}
+
 LitmusCheck seeded_bug_check(rt::Target target) {
   return LitmusCheck(model::litmus::fig4_exclusive(), target,
                      seeded_fault(target));

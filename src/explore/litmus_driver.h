@@ -73,6 +73,9 @@ bool has_seeded_fault(rt::Target target);
 /// The per-back-end "missing flush" fault: SWCC forgets the exit writeback,
 /// DSM the ownership transfer, SPM the scratch-pad copy-back.
 rt::FaultInjection seeded_fault(rt::Target target);
+/// Every back-end's seedable fault at once (each back-end reads only its own
+/// flag) — what the fuzzer's self-test mode injects.
+rt::FaultInjection all_seeded_faults();
 
 /// The seeded-bug scenario: fig4_exclusive (a reader and a writer racing for
 /// the same lock) with seeded_fault(target) injected. Under the default

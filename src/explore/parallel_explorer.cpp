@@ -1,0 +1,212 @@
+#include "explore/parallel_explorer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace pmc::explore {
+
+ParallelExplorer::ParallelExplorer(ScheduleRunner runner, int jobs)
+    : runner_(std::move(runner)), jobs_(jobs < 1 ? 1 : jobs) {}
+
+namespace {
+
+/// One worker's slice of the frontier. Owner pushes/pops at the back (LIFO
+/// keeps the search depth-first); thieves pop at the front (FIFO hands them
+/// the shallowest — largest — pending subtree). A plain mutex per deque is
+/// ample: each queue operation amortizes a full program re-execution.
+struct Shard {
+  std::mutex mu;
+  std::deque<DecisionString> dq;
+};
+
+}  // namespace
+
+ExploreReport ParallelExplorer::explore(const ExploreConfig& cfg) {
+  PMC_CHECK(cfg.preemption_bound >= 0);
+  const int jobs = jobs_;
+  std::deque<Shard> shards(static_cast<size_t>(jobs));
+
+  // Shared counters. `in_flight` counts enqueued-but-unfinished prefixes:
+  // a worker increments it for every child *before* retiring the parent, so
+  // it can only reach zero once the whole tree has been processed.
+  std::atomic<uint64_t> claimed{0};
+  std::atomic<uint64_t> explored{0};
+  std::atomic<uint64_t> pruned{0};
+  std::atomic<uint64_t> failing{0};
+  std::atomic<uint64_t> in_flight{1};
+  std::atomic<uint64_t> first_fail_at{0};
+  std::atomic<uint64_t> max_points{0};
+  std::atomic<bool> truncated{false};
+
+  // Canonical failure: lexicographic minimum over everything seen so far.
+  std::mutex best_mu;
+  DecisionString best;
+  std::string best_message;
+  bool have_best = false;
+
+  shards[0].dq.push_back({});
+
+  // Out-of-work workers block here instead of spinning over the shards.
+  // Pushers notify; the bounded wait covers the (benign) race of a push
+  // landing between a failed scan and the wait.
+  std::mutex idle_mu;
+  std::condition_variable idle_cv;
+
+  std::vector<std::unordered_set<uint64_t>> traces(
+      static_cast<size_t>(jobs));
+
+  auto worker = [&](int self) {
+    Shard& own = shards[static_cast<size_t>(self)];
+    auto& local_traces = traces[static_cast<size_t>(self)];
+    while (in_flight.load() != 0) {
+      std::optional<DecisionString> task;
+      {
+        std::lock_guard<std::mutex> lk(own.mu);
+        if (!own.dq.empty()) {
+          task = std::move(own.dq.back());
+          own.dq.pop_back();
+        }
+      }
+      if (!task) {  // steal the oldest prefix from the next busy worker
+        for (int k = 1; k < jobs && !task; ++k) {
+          Shard& victim = shards[static_cast<size_t>((self + k) % jobs)];
+          std::lock_guard<std::mutex> lk(victim.mu);
+          if (!victim.dq.empty()) {
+            task = std::move(victim.dq.front());
+            victim.dq.pop_front();
+          }
+        }
+      }
+      if (!task) {
+        std::unique_lock<std::mutex> lk(idle_mu);
+        if (in_flight.load() == 0) break;
+        idle_cv.wait_for(lk, std::chrono::milliseconds(1));
+        continue;
+      }
+
+      if (claimed.fetch_add(1) >= cfg.max_schedules) {
+        truncated.store(true);
+        if (in_flight.fetch_sub(1) == 1) idle_cv.notify_all();
+        continue;
+      }
+      ReplayPolicy policy(*task, cfg.horizon);
+      const RunOutcome out = runner_(policy);
+      const uint64_t done = explored.fetch_add(1) + 1;
+      local_traces.insert(out.trace_hash);
+      uint64_t prev = max_points.load();
+      while (prev < policy.decision_points() &&
+             !max_points.compare_exchange_weak(prev, policy.decision_points())) {
+      }
+      if (!out.ok) {
+        if (failing.fetch_add(1) == 0) first_fail_at.store(done);
+        std::lock_guard<std::mutex> lk(best_mu);
+        if (!have_best || lex_less(*task, best)) {
+          best = *task;
+          best_message = out.message;
+          have_best = true;
+        }
+      }
+
+      // Child enumeration is byte-identical to Explorer::explore: the tree
+      // is the same, only the traversal order differs.
+      if (static_cast<int>(task->size()) < cfg.preemption_bound) {
+        const uint64_t start = task->empty() ? 0 : task->back().step + 1;
+        const uint64_t end = std::min(policy.decision_points(), cfg.horizon);
+        std::vector<DecisionString> children;
+        for (uint64_t p = start; p < end; ++p) {
+          const int alternatives = policy.candidates_at(p) - 1;
+          if (alternatives <= 0) continue;
+          if (cfg.prune_delay && policy.pure_segment(p)) {
+            pruned.fetch_add(static_cast<uint64_t>(alternatives));
+            continue;
+          }
+          for (int c = 1; c <= alternatives; ++c) {
+            DecisionString child = *task;
+            child.push_back({p, c});
+            children.push_back(std::move(child));
+          }
+        }
+        if (!children.empty()) {
+          in_flight.fetch_add(children.size());
+          {
+            std::lock_guard<std::mutex> lk(own.mu);
+            for (auto& c : children) own.dq.push_back(std::move(c));
+          }
+          idle_cv.notify_all();
+        }
+      }
+      if (in_flight.fetch_sub(1) == 1) idle_cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) threads.emplace_back(worker, w);
+  for (auto& t : threads) t.join();
+
+  ExploreReport rep;
+  rep.explored = explored.load();
+  rep.pruned = pruned.load();
+  rep.truncated = truncated.load();
+  rep.failing = failing.load();
+  rep.first_failing = std::move(best);
+  rep.first_failing_message = std::move(best_message);
+  rep.schedules_to_first_failure = first_fail_at.load();
+  rep.max_decision_points = max_points.load();
+  std::unordered_set<uint64_t> merged;
+  for (auto& s : traces) merged.insert(s.begin(), s.end());
+  rep.distinct_traces = merged.size();
+  return rep;
+}
+
+RunOutcome ParallelExplorer::replay(const DecisionString& schedule,
+                                    uint64_t horizon, bool* fully_applied) {
+  ReplayPolicy policy(schedule, horizon);
+  RunOutcome out = runner_(policy);
+  if (fully_applied != nullptr) {
+    *fully_applied = policy.unused_overrides() == 0;
+  }
+  return out;
+}
+
+DecisionString ParallelExplorer::minimize(DecisionString failing,
+                                          uint64_t horizon) {
+  while (!failing.empty()) {
+    // Evaluate every single-override removal of this round concurrently,
+    // then accept the lowest index that still fails with all overrides
+    // applied — exactly what the sequential first-accept scan converges to.
+    const size_t n = failing.size();
+    std::vector<uint8_t> still_fails(n, 0);
+    std::atomic<size_t> next{0};
+    auto eval = [&] {
+      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        DecisionString shorter = failing;
+        shorter.erase(shorter.begin() + static_cast<ptrdiff_t>(i));
+        bool applied = false;
+        if (!replay(shorter, horizon, &applied).ok && applied) {
+          still_fails[i] = 1;
+        }
+      }
+    };
+    std::vector<std::thread> threads;
+    const size_t workers = std::min(static_cast<size_t>(jobs_), n);
+    threads.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) threads.emplace_back(eval);
+    for (auto& t : threads) t.join();
+    const auto hit = std::find(still_fails.begin(), still_fails.end(), 1);
+    if (hit == still_fails.end()) break;
+    failing.erase(failing.begin() + (hit - still_fails.begin()));
+  }
+  return failing;
+}
+
+}  // namespace pmc::explore

@@ -1,0 +1,61 @@
+// Parallel preemption-bounded schedule exploration (DESIGN.md §7).
+//
+// Stateless exploration is embarrassingly parallel: every schedule is a full
+// re-execution from a fresh Machine, so the only shared structure is the
+// frontier of decision-string prefixes still to expand. ParallelExplorer
+// shards that frontier over worker threads with per-worker work-stealing
+// deques (owners pop newest-first, which keeps the search depth-first and
+// the frontier small; thieves steal oldest-first, which hands them the
+// largest unexplored subtrees).
+//
+// Determinism: the bounded schedule space is a fixed tree — each schedule's
+// children depend only on its own deterministic run — so `explored`,
+// `pruned`, `failing` and `distinct_traces` are identical for every worker
+// count (absent truncation). The reported first failure is canonicalized to
+// the *lexicographically least* failing decision string (first-failure wins
+// with a deterministic tie-break), so reports are reproducible run-to-run
+// and job-count-to-job-count, unlike a "whoever raced first" answer.
+#pragma once
+
+#include "explore/explorer.h"
+
+namespace pmc::explore {
+
+class ParallelExplorer {
+ public:
+  /// `runner` must be safe to invoke concurrently from several threads: each
+  /// invocation has to build its whole world (Machine, Program, policy)
+  /// afresh and share nothing mutable — which LitmusCheck::run and
+  /// DiffCheck runners satisfy by construction. `jobs` < 1 is clamped to 1.
+  ParallelExplorer(ScheduleRunner runner, int jobs);
+
+  int jobs() const { return jobs_; }
+
+  /// Explores the same bounded space as Explorer::explore, over `jobs`
+  /// workers. Report deltas vs the sequential engine:
+  ///  * first_failing / first_failing_message describe the lexicographic
+  ///    minimum failing schedule of the whole space, not the first found;
+  ///  * schedules_to_first_failure is the value of the explored counter when
+  ///    the temporally first failure was recorded — a wall-clock-ish "time
+  ///    to find" that is NOT stable across job counts (the deterministic
+  ///    quantities are the totals and the canonical failing string);
+  ///  * when truncated, *which* schedules ran depends on worker timing, so
+  ///    only explored (== max_schedules) is meaningful, not pruned/failing.
+  ExploreReport explore(const ExploreConfig& cfg);
+
+  /// Same contract as Explorer::replay (replay is inherently sequential).
+  RunOutcome replay(const DecisionString& schedule, uint64_t horizon,
+                    bool* fully_applied = nullptr);
+
+  /// Greedy 1-minimal reduction, with the candidate replays of each round
+  /// evaluated in parallel. Accepting the lowest-index reduction that still
+  /// fails per round makes the result identical to Explorer::minimize and
+  /// independent of the job count.
+  DecisionString minimize(DecisionString failing, uint64_t horizon);
+
+ private:
+  ScheduleRunner runner_;
+  int jobs_;
+};
+
+}  // namespace pmc::explore

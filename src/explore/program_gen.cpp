@@ -1,0 +1,215 @@
+#include "explore/program_gen.h"
+
+#include <cstdlib>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace pmc::explore {
+
+size_t GenProgram::ops() const {
+  size_t n = 0;
+  for (const auto& t : threads) n += t.size();
+  return n;
+}
+
+uint32_t GenProgram::expected_final(int obj) const {
+  uint32_t v = initial_value(obj);
+  for (const auto& t : threads) {
+    for (const GenOp& op : t) {
+      if (op.obj != obj) continue;
+      if (op.kind == GenOp::Kind::kUpdate) {
+        v += op.arg + (op.flush ? op.arg2 : 0);
+      } else if (op.kind == GenOp::Kind::kNested) {
+        v += op.arg;
+      }
+    }
+  }
+  return v;
+}
+
+bool GenProgram::drop(int t, size_t i) {
+  if (t < 0 || t >= static_cast<int>(threads.size())) return false;
+  auto& ops = threads[static_cast<size_t>(t)];
+  if (i >= ops.size()) return false;
+  if (ops[i].kind != GenOp::Kind::kBarrier) {
+    ops.erase(ops.begin() + static_cast<ptrdiff_t>(i));
+    return true;
+  }
+  // The k-th barrier of every thread is the same slot-aligned barrier.
+  size_t k = 0;
+  for (size_t j = 0; j < i; ++j) {
+    if (ops[j].kind == GenOp::Kind::kBarrier) ++k;
+  }
+  for (auto& th : threads) {
+    size_t seen = 0;
+    for (size_t j = 0; j < th.size(); ++j) {
+      if (th[j].kind != GenOp::Kind::kBarrier) continue;
+      if (seen == k) {
+        th.erase(th.begin() + static_cast<ptrdiff_t>(j));
+        break;
+      }
+      ++seen;
+    }
+  }
+  return true;
+}
+
+GenProgram generate_program(const ProgramShape& shape) {
+  PMC_CHECK(shape.cores >= 1 && shape.objects >= 1 && shape.steps >= 0);
+  GenProgram prog;
+  prog.shape = shape;
+  prog.threads.resize(static_cast<size_t>(shape.cores));
+
+  // Barrier slots come from a single generator so every core agrees on
+  // them; op streams come from per-core generators (seeded like the
+  // historical fuzz suite) so a core's work is fixed up front.
+  util::Rng slots(shape.seed * 0x9e3779b97f4a7c15ULL + 0xb5);
+  std::vector<util::Rng> rngs;
+  for (int c = 0; c < shape.cores; ++c) {
+    rngs.emplace_back(shape.seed * 1315423911u + static_cast<uint64_t>(c));
+  }
+
+  const auto nobjs = static_cast<uint64_t>(shape.objects);
+  for (int s = 0; s < shape.steps; ++s) {
+    if (slots.chance(static_cast<uint64_t>(shape.barrier_pct), 100)) {
+      for (auto& t : prog.threads) t.push_back({GenOp::Kind::kBarrier});
+    }
+    for (int c = 0; c < shape.cores; ++c) {
+      util::Rng& rng = rngs[static_cast<size_t>(c)];
+      GenOp op;
+      op.obj = static_cast<int>(rng.next_below(nobjs));
+      const auto r = static_cast<int>(rng.next_below(100));
+      int edge = shape.ro_pct;
+      if (r < edge) {
+        op.kind = GenOp::Kind::kReadOnly;
+      } else if (r < (edge += shape.nested_pct)) {
+        op.kind = GenOp::Kind::kNested;
+        op.obj2 = static_cast<int>(rng.next_below(nobjs));
+        op.arg = 1 + static_cast<uint32_t>(rng.next_below(9));
+        if (op.obj2 == op.obj) op.kind = GenOp::Kind::kUpdate;  // no self-nest
+      } else if (r < (edge += shape.compute_pct)) {
+        op.kind = GenOp::Kind::kCompute;
+        op.arg = static_cast<uint32_t>(rng.next_below(60));
+      } else if (r < (edge += shape.fence_pct)) {
+        op.kind = GenOp::Kind::kFence;
+      } else {
+        op.kind = GenOp::Kind::kUpdate;
+        op.arg = 1 + static_cast<uint32_t>(rng.next_below(9));
+        if (rng.chance(static_cast<uint64_t>(shape.flush_pct), 100)) {
+          op.flush = true;
+          op.arg2 = 1 + static_cast<uint32_t>(rng.next_below(9));
+        }
+      }
+      prog.threads[static_cast<size_t>(c)].push_back(op);
+    }
+  }
+  // Always end on a barrier: the historical suite did, and it keeps the
+  // final-state readback trivially past every core's last section.
+  for (auto& t : prog.threads) t.push_back({GenOp::Kind::kBarrier});
+  return prog;
+}
+
+void run_ops(const GenProgram& prog, rt::Env& env,
+             const std::vector<rt::ObjId>& objs) {
+  PMC_CHECK(objs.size() >= static_cast<size_t>(prog.shape.objects));
+  const auto& ops = prog.threads[static_cast<size_t>(env.id())];
+  for (const GenOp& op : ops) {
+    const rt::ObjId o = objs[static_cast<size_t>(op.obj)];
+    switch (op.kind) {
+      case GenOp::Kind::kUpdate:
+        env.entry_x(o);
+        env.st(o, 0, env.ld<uint32_t>(o) + op.arg);
+        if (op.flush) {
+          env.flush(o);
+          env.st(o, 0, env.ld<uint32_t>(o) + op.arg2);
+        }
+        env.exit_x(o);
+        break;
+      case GenOp::Kind::kReadOnly:
+        env.entry_ro(o);
+        env.ld<uint32_t>(o);
+        env.exit_ro(o);
+        break;
+      case GenOp::Kind::kNested: {
+        const rt::ObjId o2 = objs[static_cast<size_t>(op.obj2)];
+        env.entry_x(o);
+        env.entry_ro(o2);
+        env.ld<uint32_t>(o2);  // observed, deliberately not folded in
+        env.st(o, 0, env.ld<uint32_t>(o) + op.arg);
+        env.exit_ro(o2);
+        env.exit_x(o);
+        break;
+      }
+      case GenOp::Kind::kCompute:
+        env.compute(op.arg);
+        break;
+      case GenOp::Kind::kFence:
+        env.fence();
+        break;
+      case GenOp::Kind::kBarrier:
+        env.barrier();
+        break;
+    }
+  }
+}
+
+std::string to_string(const GenOp& op) {
+  switch (op.kind) {
+    case GenOp::Kind::kUpdate: {
+      std::string s = "x" + std::to_string(op.obj) + "+=" +
+                      std::to_string(op.arg);
+      if (op.flush) {
+        s += ";flush;x" + std::to_string(op.obj) + "+=" +
+             std::to_string(op.arg2);
+      }
+      return s;
+    }
+    case GenOp::Kind::kReadOnly:
+      return "ro(x" + std::to_string(op.obj) + ")";
+    case GenOp::Kind::kNested:
+      return "x" + std::to_string(op.obj) + "+=" + std::to_string(op.arg) +
+             "[ro x" + std::to_string(op.obj2) + "]";
+    case GenOp::Kind::kCompute:
+      return "compute(" + std::to_string(op.arg) + ")";
+    case GenOp::Kind::kFence:
+      return "fence";
+    case GenOp::Kind::kBarrier:
+      return "barrier";
+  }
+  return "?";
+}
+
+std::string to_string(const GenProgram& prog) {
+  std::string out;
+  for (size_t c = 0; c < prog.threads.size(); ++c) {
+    out += "core " + std::to_string(c) + ":";
+    for (const GenOp& op : prog.threads[c]) out += " " + to_string(op);
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<uint64_t> fuzz_seeds(int def) {
+  int64_t n = def;
+  if (const char* env = std::getenv("PMC_FUZZ_SEEDS")) {
+    n = std::atoll(env);
+  }
+  if (n < 1) n = 1;
+  if (n > 10'000) n = 10'000;
+  std::vector<uint64_t> seeds(static_cast<size_t>(n));
+  std::iota(seeds.begin(), seeds.end(), UINT64_C(0));
+  return seeds;
+}
+
+ProgramShape shape_for_seed(uint64_t seed) {
+  ProgramShape shape;
+  shape.seed = seed;
+  shape.cores = 2 + static_cast<int>(seed % 2);
+  shape.objects = 2 + static_cast<int>(seed % 3);
+  shape.steps = 4 + static_cast<int>(seed % 3);
+  return shape;
+}
+
+}  // namespace pmc::explore

@@ -1,0 +1,207 @@
+// Differential fuzzing of randomized lock-disciplined programs: every
+// back-end, under every explored schedule, must satisfy the Definition 12
+// validator and land on the generator's closed-form final state. Seeded
+// protocol faults must be found, program- and schedule-minimized, and
+// reported with an exact one-command repro line in the assertion message.
+#include "explore/diff_check.h"
+
+#include <gtest/gtest-spi.h>
+#include <gtest/gtest.h>
+
+#include "explore/litmus_driver.h"
+#include "runtime/program.h"
+
+namespace pmc::explore {
+namespace {
+
+ExploreConfig fuzz_cfg() {
+  ExploreConfig cfg;
+  cfg.preemption_bound = 1;
+  cfg.horizon = 10;
+  return cfg;
+}
+
+rt::FaultInjection all_faults() { return all_seeded_faults(); }
+
+/// The one assertion every fuzz property funnels through: a failing report
+/// trips EXPECT_TRUE with the repro line (and the minimized program) in the
+/// assertion message — the contract the grep test below locks in.
+void expect_diff_ok(const DiffReport& rep) {
+  if (!rep.failure.has_value()) {
+    EXPECT_TRUE(rep.ok);
+    return;
+  }
+  EXPECT_TRUE(rep.ok) << rep.failure->message << "\n"
+                      << rep.failure->repro << "\nminimized program:\n"
+                      << to_string(rep.failure->program);
+}
+
+// -- Generator invariants ---------------------------------------------------
+
+TEST(ProgramGen, GenerationIsDeterministicAndShaped) {
+  const ProgramShape shape = shape_for_seed(3);
+  const GenProgram a = generate_program(shape);
+  const GenProgram b = generate_program(shape);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(static_cast<int>(a.threads.size()), shape.cores);
+  for (const auto& th : a.threads) {
+    EXPECT_EQ(th.back().kind, GenOp::Kind::kBarrier);
+  }
+  EXPECT_NE(a, generate_program(shape_for_seed(4)));
+}
+
+TEST(ProgramGen, BarriersStaySlotAlignedAcrossThreads) {
+  for (uint64_t seed : fuzz_seeds(8)) {
+    ProgramShape shape = shape_for_seed(seed);
+    shape.barrier_pct = 40;  // force several barriers
+    const GenProgram prog = generate_program(shape);
+    std::vector<size_t> counts;
+    for (const auto& th : prog.threads) {
+      size_t n = 0;
+      for (const auto& op : th) {
+        if (op.kind == GenOp::Kind::kBarrier) ++n;
+      }
+      counts.push_back(n);
+    }
+    for (size_t n : counts) EXPECT_EQ(n, counts[0]) << "seed=" << seed;
+  }
+}
+
+TEST(ProgramGen, DroppingABarrierDropsItEverywhere) {
+  ProgramShape shape = shape_for_seed(0);
+  shape.barrier_pct = 100;
+  GenProgram prog = generate_program(shape);
+  const auto barriers = [](const GenProgram& p, size_t t) {
+    size_t n = 0;
+    for (const auto& op : p.threads[t]) {
+      if (op.kind == GenOp::Kind::kBarrier) ++n;
+    }
+    return n;
+  };
+  const size_t before = barriers(prog, 0);
+  ASSERT_GE(before, 2u);
+  // Find a barrier op in thread 1 and drop it; thread 0 must shrink too.
+  size_t idx = 0;
+  while (prog.threads[1][idx].kind != GenOp::Kind::kBarrier) ++idx;
+  ASSERT_TRUE(prog.drop(1, idx));
+  EXPECT_EQ(barriers(prog, 0), before - 1);
+  EXPECT_EQ(barriers(prog, 1), before - 1);
+}
+
+TEST(ProgramGen, ClosedFormMatchesAHostRun) {
+  // The host back-end is real hardware shared memory — an independent
+  // implementation of the closed form.
+  for (uint64_t seed : fuzz_seeds(4)) {
+    const GenProgram prog = generate_program(shape_for_seed(seed));
+    rt::ProgramOptions opts;
+    opts.target = rt::Target::kHostSC;
+    opts.cores = prog.shape.cores;
+    rt::Program p(opts);
+    std::vector<rt::ObjId> objs;
+    for (int i = 0; i < prog.shape.objects; ++i) {
+      objs.push_back(p.create_typed<uint32_t>(GenProgram::initial_value(i),
+                                              rt::Placement::kReplicated,
+                                              "h" + std::to_string(i)));
+    }
+    p.run([&](rt::Env& env) { run_ops(prog, env, objs); });
+    for (int i = 0; i < prog.shape.objects; ++i) {
+      EXPECT_EQ(p.result<uint32_t>(objs[static_cast<size_t>(i)]),
+                prog.expected_final(i))
+          << "seed=" << seed << " object=" << i;
+    }
+  }
+}
+
+// -- The differential property ----------------------------------------------
+
+class DiffFuzzSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DiffFuzzSeeds, EveryBackendValidatesAndAgreesOnEverySchedule) {
+  const GenProgram prog = generate_program(shape_for_seed(GetParam()));
+  const DiffCheck dc(prog);
+  const DiffReport rep = dc.check(fuzz_cfg(), /*jobs=*/2);
+  expect_diff_ok(rep);
+  EXPECT_FALSE(rep.truncated);
+  EXPECT_GE(rep.explored, 4u);  // at least the default schedule per back-end
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffFuzzSeeds,
+                         ::testing::ValuesIn(fuzz_seeds(6)));
+
+// -- Seeded-bug self-test ----------------------------------------------------
+
+TEST(DiffFuzz, SeededFaultIsFoundMinimizedAndReplayable) {
+  const GenProgram prog = generate_program(shape_for_seed(1));
+  const DiffCheck dc(prog, all_faults());
+  const ExploreConfig cfg = fuzz_cfg();
+  const DiffReport rep = dc.check(cfg, 2);
+  ASSERT_FALSE(rep.ok);
+  ASSERT_TRUE(rep.failure.has_value());
+  const DiffFailure& f = *rep.failure;
+
+  // The repro line carries the env var, the ctest invocation, the fault
+  // re-injection flag, and a step:choice replay string.
+  EXPECT_NE(f.repro.find("PMC_FUZZ_SEEDS="), std::string::npos) << f.repro;
+  EXPECT_NE(f.repro.find("ctest -R"), std::string::npos) << f.repro;
+  EXPECT_NE(f.repro.find("--seed-bug"), std::string::npos) << f.repro;
+  const size_t replay_at = f.repro.find("--replay=");
+  ASSERT_NE(replay_at, std::string::npos) << f.repro;
+
+  // The repro's replay string holds on the *original* program (the one the
+  // CLI regenerates from the seed): it must fail there, fully applied.
+  const DecisionString repro_schedule = parse_decision_string(
+      f.repro.substr(replay_at + std::string("--replay=").size()));
+  ParallelExplorer orig_ex(dc.runner(f.target), 2);
+  bool applied = false;
+  EXPECT_FALSE(orig_ex.replay(repro_schedule, cfg.horizon, &applied).ok);
+  EXPECT_TRUE(applied);
+
+  // The minimized program got smaller and the minimized schedule still
+  // reproduces the exact failure on it.
+  EXPECT_LT(f.program.ops(), prog.ops());
+  const DiffCheck min_dc(f.program, all_faults());
+  ParallelExplorer ex(min_dc.runner(f.target), 2);
+  applied = false;
+  const RunOutcome out = ex.replay(f.schedule, cfg.horizon, &applied);
+  EXPECT_TRUE(applied);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.message, f.message);
+}
+
+TEST(DiffFuzz, SeededFailureIsIdenticalAtAnyJobCount) {
+  rt::FaultInjection faults;
+  faults.swcc_skip_exit_writeback = true;
+  const GenProgram prog = generate_program(shape_for_seed(2));
+  const DiffCheck dc(prog, faults);
+  const DiffReport ref = dc.check(fuzz_cfg(), 1);
+  ASSERT_TRUE(ref.failure.has_value());
+  for (int jobs : {2, 8}) {
+    const DiffReport rep = dc.check(fuzz_cfg(), jobs);
+    ASSERT_TRUE(rep.failure.has_value()) << "jobs=" << jobs;
+    EXPECT_EQ(rep.explored, ref.explored) << "jobs=" << jobs;
+    EXPECT_EQ(rep.pruned, ref.pruned) << "jobs=" << jobs;
+    EXPECT_EQ(rep.failure->target, ref.failure->target) << "jobs=" << jobs;
+    EXPECT_EQ(to_string(rep.failure->schedule),
+              to_string(ref.failure->schedule))
+        << "jobs=" << jobs;
+    EXPECT_EQ(to_string(rep.failure->program), to_string(ref.failure->program))
+        << "jobs=" << jobs;
+    EXPECT_EQ(rep.failure->message, ref.failure->message) << "jobs=" << jobs;
+    EXPECT_EQ(rep.failure->repro, ref.failure->repro) << "jobs=" << jobs;
+  }
+}
+
+TEST(DiffFuzz, AssertionMessageCarriesTheReproLine) {
+  // Force a seeded-bug failure through the real assertion path and grep the
+  // resulting gtest message for the repro line (ISSUE satellite).
+  const GenProgram prog = generate_program(shape_for_seed(1));
+  const DiffCheck dc(prog, all_faults());
+  const DiffReport rep = dc.check(fuzz_cfg(), 2);
+  ASSERT_FALSE(rep.ok);
+  EXPECT_NONFATAL_FAILURE(expect_diff_ok(rep), "PMC_FUZZ_SEEDS=");
+  EXPECT_NONFATAL_FAILURE(expect_diff_ok(rep), "ctest -R");
+  EXPECT_NONFATAL_FAILURE(expect_diff_ok(rep), "--replay=");
+}
+
+}  // namespace
+}  // namespace pmc::explore

@@ -1,0 +1,166 @@
+// ParallelExplorer: totals and the canonical (lexicographically least)
+// failing schedule must be independent of the worker count, minimization
+// must be identical at any job count, and the parallel engine must agree
+// with the sequential Explorer on the same bounded space.
+#include "explore/parallel_explorer.h"
+
+#include <gtest/gtest.h>
+
+#include "explore/litmus_driver.h"
+#include "model/litmus_library.h"
+
+namespace pmc::explore {
+namespace {
+
+TEST(LexLess, OrdersByStepThenChoiceThenLength) {
+  const DecisionString empty;
+  const DecisionString a{{2, 1}};
+  const DecisionString b{{2, 2}};
+  const DecisionString c{{3, 1}};
+  const DecisionString ab{{2, 1}, {5, 1}};
+  EXPECT_TRUE(lex_less(empty, a));
+  EXPECT_TRUE(lex_less(a, b));
+  EXPECT_TRUE(lex_less(b, c));
+  EXPECT_TRUE(lex_less(a, ab));  // prefix sorts before its extension
+  EXPECT_FALSE(lex_less(ab, a));
+  EXPECT_FALSE(lex_less(a, a));
+}
+
+TEST(ParallelExplorer, MatchesSequentialTotalsOnCleanSweep) {
+  const LitmusCheck check(model::litmus::fig5_mp_annotated(),
+                          rt::Target::kNoCC);
+  ExploreConfig cfg;
+  cfg.preemption_bound = 2;
+  cfg.horizon = 10;
+  cfg.prune_delay = false;
+  Explorer seq(check.runner());
+  const auto s = seq.explore(cfg);
+  ASSERT_EQ(s.explored, 56u);  // Σ C(10, j), j ≤ 2 — the closed form
+  for (int jobs : {1, 2, 8}) {
+    ParallelExplorer par(check.runner(), jobs);
+    const auto p = par.explore(cfg);
+    EXPECT_EQ(p.explored, s.explored) << "jobs=" << jobs;
+    EXPECT_EQ(p.pruned, s.pruned) << "jobs=" << jobs;
+    EXPECT_EQ(p.distinct_traces, s.distinct_traces) << "jobs=" << jobs;
+    EXPECT_EQ(p.failing, 0u);
+    EXPECT_FALSE(p.truncated);
+  }
+}
+
+TEST(ParallelExplorer, PruningAccountingMatchesSequential) {
+  const LitmusCheck check(model::litmus::fig5_mp_annotated(),
+                          rt::Target::kNoCC);
+  ExploreConfig cfg;
+  cfg.preemption_bound = 1;  // depth 1: explored + pruned is the closed form
+  cfg.horizon = 10;
+  cfg.prune_delay = true;
+  Explorer seq(check.runner());
+  const auto s = seq.explore(cfg);
+  EXPECT_EQ(s.explored + s.pruned, 11u);
+  for (int jobs : {2, 8}) {
+    ParallelExplorer par(check.runner(), jobs);
+    const auto p = par.explore(cfg);
+    EXPECT_EQ(p.explored, s.explored) << "jobs=" << jobs;
+    EXPECT_EQ(p.pruned, s.pruned) << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelExplorer, TruncationCapsTheExploredCount) {
+  const LitmusCheck check(model::litmus::fig5_mp_annotated(),
+                          rt::Target::kNoCC);
+  ExploreConfig cfg;
+  cfg.preemption_bound = 2;
+  cfg.horizon = 10;
+  cfg.prune_delay = false;
+  cfg.max_schedules = 7;
+  ParallelExplorer par(check.runner(), 4);
+  const auto p = par.explore(cfg);
+  EXPECT_TRUE(p.truncated);
+  EXPECT_EQ(p.explored, 7u);
+}
+
+// -- Seeded-bug determinism (ISSUE satellite) -------------------------------
+
+struct SeededResult {
+  uint64_t explored = 0;
+  uint64_t pruned = 0;
+  uint64_t failing = 0;
+  std::string first_failing;
+  std::string minimized;
+  std::string message;
+};
+
+SeededResult run_seeded(rt::Target t, int jobs) {
+  LitmusCheck check = seeded_bug_check(t);
+  ExploreConfig cfg;
+  cfg.preemption_bound = 2;
+  cfg.horizon = 16;
+  ParallelExplorer ex(check.runner(), jobs);
+  const auto rep = ex.explore(cfg);
+  SeededResult r;
+  r.explored = rep.explored;
+  r.pruned = rep.pruned;
+  r.failing = rep.failing;
+  r.first_failing = to_string(rep.first_failing);
+  const auto minimal = ex.minimize(rep.first_failing, cfg.horizon);
+  r.minimized = to_string(minimal);
+  r.message = ex.replay(minimal, cfg.horizon).message;
+  return r;
+}
+
+TEST(ParallelExplorer, SeededBugReportIsIdenticalAtAnyJobCount) {
+  const SeededResult ref = run_seeded(rt::Target::kDSM, 1);
+  ASSERT_GT(ref.failing, 0u);
+  ASSERT_FALSE(ref.minimized.empty());
+  ASSERT_FALSE(ref.message.empty());
+  for (int jobs : {2, 8}) {
+    const SeededResult r = run_seeded(rt::Target::kDSM, jobs);
+    EXPECT_EQ(r.explored, ref.explored) << "jobs=" << jobs;
+    EXPECT_EQ(r.pruned, ref.pruned) << "jobs=" << jobs;
+    EXPECT_EQ(r.failing, ref.failing) << "jobs=" << jobs;
+    EXPECT_EQ(r.first_failing, ref.first_failing) << "jobs=" << jobs;
+    EXPECT_EQ(r.minimized, ref.minimized) << "jobs=" << jobs;
+    EXPECT_EQ(r.message, ref.message) << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelExplorer, CanonicalFailureIsNoLaterThanTheSequentialOne) {
+  // The parallel engine reports the lexicographic minimum over all failing
+  // schedules; the sequential engine reports whichever its DFS hit first.
+  // The minimum can never sort after the DFS find.
+  LitmusCheck check = seeded_bug_check(rt::Target::kSWCC);
+  ExploreConfig cfg;
+  cfg.preemption_bound = 2;
+  cfg.horizon = 16;
+  Explorer seq(check.runner());
+  const auto s = seq.explore(cfg);
+  ASSERT_GT(s.failing, 0u);
+  ParallelExplorer par(check.runner(), 4);
+  const auto p = par.explore(cfg);
+  ASSERT_GT(p.failing, 0u);
+  EXPECT_EQ(p.failing, s.failing);
+  EXPECT_FALSE(lex_less(s.first_failing, p.first_failing))
+      << "sequential found \"" << to_string(s.first_failing)
+      << "\" but the canonical minimum was \"" << to_string(p.first_failing)
+      << "\"";
+  // And the canonical failure really fails.
+  bool applied = false;
+  EXPECT_FALSE(par.replay(p.first_failing, cfg.horizon, &applied).ok);
+  EXPECT_TRUE(applied);
+}
+
+TEST(ParallelExplorer, MinimizeAgreesWithSequentialMinimize) {
+  LitmusCheck check = seeded_bug_check(rt::Target::kSPM);
+  ExploreConfig cfg;
+  cfg.preemption_bound = 2;
+  cfg.horizon = 16;
+  ParallelExplorer par(check.runner(), 4);
+  const auto rep = par.explore(cfg);
+  ASSERT_GT(rep.failing, 0u);
+  Explorer seq(check.runner());
+  EXPECT_EQ(to_string(par.minimize(rep.first_failing, cfg.horizon)),
+            to_string(seq.minimize(rep.first_failing, cfg.horizon)));
+}
+
+}  // namespace
+}  // namespace pmc::explore

@@ -1,37 +1,39 @@
-// Property/fuzz suite: randomized annotated programs run on every simulated
-// back-end (plus host), with three cross-cutting properties:
-//  1. the final object contents are identical across all back-ends
-//     (portability as determinism);
-//  2. every run satisfies the Definition 12 trace validator;
-//  3. the simulation itself is bit-deterministic (state hash).
-//
-// Program shape: each core performs a random sequence of exclusive
-// read-modify-writes, read-only observations, flushes and barriers over a
-// shared object set — lock-disciplined by construction, nondeterminism
-// confined to lock order, results order-insensitive (commutative updates).
+// Property/fuzz suite over the generator library (src/explore/program_gen,
+// promoted out of this file): randomized lock-disciplined programs run on
+// every simulated back-end plus the host, with three cross-cutting
+// properties per seed:
+//  1. cross-back-end agreement — every target ends on the generator's
+//     closed-form final state (portability as determinism; the generated
+//     updates all commute, so the closed form is schedule-exact);
+//  2. every simulated run satisfies the Definition 12 trace validator;
+//  3. the simulation itself is bit-deterministic (machine state hash).
 #include <gtest/gtest.h>
 
-#include <cstdlib>
-#include <numeric>
-
+#include "explore/program_gen.h"
 #include "runtime/program.h"
 #include "util/hash.h"
-#include "util/rng.h"
 
 namespace pmc::rt {
 namespace {
 
-struct FuzzConfig {
-  uint64_t seed = 0;
-  int cores = 4;
-  int objects = 6;
-  int steps = 60;  // operations per core
-};
+using explore::GenProgram;
+using explore::ProgramShape;
 
-ProgramOptions opts(Target t, const FuzzConfig& f) {
+/// Bigger shapes than the schedule explorer uses: single-schedule runs are
+/// cheap, so push more ops through every protocol path.
+ProgramShape big_shape(uint64_t seed) {
+  ProgramShape s;
+  s.seed = seed;
+  s.cores = 3 + static_cast<int>(seed % 3);
+  s.objects = 6;
+  s.steps = 40;
+  return s;
+}
+
+ProgramOptions opts(Target t, int cores) {
   ProgramOptions o;
   o.target = t;
-  o.cores = f.cores;
+  o.cores = cores;
   o.machine.lm_bytes = 64 * 1024;
   o.machine.sdram_bytes = 2 * 1024 * 1024;
   o.machine.max_cycles = UINT64_C(2'000'000'000);
@@ -39,123 +41,66 @@ ProgramOptions opts(Target t, const FuzzConfig& f) {
   return o;
 }
 
-/// Runs the random program; returns the FNV digest of all final objects.
-uint64_t run_fuzz(Target t, const FuzzConfig& f, bool* validated_ok) {
-  Program prog(opts(t, f));
+struct FuzzRun {
+  uint64_t finals_digest = 0;  // FNV over all final object values
+  uint64_t state_hash = 0;     // full machine fingerprint (sim targets)
+  bool validated = true;
+};
+
+FuzzRun run_fuzz(Target t, const GenProgram& prog) {
+  Program p(opts(t, prog.shape.cores));
   std::vector<ObjId> objs;
-  for (int i = 0; i < f.objects; ++i) {
-    objs.push_back(prog.create_typed<uint32_t>(
-        static_cast<uint32_t>(i * 1000), Placement::kReplicated,
-        "fuzz" + std::to_string(i)));
+  for (int i = 0; i < prog.shape.objects; ++i) {
+    objs.push_back(p.create_typed<uint32_t>(GenProgram::initial_value(i),
+                                            Placement::kReplicated,
+                                            "fuzz" + std::to_string(i)));
   }
-  prog.run([&](Env& env) {
-    // Per-core deterministic op stream (independent of interleaving).
-    util::Rng rng(f.seed * 1315423911u + static_cast<uint64_t>(env.id()));
-    for (int s = 0; s < f.steps; ++s) {
-      const ObjId o = objs[rng.next_below(static_cast<uint64_t>(f.objects))];
-      switch (rng.next_below(10)) {
-        case 0:
-        case 1:
-        case 2:
-        case 3: {  // commutative exclusive update
-          env.entry_x(o);
-          const uint32_t v = env.ld<uint32_t>(o);
-          env.st(o, 0, v + 1 + static_cast<uint32_t>(env.id()));
-          env.exit_x(o);
-          break;
-        }
-        case 4: {  // update with mid-section flush
-          env.entry_x(o);
-          env.st(o, 0, env.ld<uint32_t>(o) + 3);
-          env.flush(o);
-          env.compute(rng.next_below(40));
-          env.st(o, 0, env.ld<uint32_t>(o) + 4);
-          env.exit_x(o);
-          break;
-        }
-        case 5:
-        case 6: {  // read-only observation (value unused: slow read)
-          env.entry_ro(o);
-          env.ld<uint32_t>(o);
-          env.exit_ro(o);
-          break;
-        }
-        case 7: {  // nested sections over two objects (LIFO)
-          const ObjId o2 =
-              objs[rng.next_below(static_cast<uint64_t>(f.objects))];
-          if (o2 == o) break;
-          env.entry_x(o);
-          env.entry_ro(o2);
-          const uint32_t v = env.ld<uint32_t>(o2);
-          env.st(o, 0, env.ld<uint32_t>(o) + (v & 1));
-          env.exit_ro(o2);
-          env.exit_x(o);
-          break;
-        }
-        case 8:
-          env.compute(rng.next_below(60));
-          break;
-        case 9:
-          env.fence();
-          break;
-      }
-    }
-    env.barrier();
-  });
-  if (validated_ok != nullptr && prog.validator() != nullptr) {
-    *validated_ok = prog.validator()->ok();
-  }
+  p.run([&](Env& env) { explore::run_ops(prog, env, objs); });
+  FuzzRun r;
+  if (p.validator() != nullptr) r.validated = p.validator()->ok();
+  if (p.machine() != nullptr) r.state_hash = p.machine()->state_hash();
   uint64_t h = util::kFnvOffset;
-  for (const ObjId o : objs) {
-    h = util::hash_combine(h, prog.result<uint32_t>(o));
-  }
-  return h;
+  for (const ObjId o : objs) h = util::hash_combine(h, p.result<uint32_t>(o));
+  r.finals_digest = h;
+  return r;
 }
 
-/// Seed list for the parameterized suite. Defaults to 10 seeds; CI/nightly
-/// can widen coverage without a code change by exporting PMC_FUZZ_SEEDS=<n>
-/// (clamped to [1, 10000]).
-std::vector<uint64_t> fuzz_seeds() {
-  int64_t n = 10;
-  if (const char* env = std::getenv("PMC_FUZZ_SEEDS")) {
-    n = std::atoll(env);
-    if (n < 1) n = 1;
-    if (n > 10'000) n = 10'000;
+uint64_t expected_digest(const GenProgram& prog) {
+  uint64_t h = util::kFnvOffset;
+  for (int i = 0; i < prog.shape.objects; ++i) {
+    h = util::hash_combine(h, prog.expected_final(i));
   }
-  std::vector<uint64_t> seeds(static_cast<size_t>(n));
-  std::iota(seeds.begin(), seeds.end(), UINT64_C(0));
-  return seeds;
+  return h;
 }
 
 class FuzzSeeds : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(FuzzSeeds, AllBackendsValidateAndConverge) {
-  FuzzConfig f;
-  f.seed = GetParam();
-  f.cores = 3 + static_cast<int>(GetParam() % 3);
+  const GenProgram prog = explore::generate_program(big_shape(GetParam()));
+  const uint64_t want = expected_digest(prog);
 
-  // Case 7 reads a second object inside a section and folds (v & 1) into
-  // the update, so the result depends on the interleaving — back-ends may
-  // legitimately differ there. Totals must still validate, and *per
-  // back-end* the run must be reproducible.
   for (Target t : sim_targets()) {
-    bool ok = false;
-    const uint64_t digest1 = run_fuzz(t, f, &ok);
-    EXPECT_TRUE(ok) << to_string(t) << " seed=" << f.seed;
-    bool ok2 = false;
-    const uint64_t digest2 = run_fuzz(t, f, &ok2);
-    EXPECT_EQ(digest1, digest2)
-        << to_string(t) << " is not deterministic, seed=" << f.seed;
+    const FuzzRun a = run_fuzz(t, prog);
+    EXPECT_TRUE(a.validated) << to_string(t) << " seed=" << prog.shape.seed;
+    EXPECT_EQ(a.finals_digest, want)
+        << to_string(t) << " diverged from the closed form, seed="
+        << prog.shape.seed;
+    const FuzzRun b = run_fuzz(t, prog);
+    EXPECT_EQ(a.state_hash, b.state_hash)
+        << to_string(t) << " is not bit-deterministic, seed="
+        << prog.shape.seed;
   }
+  // The host target runs the same ops on real shared memory.
+  EXPECT_EQ(run_fuzz(Target::kHostSC, prog).finals_digest, want)
+      << "host diverged from the closed form, seed=" << prog.shape.seed;
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::ValuesIn(fuzz_seeds()));
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
+                         ::testing::ValuesIn(explore::fuzz_seeds()));
 
 TEST(Fuzz, EagerAndLazyReleaseConvergeOnDsm) {
-  FuzzConfig f;
-  f.seed = 99;
   for (bool eager : {false, true}) {
-    ProgramOptions o = opts(Target::kDSM, f);
+    ProgramOptions o = opts(Target::kDSM, 4);
     o.policy.dsm_eager_release = eager;
     Program prog(o);
     const ObjId x = prog.create_typed<uint32_t>(0, Placement::kReplicated, "x");
@@ -175,8 +120,7 @@ TEST(Fuzz, EagerReleaseMakesUnacquiredReadersFresh) {
   // With eager release every exit broadcasts, so a reader polling its local
   // replica observes updates without ever acquiring — the convenience the
   // paper attributes to flush.
-  ProgramOptions o = opts(Target::kDSM, FuzzConfig{});
-  o.cores = 2;
+  ProgramOptions o = opts(Target::kDSM, 2);
   o.policy.dsm_eager_release = true;
   Program prog(o);
   const ObjId x = prog.create_typed<uint32_t>(0, Placement::kReplicated, "x");
