@@ -81,9 +81,15 @@ class JsonReport {
   void add(const std::string& key, int value) {
     add(key, static_cast<uint64_t>(value < 0 ? 0 : value));
   }
+  /// String-valued metric; quoted and escaped on output.
+  void add(const std::string& key, const std::string& value) {
+    metrics_.emplace_back(key, quoted(value));
+  }
 
   /// Writes BENCH_<name>.json if --json[=PATH] was passed. Returns false on
-  /// an I/O error (callers treat that as a harness failure).
+  /// an I/O error (callers treat that as a harness failure). Every string is
+  /// escaped and every non-numeric value literal is quoted on the way out,
+  /// so the file is valid JSON by construction, whatever the keys contain.
   bool maybe_write(int argc, char** argv) const {
     std::string path;
     const std::string prefix = "--json=";
@@ -101,9 +107,9 @@ class JsonReport {
       std::fprintf(stderr, "!! cannot open %s for writing\n", path.c_str());
       return false;
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\"", name_.c_str());
+    std::fprintf(f, "{\n  \"bench\": %s", quoted(name_).c_str());
     for (const auto& [key, value] : metrics_) {
-      std::fprintf(f, ",\n  \"%s\": %s", key.c_str(), value.c_str());
+      std::fprintf(f, ",\n  %s: %s", quoted(key).c_str(), value.c_str());
     }
     std::fprintf(f, "\n}\n");
     const bool ok = std::fclose(f) == 0;
@@ -112,6 +118,33 @@ class JsonReport {
   }
 
  private:
+  /// JSON string literal with the mandatory escapes (quote, backslash,
+  /// control characters). fprintf'ing keys raw emitted invalid JSON the
+  /// moment a key contained '"' or '\'.
+  static std::string quoted(const std::string& s) {
+    std::string out = "\"";
+    for (const char ch : s) {
+      switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(ch)));
+            out += buf;
+          } else {
+            out += ch;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
   std::string name_;
   std::vector<std::pair<std::string, std::string>> metrics_;  // key -> literal
 };

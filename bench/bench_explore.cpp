@@ -9,7 +9,9 @@
 // checking), so schedules/sec tracks the whole sim+runtime+validator stack.
 // The scaling section re-runs the fig4_exclusive sweep (all four back-ends)
 // at --jobs ∈ {1, 2, 4, …} up to --jobs, checking that the totals stay
-// bit-identical while the wall clock drops.
+// bit-identical while the wall clock drops. The DPOR section measures the
+// partial-order-reduction ratio (`dpor_reduction`, DESIGN.md §8) over the
+// whole annotatable suite — a deterministic property of the schedule tree.
 //
 //   bench_explore [--preemptions=N] [--horizon=H] [--jobs=N] [--json[=PATH]]
 #include <chrono>
@@ -145,6 +147,66 @@ int main(int argc, char** argv) {
   json.add("scaling_jobs", measured_jobs);
   json.add("scaling_explored", scaling_explored);
   json.add("parallel_speedup", base_rate > 0 ? best_rate / base_rate : 0.0);
+
+  // DPOR: explored-schedule reduction at identical failing sets (DESIGN.md
+  // §8). The reduction is a property of the fixed schedule tree, not of the
+  // host, so the ratio is deterministic and assertable even on one vCPU.
+  std::printf("partial-order reduction (annotatable suite, all back-ends)\n\n");
+  util::Table dpor_table;
+  dpor_table.add_row({"dpor", "explored", "dpor-pruned", "reduction"});
+  uint64_t dpor_explored[2] = {0, 0};
+  uint64_t dpor_pruned_total = 0;
+  const explore::DporMode modes[2] = {explore::DporMode::kOff,
+                                      explore::DporMode::kSleepSet};
+  for (int i = 0; i < 2; ++i) {
+    explore::ExploreConfig dcfg = cfg;
+    dcfg.dpor = modes[i];
+    for (rt::Target t : rt::sim_targets()) {
+      for (const auto& test : explore::annotatable_tests()) {
+        const explore::LitmusCheck check(test, t);
+        explore::Explorer ex(check.runner());
+        const auto rep = ex.explore(dcfg);
+        if (rep.failing != 0) {
+          std::fprintf(stderr, "!! %s/%s dpor=%s: %llu model-invalid "
+                       "schedule(s)\n",
+                       rt::to_string(t), test.name.c_str(),
+                       explore::to_string(modes[i]),
+                       static_cast<unsigned long long>(rep.failing));
+          return 1;
+        }
+        if (rep.truncated) {
+          // A clipped count would fake a ~1.0x reduction; the ratio is only
+          // meaningful over the complete bounded space.
+          std::fprintf(stderr, "!! %s/%s dpor=%s: truncated at max_schedules "
+                       "— dpor_reduction would be meaningless; lower "
+                       "--preemptions/--horizon\n",
+                       rt::to_string(t), test.name.c_str(),
+                       explore::to_string(modes[i]));
+          return 1;
+        }
+        dpor_explored[i] += rep.explored;
+        if (i == 1) dpor_pruned_total += rep.dpor_pruned;
+      }
+    }
+    const double reduction =
+        i == 0 || dpor_explored[1] == 0
+            ? 1.0
+            : static_cast<double>(dpor_explored[0]) /
+                  static_cast<double>(dpor_explored[1]);
+    char red[32];
+    std::snprintf(red, sizeof red, "%.1fx", reduction);
+    dpor_table.add_row({explore::to_string(modes[i]),
+                        bench::fmt_u64(dpor_explored[i]),
+                        bench::fmt_u64(i == 1 ? dpor_pruned_total : 0), red});
+  }
+  std::printf("%s\n", dpor_table.render().c_str());
+  json.add("dpor_off_explored", dpor_explored[0]);
+  json.add("dpor_sleepset_explored", dpor_explored[1]);
+  json.add("dpor_reduction",
+           dpor_explored[1] == 0
+               ? 0.0
+               : static_cast<double>(dpor_explored[0]) /
+                     static_cast<double>(dpor_explored[1]));
 
   // Seeded-bug mode: schedules until the injected missing flush is exposed.
   uint64_t worst_to_find = 0;

@@ -10,8 +10,13 @@
 // programs (the DiffCheck dual oracle). --jobs=N shards the exploration
 // frontier over N workers; reports stay deterministic at any job count.
 //
+// --dpor=off|footprint|sleepset (bare --dpor = sleepset) turns on
+// happens-before partial-order reduction: commuting reorderings collapse to
+// one representative, so far fewer schedules run while the same failures
+// (after minimization) are found (DESIGN.md §8).
+//
 //   explore_litmus --backend=swcc --preemptions=2 --horizon=24 --jobs=4
-//   explore_litmus --seed-bug --backend=dsm
+//   explore_litmus --dpor=sleepset --seed-bug --backend=all
 //   explore_litmus --backend=dsm --test=fig4_exclusive --replay=3:1,4:1
 //   explore_litmus --fuzz=8 --jobs=2 --json
 //   explore_litmus --fuzz-seed=3 --backend=swcc --replay=2:1
@@ -23,6 +28,7 @@
 #include "explore/diff_check.h"
 #include "explore/litmus_driver.h"
 #include "explore/parallel_explorer.h"
+#include "util/check.h"
 #include "util/table.h"
 
 using namespace pmc;
@@ -33,14 +39,32 @@ using bench::flag_str;
 namespace {
 
 std::vector<rt::Target> parse_backends(const char* arg) {
-  if (arg == nullptr) return rt::sim_targets();
+  if (arg == nullptr || std::strcmp(arg, "all") == 0) {
+    return rt::sim_targets();
+  }
   const auto target = rt::target_from_string(arg);
   if (!target || !rt::is_sim(*target)) {
-    std::fprintf(stderr, "unknown back-end '%s' (want nocc|swcc|dsm|spm)\n",
-                 arg);
+    std::fprintf(stderr,
+                 "unknown back-end '%s' (want nocc|swcc|dsm|spm|all)\n", arg);
     std::exit(2);
   }
   return {*target};
+}
+
+/// --dpor[=off|footprint|sleepset]; the bare flag means sleepset (the full
+/// reduction — DESIGN.md §8).
+explore::DporMode parse_dpor(int argc, char** argv) {
+  if (const char* d = flag_str(argc, argv, "dpor", nullptr)) {
+    const auto mode = explore::dpor_mode_from_string(d);
+    if (!mode) {
+      std::fprintf(stderr, "unknown --dpor mode '%s' "
+                   "(want off|footprint|sleepset)\n", d);
+      std::exit(2);
+    }
+    return *mode;
+  }
+  return flag_set(argc, argv, "dpor") ? explore::DporMode::kSleepSet
+                                      : explore::DporMode::kOff;
 }
 
 /// Shape for --fuzz/--fuzz-seed: canonical per-seed shape, with optional
@@ -62,7 +86,13 @@ explore::ProgramShape fuzz_shape(uint64_t seed, int argc, char** argv) {
 int run_replay(const explore::ScheduleRunner& runner, const char* what,
                const char* backend, const char* decisions, uint64_t horizon) {
   explore::ParallelExplorer ex(runner, 1);
-  const auto ds = explore::parse_decision_string(decisions);
+  explore::DecisionString ds;
+  try {
+    ds = explore::parse_decision_string(decisions);
+  } catch (const util::CheckFailure& e) {
+    std::fprintf(stderr, "bad --replay string: %s\n", e.what());
+    return 2;
+  }
   bool applied = false;
   const auto out = ex.replay(ds, horizon, &applied);
   if (!applied) {
@@ -190,9 +220,18 @@ int main(int argc, char** argv) {
   cfg.preemption_bound =
       static_cast<int>(flag_int(argc, argv, "preemptions", 2));
   cfg.horizon = static_cast<uint64_t>(flag_int(argc, argv, "horizon", 24));
+  if (cfg.horizon > explore::kMaxDecisionField) {
+    // The replay parser bounds decision steps to kMaxDecisionField; a larger
+    // horizon could emit failing schedules this tool then refuses to replay.
+    std::fprintf(stderr, "--horizon=%llu exceeds the replayable bound %llu\n",
+                 static_cast<unsigned long long>(cfg.horizon),
+                 static_cast<unsigned long long>(explore::kMaxDecisionField));
+    return 2;
+  }
   cfg.max_schedules =
       static_cast<uint64_t>(flag_int(argc, argv, "max-schedules", 50'000));
   cfg.prune_delay = !flag_set(argc, argv, "no-prune");
+  cfg.dpor = parse_dpor(argc, argv);
   const int jobs = static_cast<int>(flag_int(argc, argv, "jobs", 1));
   const auto backends = parse_backends(flag_str(argc, argv, "backend", nullptr));
   const char* test_filter = flag_str(argc, argv, "test", nullptr);
@@ -202,6 +241,7 @@ int main(int argc, char** argv) {
 
   bench::JsonReport json("explore_litmus");
   json.add("jobs", jobs);
+  json.add("dpor", std::string(explore::to_string(cfg.dpor)));
 
   // -- Differential fuzzing modes ---------------------------------------------
   if (fuzz_seed >= 0 && replay != nullptr) {
@@ -271,13 +311,14 @@ int main(int argc, char** argv) {
   }
 
   std::printf("schedule exploration: preemptions<=%d, horizon=%llu, "
-              "jobs=%d%s\n\n",
+              "jobs=%d, dpor=%s%s\n\n",
               cfg.preemption_bound,
               static_cast<unsigned long long>(cfg.horizon), jobs,
+              explore::to_string(cfg.dpor),
               cfg.prune_delay ? "" : ", pruning off");
   util::Table table;
-  table.add_row({"back-end", "test", "explored", "pruned", "traces",
-                 "failing"});
+  table.add_row({"back-end", "test", "explored", "pruned", "dpor-pruned",
+                 "traces", "failing"});
   int rc = 0;
   uint64_t failing_total = 0;
   for (rt::Target t : backends) {
@@ -289,6 +330,7 @@ int main(int argc, char** argv) {
                      std::to_string(rep.explored) +
                          (rep.truncated ? "+" : ""),
                      std::to_string(rep.pruned),
+                     std::to_string(rep.dpor_pruned),
                      std::to_string(rep.distinct_traces),
                      std::to_string(rep.failing)});
       // Per-(back-end, test) outcome set, so CI can assert the numbers
@@ -297,6 +339,7 @@ int main(int argc, char** argv) {
           std::string(rt::to_string(t)) + "_" + test.name;
       json.add(key + "_explored", rep.explored);
       json.add(key + "_pruned", rep.pruned);
+      json.add(key + "_dpor_pruned", rep.dpor_pruned);
       json.add(key + "_traces", rep.distinct_traces);
       json.add(key + "_failing", rep.failing);
       json.add(key + "_allowed_outcomes",

@@ -30,7 +30,13 @@ uint64_t parse_u64(std::string_view text, size_t* pos) {
                 "decision string: expected a number at offset " << *pos);
   uint64_t v = 0;
   while (*pos < text.size() && text[*pos] >= '0' && text[*pos] <= '9') {
-    v = v * 10 + static_cast<uint64_t>(text[*pos] - '0');
+    const uint64_t digit = static_cast<uint64_t>(text[*pos] - '0');
+    // Reject overflow instead of silently wrapping: a wrapped value would
+    // parse "successfully" and then replay some unrelated schedule.
+    PMC_CHECK_MSG(v <= (UINT64_MAX - digit) / 10,
+                  "decision string: number at offset "
+                      << *pos << " overflows 64 bits");
+    v = v * 10 + digit;
     ++*pos;
   }
   return v;
@@ -43,12 +49,17 @@ DecisionString parse_decision_string(std::string_view text) {
   size_t pos = 0;
   while (pos < text.size()) {
     Decision d;
-    d.step = parse_u64(text, &pos);
+    const uint64_t step = parse_u64(text, &pos);
+    // Decision steps come from horizon-bounded exploration; anything past
+    // the shared field bound is a typo or a stale string, not a schedule.
+    PMC_CHECK_MSG(step <= kMaxDecisionField,
+                  "decision string: step " << step << " out of range");
+    d.step = step;
     PMC_CHECK_MSG(pos < text.size() && text[pos] == ':',
                   "decision string: expected ':' at offset " << pos);
     ++pos;
     const uint64_t choice = parse_u64(text, &pos);
-    PMC_CHECK_MSG(choice >= 1 && choice <= 1'000'000,
+    PMC_CHECK_MSG(choice >= 1 && choice <= kMaxDecisionField,
                   "decision string: choice " << choice << " out of range");
     d.choice = static_cast<int>(choice);
     PMC_CHECK_MSG(ds.empty() || ds.back().step < d.step,

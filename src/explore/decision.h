@@ -36,8 +36,15 @@ std::string to_string(const DecisionString& ds);
 /// workers happen to discover failures.
 bool lex_less(const DecisionString& a, const DecisionString& b);
 
+/// Upper bound on both fields of a parsed "step:choice" pair. Steps come
+/// from horizon-bounded exploration, so CLI front-ends must also reject a
+/// horizon above this bound — otherwise the explorer could print a failing
+/// schedule its own parser refuses to replay.
+inline constexpr uint64_t kMaxDecisionField = 1'000'000;
+
 /// Parses to_string's format. Throws util::CheckFailure on malformed input,
-/// non-increasing steps, or a choice < 1.
+/// 64-bit overflow, non-increasing steps, or a step/choice out of range
+/// (choice < 1, or either field > kMaxDecisionField).
 DecisionString parse_decision_string(std::string_view text);
 
 }  // namespace pmc::explore

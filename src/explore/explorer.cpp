@@ -7,9 +7,156 @@
 
 namespace pmc::explore {
 
+const char* to_string(DporMode mode) {
+  switch (mode) {
+    case DporMode::kOff: return "off";
+    case DporMode::kFootprint: return "footprint";
+    case DporMode::kSleepSet: return "sleepset";
+  }
+  return "?";
+}
+
+std::optional<DporMode> dpor_mode_from_string(std::string_view text) {
+  if (text == "off") return DporMode::kOff;
+  if (text == "footprint") return DporMode::kFootprint;
+  if (text == "sleepset") return DporMode::kSleepSet;
+  return std::nullopt;
+}
+
+namespace {
+
+bool asleep(const SleepSet& sleep, int core) {
+  for (const SleepEntry& e : sleep) {
+    if (e.core == core) return true;
+  }
+  return false;
+}
+
+/// Footprint of candidate `core`'s pending segment at step `p`: the segment
+/// it runs at its first dispatch >= p in this run. The core is not dispatched
+/// in between, so its program state — and with it the addresses the segment
+/// touches — is the same whether it runs at `p` (the branch) or at its
+/// default spot. nullptr when the dispatch or its footprint fell outside the
+/// recording window: callers must then assume dependence.
+const sim::Footprint* pending_segment(const ReplayPolicy& policy, uint64_t p,
+                                      int core) {
+  for (uint64_t q = p;; ++q) {
+    const int chosen = policy.chosen_core(q);
+    if (chosen < 0) return nullptr;  // beyond the recording window
+    if (chosen == core) return policy.segment_footprint(q);
+  }
+}
+
+}  // namespace
+
+void expand_node(const FrontierNode& node, const ReplayPolicy& policy,
+                 const ExploreConfig& cfg, std::vector<FrontierNode>* children,
+                 ExpandStats* stats) {
+  if (static_cast<int>(node.prefix.size()) >= cfg.preemption_bound) return;
+  // This run's decisions up to the horizon are shared by every child
+  // (identical override prefix ⇒ identical deterministic execution up to
+  // the new override), so the recorded candidate counts enumerate the
+  // children exactly. Children extend strictly after the last override,
+  // which generates every bounded schedule exactly once.
+  const uint64_t start = node.prefix.empty() ? 0 : node.prefix.back().step + 1;
+  const uint64_t end = std::min(policy.decision_points(), cfg.horizon);
+  const bool dpor = cfg.dpor != DporMode::kOff;
+  const bool sleepsets = cfg.dpor == DporMode::kSleepSet;
+  SleepSet sleep = node.sleep;  // evolves along the node's default path
+  for (uint64_t p = start; p < end; ++p) {
+    const int alternatives = policy.candidates_at(p) - 1;
+    if (alternatives > 0) {
+      if (cfg.prune_delay && policy.pure_segment(p)) {
+        stats->delay_pruned += static_cast<uint64_t>(alternatives);
+      } else {
+        const sim::Footprint* def_fp =
+            dpor ? policy.segment_footprint(p) : nullptr;
+        SleepSet branched;  // alternatives branched earlier at this step
+        for (int c = 1; c <= alternatives; ++c) {
+          const int cand = policy.candidate_core(p, c);
+          if (sleepsets && asleep(sleep, cand)) {
+            // This core's pending segment was already explored from a
+            // commuting sibling branch; re-branching it here would reach a
+            // Mazurkiewicz-equivalent schedule from the other side.
+            ++stats->dpor_pruned;
+            continue;
+          }
+          const sim::Footprint* cand_fp =
+              dpor ? pending_segment(policy, p, cand) : nullptr;
+          if (dpor) {
+            const sim::Footprint& cfp =
+                cand_fp != nullptr ? *cand_fp : sim::Footprint::wildcard();
+            const sim::Footprint& dfp =
+                def_fp != nullptr ? *def_fp : sim::Footprint::wildcard();
+            // Prune only a reordering of two *effectful* segments whose
+            // footprints commute: (p, c) is then equivalent to branching
+            // one step later (or, if the candidate commutes all the way to
+            // its default dispatch, to not branching at all) — the retained
+            // class representative is the branch right before the first
+            // dependent segment. When either segment is pure delay that
+            // argument does not apply: dispatching the candidate stalls the
+            // bypassed default core and the frontier warp shifts every
+            // later posted-write arrival, which can flip timing races that
+            // footprints cannot see. Pure-delay preemptions are only ever
+            // skipped by the explicit prune_delay trade-off.
+            if (!cfp.empty() && !dfp.empty() && !conflicts(cfp, dfp)) {
+              ++stats->dpor_pruned;
+              continue;
+            }
+          }
+          FrontierNode child;
+          child.prefix = node.prefix;
+          child.prefix.push_back({p, c});
+          if (sleepsets) {
+            // A pure or unknown pending segment is treated as a wildcard
+            // here: the child inherits no sleep entries (its timing-only
+            // move could interact with anything) and the candidate itself
+            // never goes to sleep — only effectful, known segments carry
+            // the commutation argument.
+            const bool cand_known =
+                cand_fp != nullptr && !cand_fp->empty() &&
+                !cand_fp->is_wildcard();
+            const sim::Footprint& cfp =
+                cand_known ? *cand_fp : sim::Footprint::wildcard();
+            // Inherit every sleeping entry that commutes with this move;
+            // dependent ones wake. Earlier commuting siblings go to sleep:
+            // their reorderings against this branch are covered from their
+            // own subtrees.
+            for (const SleepEntry& e : sleep) {
+              if (!conflicts(e.fp, cfp)) child.sleep.push_back(e);
+            }
+            for (const SleepEntry& e : branched) {
+              if (!conflicts(e.fp, cfp)) child.sleep.push_back(e);
+            }
+            std::sort(child.sleep.begin(), child.sleep.end(),
+                      [](const SleepEntry& a, const SleepEntry& b) {
+                        return a.core < b.core;
+                      });
+            if (cand_known) branched.push_back({cand, *cand_fp});
+          }
+          children->push_back(std::move(child));
+        }
+      }
+    }
+    // Advance the sleep set past the default segment at p: an entry whose
+    // core just ran is consumed (its pending segment is behind us), and a
+    // dependent segment wakes everything it conflicts with.
+    if (sleepsets && !sleep.empty()) {
+      const int chosen = policy.chosen_core(p);
+      const sim::Footprint* seg = policy.segment_footprint(p);
+      const sim::Footprint& sfp =
+          seg != nullptr ? *seg : sim::Footprint::wildcard();
+      std::erase_if(sleep, [&](const SleepEntry& e) {
+        return chosen < 0 || e.core == chosen || conflicts(e.fp, sfp);
+      });
+    }
+  }
+}
+
 RunOutcome Explorer::replay(const DecisionString& schedule, uint64_t horizon,
                             bool* fully_applied) {
-  ReplayPolicy policy(schedule, horizon);
+  // Replays only consume the verdict, never the DPOR recording.
+  ReplayPolicy policy(schedule, horizon, /*record_footprints=*/false);
   RunOutcome out = runner_(policy);
   // An override whose choice no longer matches the candidate count aborts
   // the run mid-way (unconsumed as well), so unused_overrides() == 0 is
@@ -24,16 +171,18 @@ ExploreReport Explorer::explore(const ExploreConfig& cfg) {
   PMC_CHECK(cfg.preemption_bound >= 0);
   ExploreReport rep;
   std::unordered_set<uint64_t> traces;
-  std::vector<DecisionString> stack;
+  std::vector<FrontierNode> stack;
   stack.push_back({});
+  bool have_failing = false;
   while (!stack.empty()) {
     if (rep.explored >= cfg.max_schedules) {
       rep.truncated = true;
       break;
     }
-    DecisionString s = std::move(stack.back());
+    FrontierNode node = std::move(stack.back());
     stack.pop_back();
-    ReplayPolicy policy(s, cfg.horizon);
+    ReplayPolicy policy(node.prefix, cfg.horizon,
+                        /*record_footprints=*/cfg.dpor != DporMode::kOff);
     const RunOutcome out = runner_(policy);
     ++rep.explored;
     traces.insert(out.trace_hash);
@@ -41,35 +190,27 @@ ExploreReport Explorer::explore(const ExploreConfig& cfg) {
         std::max(rep.max_decision_points, policy.decision_points());
     if (!out.ok) {
       ++rep.failing;
-      if (rep.failing == 1) {
-        rep.first_failing = s;
+      if (rep.failing == 1) rep.schedules_to_first_failure = rep.explored;
+      // Canonicalize to the lexicographic minimum — the same tie-break the
+      // parallel engine uses — so both engines report the identical failing
+      // schedule for the same space, not a traversal-order accident.
+      if (!have_failing || lex_less(node.prefix, rep.first_failing)) {
+        rep.first_failing = node.prefix;
         rep.first_failing_message = out.message;
-        rep.schedules_to_first_failure = rep.explored;
+        have_failing = true;
       }
+      if (cfg.collect_failing) rep.failing_schedules.push_back(node.prefix);
     }
-    if (static_cast<int>(s.size()) >= cfg.preemption_bound) continue;
-    // This run's decisions up to the horizon are shared by every child
-    // (identical override prefix ⇒ identical deterministic execution up to
-    // the new override), so the recorded candidate counts enumerate the
-    // children exactly. Children extend strictly after the last override,
-    // which generates every bounded schedule exactly once.
-    const uint64_t start = s.empty() ? 0 : s.back().step + 1;
-    const uint64_t end = std::min(policy.decision_points(), cfg.horizon);
-    for (uint64_t p = start; p < end; ++p) {
-      const int alternatives = policy.candidates_at(p) - 1;
-      if (alternatives <= 0) continue;
-      if (cfg.prune_delay && policy.pure_segment(p)) {
-        rep.pruned += static_cast<uint64_t>(alternatives);
-        continue;
-      }
-      for (int c = 1; c <= alternatives; ++c) {
-        DecisionString child = s;
-        child.push_back({p, c});
-        stack.push_back(std::move(child));
-      }
-    }
+    ExpandStats stats;
+    std::vector<FrontierNode> children;
+    expand_node(node, policy, cfg, &children, &stats);
+    rep.pruned += stats.delay_pruned;
+    rep.dpor_pruned += stats.dpor_pruned;
+    for (FrontierNode& child : children) stack.push_back(std::move(child));
   }
   rep.distinct_traces = traces.size();
+  std::sort(rep.failing_schedules.begin(), rep.failing_schedules.end(),
+            lex_less);
   return rep;
 }
 

@@ -1,4 +1,5 @@
-// Preemption-bounded schedule exploration (DESIGN.md §6).
+// Preemption-bounded schedule exploration (DESIGN.md §6) with optional
+// happens-before dynamic partial-order reduction (DESIGN.md §8).
 //
 // The Explorer enumerates interleavings of one deterministic simulated
 // program by stateless re-execution: each schedule is a decision string, the
@@ -9,16 +10,38 @@
 // and a horizon (only the first H decision points may branch), in the style
 // of CHESS-like systematic concurrency testing; delay-segment pruning skips
 // preemptions of segments that provably performed no memory-system effect.
+//
+// DPOR collapses the remaining commuting reorderings: a branch (p, c) is
+// generated only when the bypassed candidate's pending segment *conflicts*
+// with the segment the default pick runs at p (footprint mode), and per-node
+// sleep sets additionally stop a commuted pair of alternatives from being
+// explored from both sides (sleep-set mode). Both reductions are pure
+// functions of the parent's deterministic run, so the reduced space is still
+// a fixed tree — totals stay identical at any worker count.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "explore/decision.h"
 #include "explore/replay_policy.h"
 
 namespace pmc::explore {
+
+/// Partial-order-reduction level (ExploreConfig::dpor, CLI --dpor=).
+enum class DporMode {
+  kOff,        // enumerate every bounded schedule (PR 2/3 behavior)
+  kFootprint,  // branch only on dependent (footprint-conflicting) candidates
+  kSleepSet,   // footprint + per-node sleep sets
+};
+
+const char* to_string(DporMode mode);
+/// "off" | "footprint" | "sleepset"; nullopt on anything else.
+std::optional<DporMode> dpor_mode_from_string(std::string_view text);
 
 struct ExploreConfig {
   /// Maximum overrides per schedule (preemption bound).
@@ -33,6 +56,14 @@ struct ExploreConfig {
   /// re-applies anyway. A pruned schedule is counted, not run; its deeper
   /// extensions are not enumerated (bounded-search trade-off, DESIGN.md §6).
   bool prune_delay = true;
+  /// Happens-before dynamic partial-order reduction (DESIGN.md §8). Off by
+  /// default: reduction skips schedules that are Mazurkiewicz-equivalent to
+  /// explored ones, so counts shrink while the set of distinct failures
+  /// (after minimization) stays the same.
+  DporMode dpor = DporMode::kOff;
+  /// Collect every failing decision string into the report (sorted
+  /// lexicographically). Off by default to bound memory on huge spaces.
+  bool collect_failing = false;
 };
 
 /// Verdict of one schedule, produced by the runner.
@@ -48,18 +79,59 @@ using ScheduleRunner = std::function<RunOutcome(ReplayPolicy& policy)>;
 
 struct ExploreReport {
   uint64_t explored = 0;  // schedules executed
-  uint64_t pruned = 0;    // schedules enumerated but skipped by pruning
+  uint64_t pruned = 0;    // schedules enumerated but skipped by delay pruning
+  /// Schedules skipped because DPOR proved them equivalent to an explored
+  /// representative (independent-candidate branches + sleep-set hits).
+  uint64_t dpor_pruned = 0;
   bool truncated = false;
   uint64_t distinct_traces = 0;
   uint64_t failing = 0;
-  DecisionString first_failing;  // meaningful iff failing > 0
+  /// The lexicographically least failing decision string seen (meaningful
+  /// iff failing > 0). Both the sequential and the parallel engine
+  /// canonicalize to the lexicographic minimum, so reports are byte-
+  /// identical across engines and job counts (absent truncation).
+  DecisionString first_failing;
   std::string first_failing_message;
-  /// Schedules executed up to and including the first failing one (0 when
-  /// nothing failed) — the "time to find" a seeded bug; `explored` keeps
-  /// counting to the end of the bounded space.
+  /// Schedules executed up to and including the temporally first failing one
+  /// (0 when nothing failed) — the "time to find" a seeded bug; `explored`
+  /// keeps counting to the end of the bounded space. Stable for the
+  /// sequential engine, wall-clock-ish for the parallel one.
   uint64_t schedules_to_first_failure = 0;
   uint64_t max_decision_points = 0;  // longest run observed
+  /// Every failing decision string, sorted by lex_less (only when
+  /// ExploreConfig::collect_failing; empty otherwise).
+  std::vector<DecisionString> failing_schedules;
 };
+
+/// One sleeping alternative: core `core`'s pending segment (footprint `fp`)
+/// was already explored from a commuting sibling branch; do not branch it
+/// again until a dependent segment wakes it (or the core runs by default).
+struct SleepEntry {
+  int core = -1;
+  sim::Footprint fp;
+};
+using SleepSet = std::vector<SleepEntry>;
+
+/// A frontier node of the (possibly reduced) schedule tree: the decision
+/// prefix to replay plus the sleep set inherited from its parent. The
+/// parallel explorer ships the sleep set with each stolen entry so the
+/// reduced tree — and with it every total — stays job-count-invariant.
+struct FrontierNode {
+  DecisionString prefix;
+  SleepSet sleep;
+};
+
+struct ExpandStats {
+  uint64_t delay_pruned = 0;
+  uint64_t dpor_pruned = 0;
+};
+
+/// Enumerates the children of `node` from its completed run `policy`.
+/// Pure function of (node, the run's recording, cfg): the sequential and
+/// parallel engines share it, which is what makes their trees identical.
+void expand_node(const FrontierNode& node, const ReplayPolicy& policy,
+                 const ExploreConfig& cfg, std::vector<FrontierNode>* children,
+                 ExpandStats* stats);
 
 class Explorer {
  public:

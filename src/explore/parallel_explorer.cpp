@@ -25,7 +25,7 @@ namespace {
 /// ample: each queue operation amortizes a full program re-execution.
 struct Shard {
   std::mutex mu;
-  std::deque<DecisionString> dq;
+  std::deque<FrontierNode> dq;
 };
 
 }  // namespace
@@ -41,6 +41,7 @@ ExploreReport ParallelExplorer::explore(const ExploreConfig& cfg) {
   std::atomic<uint64_t> claimed{0};
   std::atomic<uint64_t> explored{0};
   std::atomic<uint64_t> pruned{0};
+  std::atomic<uint64_t> dpor_pruned{0};
   std::atomic<uint64_t> failing{0};
   std::atomic<uint64_t> in_flight{1};
   std::atomic<uint64_t> first_fail_at{0};
@@ -63,12 +64,14 @@ ExploreReport ParallelExplorer::explore(const ExploreConfig& cfg) {
 
   std::vector<std::unordered_set<uint64_t>> traces(
       static_cast<size_t>(jobs));
+  std::vector<std::vector<DecisionString>> fails(static_cast<size_t>(jobs));
 
   auto worker = [&](int self) {
     Shard& own = shards[static_cast<size_t>(self)];
     auto& local_traces = traces[static_cast<size_t>(self)];
+    auto& local_fails = fails[static_cast<size_t>(self)];
     while (in_flight.load() != 0) {
-      std::optional<DecisionString> task;
+      std::optional<FrontierNode> task;
       {
         std::lock_guard<std::mutex> lk(own.mu);
         if (!own.dq.empty()) {
@@ -98,7 +101,8 @@ ExploreReport ParallelExplorer::explore(const ExploreConfig& cfg) {
         if (in_flight.fetch_sub(1) == 1) idle_cv.notify_all();
         continue;
       }
-      ReplayPolicy policy(*task, cfg.horizon);
+      ReplayPolicy policy(task->prefix, cfg.horizon,
+                          /*record_footprints=*/cfg.dpor != DporMode::kOff);
       const RunOutcome out = runner_(policy);
       const uint64_t done = explored.fetch_add(1) + 1;
       local_traces.insert(out.trace_hash);
@@ -108,41 +112,30 @@ ExploreReport ParallelExplorer::explore(const ExploreConfig& cfg) {
       }
       if (!out.ok) {
         if (failing.fetch_add(1) == 0) first_fail_at.store(done);
+        if (cfg.collect_failing) local_fails.push_back(task->prefix);
         std::lock_guard<std::mutex> lk(best_mu);
-        if (!have_best || lex_less(*task, best)) {
-          best = *task;
+        if (!have_best || lex_less(task->prefix, best)) {
+          best = task->prefix;
           best_message = out.message;
           have_best = true;
         }
       }
 
-      // Child enumeration is byte-identical to Explorer::explore: the tree
-      // is the same, only the traversal order differs.
-      if (static_cast<int>(task->size()) < cfg.preemption_bound) {
-        const uint64_t start = task->empty() ? 0 : task->back().step + 1;
-        const uint64_t end = std::min(policy.decision_points(), cfg.horizon);
-        std::vector<DecisionString> children;
-        for (uint64_t p = start; p < end; ++p) {
-          const int alternatives = policy.candidates_at(p) - 1;
-          if (alternatives <= 0) continue;
-          if (cfg.prune_delay && policy.pure_segment(p)) {
-            pruned.fetch_add(static_cast<uint64_t>(alternatives));
-            continue;
-          }
-          for (int c = 1; c <= alternatives; ++c) {
-            DecisionString child = *task;
-            child.push_back({p, c});
-            children.push_back(std::move(child));
-          }
+      // Child enumeration is byte-identical to Explorer::explore — both
+      // engines call the same expand_node on the same deterministic run —
+      // so the (reduced) tree is the same, only the traversal order differs.
+      ExpandStats stats;
+      std::vector<FrontierNode> children;
+      expand_node(*task, policy, cfg, &children, &stats);
+      if (stats.delay_pruned != 0) pruned.fetch_add(stats.delay_pruned);
+      if (stats.dpor_pruned != 0) dpor_pruned.fetch_add(stats.dpor_pruned);
+      if (!children.empty()) {
+        in_flight.fetch_add(children.size());
+        {
+          std::lock_guard<std::mutex> lk(own.mu);
+          for (auto& c : children) own.dq.push_back(std::move(c));
         }
-        if (!children.empty()) {
-          in_flight.fetch_add(children.size());
-          {
-            std::lock_guard<std::mutex> lk(own.mu);
-            for (auto& c : children) own.dq.push_back(std::move(c));
-          }
-          idle_cv.notify_all();
-        }
+        idle_cv.notify_all();
       }
       if (in_flight.fetch_sub(1) == 1) idle_cv.notify_all();
     }
@@ -156,6 +149,7 @@ ExploreReport ParallelExplorer::explore(const ExploreConfig& cfg) {
   ExploreReport rep;
   rep.explored = explored.load();
   rep.pruned = pruned.load();
+  rep.dpor_pruned = dpor_pruned.load();
   rep.truncated = truncated.load();
   rep.failing = failing.load();
   rep.first_failing = std::move(best);
@@ -165,12 +159,20 @@ ExploreReport ParallelExplorer::explore(const ExploreConfig& cfg) {
   std::unordered_set<uint64_t> merged;
   for (auto& s : traces) merged.insert(s.begin(), s.end());
   rep.distinct_traces = merged.size();
+  for (auto& f : fails) {
+    rep.failing_schedules.insert(rep.failing_schedules.end(),
+                                 std::make_move_iterator(f.begin()),
+                                 std::make_move_iterator(f.end()));
+  }
+  std::sort(rep.failing_schedules.begin(), rep.failing_schedules.end(),
+            lex_less);
   return rep;
 }
 
 RunOutcome ParallelExplorer::replay(const DecisionString& schedule,
                                     uint64_t horizon, bool* fully_applied) {
-  ReplayPolicy policy(schedule, horizon);
+  // Replays only consume the verdict, never the DPOR recording.
+  ReplayPolicy policy(schedule, horizon, /*record_footprints=*/false);
   RunOutcome out = runner_(policy);
   if (fully_applied != nullptr) {
     *fully_applied = policy.unused_overrides() == 0;

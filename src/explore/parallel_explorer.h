@@ -9,12 +9,15 @@
 // largest unexplored subtrees).
 //
 // Determinism: the bounded schedule space is a fixed tree — each schedule's
-// children depend only on its own deterministic run — so `explored`,
-// `pruned`, `failing` and `distinct_traces` are identical for every worker
-// count (absent truncation). The reported first failure is canonicalized to
-// the *lexicographically least* failing decision string (first-failure wins
-// with a deterministic tie-break), so reports are reproducible run-to-run
-// and job-count-to-job-count, unlike a "whoever raced first" answer.
+// children depend only on its own deterministic run (both engines share
+// expand_node, including the DPOR reductions; a frontier entry carries its
+// sleep set, so a stolen subtree is reduced exactly as its owner would have
+// reduced it) — so `explored`, `pruned`, `dpor_pruned`, `failing` and
+// `distinct_traces` are identical for every worker count (absent
+// truncation). The reported failure is canonicalized to the
+// *lexicographically least* failing decision string — the same tie-break
+// the sequential engine applies — so reports are byte-identical run-to-run,
+// engine-to-engine, and job-count-to-job-count.
 #pragma once
 
 #include "explore/explorer.h"
@@ -33,8 +36,6 @@ class ParallelExplorer {
 
   /// Explores the same bounded space as Explorer::explore, over `jobs`
   /// workers. Report deltas vs the sequential engine:
-  ///  * first_failing / first_failing_message describe the lexicographic
-  ///    minimum failing schedule of the whole space, not the first found;
   ///  * schedules_to_first_failure is the value of the explored counter when
   ///    the temporally first failure was recorded — a wall-clock-ish "time
   ///    to find" that is NOT stable across job counts (the deterministic

@@ -1,0 +1,117 @@
+// Per-segment memory footprints for happens-before partial-order reduction
+// (DESIGN.md §8).
+//
+// A *segment* is the slice of one core's execution between two scheduler
+// decision points. Its footprint is the set of shared-memory effects the
+// segment performs — address range, read/write/atomic kind, and whether the
+// word is a synchronization word (lock, barrier counter, grant flag). Two
+// segments are *independent* iff their footprints commute: no write/write or
+// read/write overlap on any location and no common sync word. Independent
+// segments can be reordered without changing which values any read observes,
+// which is what lets the schedule explorer collapse equivalent interleavings
+// (Mazurkiewicz-trace equivalence) instead of enumerating them all.
+//
+// Only *shared* state counts: SDRAM, the tile-local memories (reachable by
+// the owner and, via the write-only NoC, by every other tile), and the
+// atomic unit. Private D-cache state is not shared — but cached accesses
+// still report the *line-aligned* SDRAM range they may fill from or write
+// back to, so false sharing under SWCC is a real dependence here too.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pmc::sim {
+
+enum class AccessKind : uint8_t {
+  kRead = 0,
+  kWrite = 1,
+  kAtomic = 2,  // read-modify-write at the atomic unit; conflicts like a write
+};
+
+struct MemAccess {
+  uint64_t addr = 0;
+  uint32_t len = 0;
+  AccessKind kind = AccessKind::kRead;
+  /// Lock/barrier word (MemClass::kSync traffic and all atomics). Two
+  /// accesses to a common sync word never commute, even read/read: sync
+  /// words order the computation, so their interleaving is the schedule.
+  bool sync = false;
+
+  friend bool operator==(const MemAccess&, const MemAccess&) = default;
+};
+
+/// True when the two accesses do not commute.
+inline bool conflicts(const MemAccess& a, const MemAccess& b) {
+  const bool overlap =
+      a.addr < b.addr + b.len && b.addr < a.addr + a.len;
+  if (!overlap) return false;
+  if (a.kind != AccessKind::kRead || b.kind != AccessKind::kRead) return true;
+  return a.sync && b.sync;  // common sync word: even read/read is ordered
+}
+
+/// Accumulated footprint of one segment. `wildcard()` denotes an effect of
+/// unknown extent — it conflicts with every non-empty footprint, so callers
+/// that lack information stay conservative (never prune on a wildcard).
+class Footprint {
+ public:
+  bool empty() const { return !wildcard_ && accesses_.empty(); }
+  bool is_wildcard() const { return wildcard_; }
+  const std::vector<MemAccess>& accesses() const { return accesses_; }
+
+  void clear() {
+    accesses_.clear();
+    wildcard_ = false;
+  }
+
+  void add(uint64_t addr, uint32_t len, AccessKind kind, bool sync) {
+    if (wildcard_ || len == 0) return;
+    // Entry/exit double-marking and word-by-word loops produce duplicate or
+    // adjacent records; merging against the last entry keeps footprints tiny
+    // without a full interval set.
+    if (!accesses_.empty()) {
+      MemAccess& last = accesses_.back();
+      if (last.kind == kind && last.sync == sync &&
+          addr >= last.addr && addr <= last.addr + last.len) {
+        const uint64_t end = addr + len;
+        if (end > last.addr + last.len) {
+          last.len = static_cast<uint32_t>(end - last.addr);
+        }
+        return;
+      }
+    }
+    accesses_.push_back({addr, len, kind, sync});
+  }
+
+  /// Marks the whole segment as touching an unknown location set.
+  void add_wildcard() {
+    wildcard_ = true;
+    accesses_.clear();
+  }
+
+  static const Footprint& wildcard() {
+    static const Footprint fp = [] {
+      Footprint w;
+      w.add_wildcard();
+      return w;
+    }();
+    return fp;
+  }
+
+  friend bool conflicts(const Footprint& a, const Footprint& b) {
+    if (a.empty() || b.empty()) return false;
+    if (a.wildcard_ || b.wildcard_) return true;
+    for (const MemAccess& x : a.accesses_) {
+      for (const MemAccess& y : b.accesses_) {
+        if (conflicts(x, y)) return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::vector<MemAccess> accesses_;
+  bool wildcard_ = false;
+};
+
+}  // namespace pmc::sim

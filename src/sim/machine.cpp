@@ -174,11 +174,16 @@ void Core::cached_access(Addr a, void* rd_out, const void* wr_data, size_t n) {
       data = cache.install(line, &victim);
       uint64_t pre_stall = 0;
       if (victim.dirty) {
-        // Post the writeback; the fill waits for the bus slot.
+        // Post the writeback; the fill waits for the bus slot. The victim
+        // line is a *different* SDRAM range than the access — footprint it,
+        // or exploration would treat the eviction as invisible.
         const uint64_t start =
             m_.sdram_.reserve_port(now(), lb / 4);
         m_.sdram_.post_write(start + t.sdram_line_wb_visible, victim.addr,
                              victim.data.data(), victim.data.size());
+        m_.sched_.note_access(id_, victim.addr,
+                              static_cast<uint32_t>(victim.data.size()),
+                              AccessKind::kWrite, /*sync=*/false);
         s.writebacks++;
         pre_stall += t.sdram_line_wb_cost;
       }
@@ -189,6 +194,7 @@ void Core::cached_access(Addr a, void* rd_out, const void* wr_data, size_t n) {
       auto bucket = wr_data != nullptr ? &CoreStats::stall_write
                                        : &CoreStats::stall_shared_read;
       charge(1, pre_stall + fill_req - 1, bucket);
+      m_.sched_.note_access(id_, line, lb, AccessKind::kRead, /*sync=*/false);
       m_.sdram_.read(now(), line, data, lb);
       charge(0, t.sdram_line_fill - fill_req, bucket);
     }
@@ -208,19 +214,24 @@ void Core::uncached_access(Addr a, void* rd_out, const void* wr_data, size_t n,
                            MemClass c) {
   const auto& t = m_.cfg_.timing;
   // Uncached SDRAM traffic moves word by word over the shared bus.
+  const bool sync = c == MemClass::kSync;
   size_t done = 0;
   while (done < n) {
     const size_t chunk = std::min<size_t>(4 - ((a + done) % 4), n - done);
+    const Addr chunk_addr = a + static_cast<Addr>(done);
     if (wr_data != nullptr) {
       charge(1, t.sdram_write_cost - 1, &CoreStats::stall_write);
-      m_.sdram_.post_write(now() + t.sdram_write_visible,
-                           a + static_cast<Addr>(done),
+      m_.sched_.note_access(id_, chunk_addr, static_cast<uint32_t>(chunk),
+                            AccessKind::kWrite, sync);
+      m_.sdram_.post_write(now() + t.sdram_write_visible, chunk_addr,
                            static_cast<const uint8_t*>(wr_data) + done, chunk);
     } else {
       // Sample at request arrival (half the round trip), not at completion.
       const uint64_t req = std::max<uint64_t>(t.sdram_read / 2, 1);
       charge(1, req - 1, read_bucket(c));
-      m_.sdram_.read(now(), a + static_cast<Addr>(done),
+      m_.sched_.note_access(id_, chunk_addr, static_cast<uint32_t>(chunk),
+                            AccessKind::kRead, sync);
+      m_.sdram_.read(now(), chunk_addr,
                      static_cast<uint8_t*>(rd_out) + done, chunk);
       charge(0, t.sdram_read - req, read_bucket(c));
     }
@@ -231,19 +242,37 @@ void Core::uncached_access(Addr a, void* rd_out, const void* wr_data, size_t n,
 void Core::access(Addr a, void* rd_out, const void* wr_data, size_t n,
                   MemClass c) {
   PMC_CHECK(n > 0);
+  const AccessKind kind =
+      wr_data != nullptr ? AccessKind::kWrite : AccessKind::kRead;
+  const bool sync = c == MemClass::kSync;
+  const int tile = m_.tile_of(a);
+  const bool cached =
+      tile < 0 && c == MemClass::kSharedData && m_.cfg_.cache_shared;
+  // Cached traffic moves line-at-a-time through SDRAM (fills read and
+  // writebacks write whole lines), so its footprint is line-aligned: false
+  // sharing is a real dependence under SWCC.
+  uint64_t fp_addr = a;
+  uint32_t fp_len = static_cast<uint32_t>(n);
+  if (cached) {
+    const auto& cache = m_.cores_[id_]->dcache;
+    const uint32_t lb = cache.line_bytes();
+    fp_addr = cache.line_base(a);
+    fp_len = static_cast<uint32_t>(
+        cache.line_base(a + static_cast<Addr>(n) - 1) + lb - fp_addr);
+  }
   // Memory effects happen between this call's clock advances (e.g. a posted
-  // write is enqueued after its cost was charged), so mark the segment
-  // observable both entering and leaving: the enclosing advances — and the
-  // next advance after the trailing effect — must not be treated as pure
-  // delay by schedule exploration.
-  m_.sched_.note_effect(id_);
+  // write is enqueued after its cost was charged), so record the footprint
+  // both entering and leaving: the enclosing advances — and the next advance
+  // after the trailing effect — must not be treated as independent of this
+  // access by schedule exploration. Chunked paths additionally note each
+  // module touch so mid-access segments carry their own effects.
+  m_.sched_.note_access(id_, fp_addr, fp_len, kind, sync);
   auto& s = m_.stats_[id_];
   if (wr_data != nullptr) {
     s.stores++;
   } else {
     s.loads++;
   }
-  const int tile = m_.tile_of(a);
   if (tile >= 0) {
     PMC_CHECK_MSG(tile == id_,
                   "core " << id_ << " cannot read/write tile " << tile
@@ -259,17 +288,16 @@ void Core::access(Addr a, void* rd_out, const void* wr_data, size_t n,
       charge(words * t.lm_load, 0, read_bucket(c));
       lm.read(now(), a, rd_out, n);
     }
-    m_.sched_.note_effect(id_);
+    m_.sched_.note_access(id_, fp_addr, fp_len, kind, sync);
     return;
   }
   PMC_CHECK_MSG(m_.sdram_.contains(a, n), "unmapped address " << a);
-  const bool cached = c == MemClass::kSharedData && m_.cfg_.cache_shared;
   if (cached) {
     cached_access(a, rd_out, wr_data, n);
   } else {
     uncached_access(a, rd_out, wr_data, n, c);
   }
-  m_.sched_.note_effect(id_);
+  m_.sched_.note_access(id_, fp_addr, fp_len, kind, sync);
 }
 
 uint8_t Core::load_u8(Addr a, MemClass c) {
@@ -304,7 +332,8 @@ void Core::write_block(Addr a, const void* data, size_t n, MemClass c) {
 
 uint64_t Core::remote_write(int dst_tile, Addr dst_addr, const void* data,
                             size_t n) {
-  m_.sched_.note_effect(id_);
+  m_.sched_.note_access(id_, dst_addr, static_cast<uint32_t>(n),
+                        AccessKind::kWrite, /*sync=*/false);
   PMC_CHECK(dst_tile >= 0 && dst_tile < m_.cfg_.num_cores);
   PMC_CHECK_MSG(dst_tile != id_, "remote_write to own tile: use store");
   MemModule& dst = *m_.lms_[dst_tile];
@@ -317,39 +346,47 @@ uint64_t Core::remote_write(int dst_tile, Addr dst_addr, const void* data,
   dst.post_write(arrival, dst_addr, data, n);
   s.remote_writes++;
   s.noc_bytes_sent += n;
-  m_.sched_.note_effect(id_);
+  m_.sched_.note_access(id_, dst_addr, static_cast<uint32_t>(n),
+                        AccessKind::kWrite, /*sync=*/false);
   return arrival;
 }
 
 void Core::dma_read(Addr src, void* out, size_t n, MemClass c) {
   PMC_CHECK(n > 0);
-  m_.sched_.note_effect(id_);
+  const bool sync = c == MemClass::kSync;
+  m_.sched_.note_access(id_, src, static_cast<uint32_t>(n), AccessKind::kRead,
+                        sync);
   PMC_CHECK_MSG(m_.sdram_.contains(src, n), "dma_read is SDRAM-only");
   const auto& t = m_.cfg_.timing;
   const uint64_t words = (n + 3) / 4;
   // Setup round trip, sample at request arrival, then pipelined streaming.
   const uint64_t req = std::max<uint64_t>(t.sdram_read / 2, 1);
   charge(1, req - 1, read_bucket(c));
+  m_.sched_.note_access(id_, src, static_cast<uint32_t>(n), AccessKind::kRead,
+                        sync);
   m_.sdram_.read(now(), src, out, n);
   charge(0, t.sdram_read - req + words * t.dma_per_word, read_bucket(c));
   m_.stats_[id_].loads++;
-  m_.sched_.note_effect(id_);
+  m_.sched_.note_access(id_, src, static_cast<uint32_t>(n), AccessKind::kRead,
+                        sync);
 }
 
 uint64_t Core::dma_write(Addr dst, const void* data, size_t n, MemClass c) {
   PMC_CHECK(n > 0);
-  m_.sched_.note_effect(id_);
+  const bool sync = c == MemClass::kSync;
+  m_.sched_.note_access(id_, dst, static_cast<uint32_t>(n), AccessKind::kWrite,
+                        sync);
   PMC_CHECK_MSG(m_.sdram_.contains(dst, n), "dma_write is SDRAM-only");
-  (void)c;
   const auto& t = m_.cfg_.timing;
   const uint64_t words = (n + 3) / 4;
   charge(1, t.sdram_write_cost - 1 + words * t.dma_per_word,
          &CoreStats::stall_write);
   const uint64_t start = m_.sdram_.reserve_port(now(), words);
   const uint64_t arrival = start + t.sdram_write_visible;
+  m_.sched_.note_access(id_, dst, static_cast<uint32_t>(n), AccessKind::kWrite,
+                        sync);
   m_.sdram_.post_write(arrival, dst, data, n);
   m_.stats_[id_].stores++;
-  m_.sched_.note_effect(id_);
   return arrival;
 }
 
@@ -371,11 +408,18 @@ void Core::charge_stall(uint64_t cycles, StallBucket bucket) {
 }
 
 uint64_t Core::cache_wbinval(Addr a, size_t n) {
-  m_.sched_.note_effect(id_);
   auto& s = m_.stats_[id_];
   auto& cache = m_.cores_[id_]->dcache;
   const auto& t = m_.cfg_.timing;
   const uint32_t lb = cache.line_bytes();
+  // Footprint the whole line-aligned range as a write: which lines actually
+  // write back depends on private cache state, so the conservative extent
+  // keeps exploration sound without leaking cache internals.
+  const Addr fp_base = cache.line_base(a);
+  const uint32_t fp_len = static_cast<uint32_t>(
+      cache.line_base(a + static_cast<Addr>(n) - 1) + lb - fp_base);
+  m_.sched_.note_access(id_, fp_base, fp_len, AccessKind::kWrite,
+                        /*sync=*/false);
   std::vector<uint8_t> dirty;
   uint64_t last_arrival = 0;
   for (Addr line = cache.line_base(a); line < a + n; line += lb) {
@@ -385,6 +429,8 @@ uint64_t Core::cache_wbinval(Addr a, size_t n) {
       if (!dirty.empty()) {
         const uint64_t start = m_.sdram_.reserve_port(now(), lb / 4);
         const uint64_t arrival = start + t.sdram_line_wb_visible;
+        m_.sched_.note_access(id_, line, lb, AccessKind::kWrite,
+                              /*sync=*/false);
         m_.sdram_.post_write(arrival, line, dirty.data(), dirty.size());
         last_arrival = std::max(last_arrival, arrival);
         s.writebacks++;
@@ -393,7 +439,8 @@ uint64_t Core::cache_wbinval(Addr a, size_t n) {
     }
     charge(0, stall, &CoreStats::stall_flush);
   }
-  m_.sched_.note_effect(id_);
+  m_.sched_.note_access(id_, fp_base, fp_len, AccessKind::kWrite,
+                        /*sync=*/false);
   return last_arrival;
 }
 
@@ -403,11 +450,19 @@ void Core::wait_until(uint64_t t, StallBucket bucket) {
 }
 
 void Core::cache_inval(Addr a, size_t n) {
-  m_.sched_.note_effect(id_);
   auto& s = m_.stats_[id_];
   auto& cache = m_.cores_[id_]->dcache;
   const auto& t = m_.cfg_.timing;
   const uint32_t lb = cache.line_bytes();
+  // Invalidation touches only the private cache; the later fill performs
+  // the shared-memory read. Footprint it as a read of the range so the
+  // segment stays observable (as before) and conservatively ordered against
+  // writers, without claiming a write it never does.
+  const Addr fp_base = cache.line_base(a);
+  const uint32_t fp_len = static_cast<uint32_t>(
+      cache.line_base(a + static_cast<Addr>(n) - 1) + lb - fp_base);
+  m_.sched_.note_access(id_, fp_base, fp_len, AccessKind::kRead,
+                        /*sync=*/false);
   for (Addr line = cache.line_base(a); line < a + n; line += lb) {
     if (cache.inval_line(line)) s.lines_flushed++;
     charge(0, t.cache_op_per_line, &CoreStats::stall_flush);
@@ -415,7 +470,7 @@ void Core::cache_inval(Addr a, size_t n) {
 }
 
 uint32_t Core::atomic_swap(Addr a, uint32_t value) {
-  m_.sched_.note_effect(id_);
+  m_.sched_.note_access(id_, a, 4, AccessKind::kAtomic, /*sync=*/true);
   PMC_CHECK(a % 4 == 0);
   PMC_CHECK_MSG(m_.sdram_.contains(a, 4), "atomics live on the SDRAM port");
   const auto& t = m_.cfg_.timing;
@@ -424,13 +479,13 @@ uint32_t Core::atomic_swap(Addr a, uint32_t value) {
   charge(1, req - 1, &CoreStats::stall_sync_read);
   m_.stats_[id_].atomics++;
   const uint32_t old = m_.sdram_.atomic_swap_u32(now(), a, value);
-  m_.sched_.note_effect(id_);
+  m_.sched_.note_access(id_, a, 4, AccessKind::kAtomic, /*sync=*/true);
   charge(0, total - req, &CoreStats::stall_sync_read);
   return old;
 }
 
 uint32_t Core::atomic_add(Addr a, uint32_t delta) {
-  m_.sched_.note_effect(id_);
+  m_.sched_.note_access(id_, a, 4, AccessKind::kAtomic, /*sync=*/true);
   PMC_CHECK(a % 4 == 0);
   PMC_CHECK_MSG(m_.sdram_.contains(a, 4), "atomics live on the SDRAM port");
   const auto& t = m_.cfg_.timing;
@@ -439,13 +494,13 @@ uint32_t Core::atomic_add(Addr a, uint32_t delta) {
   charge(1, req - 1, &CoreStats::stall_sync_read);
   m_.stats_[id_].atomics++;
   const uint32_t old = m_.sdram_.atomic_add_u32(now(), a, delta);
-  m_.sched_.note_effect(id_);
+  m_.sched_.note_access(id_, a, 4, AccessKind::kAtomic, /*sync=*/true);
   charge(0, total - req, &CoreStats::stall_sync_read);
   return old;
 }
 
 uint32_t Core::atomic_cas(Addr a, uint32_t expected, uint32_t desired) {
-  m_.sched_.note_effect(id_);
+  m_.sched_.note_access(id_, a, 4, AccessKind::kAtomic, /*sync=*/true);
   PMC_CHECK(a % 4 == 0);
   PMC_CHECK_MSG(m_.sdram_.contains(a, 4), "atomics live on the SDRAM port");
   const auto& t = m_.cfg_.timing;
@@ -454,7 +509,7 @@ uint32_t Core::atomic_cas(Addr a, uint32_t expected, uint32_t desired) {
   charge(1, req - 1, &CoreStats::stall_sync_read);
   m_.stats_[id_].atomics++;
   const uint32_t old = m_.sdram_.atomic_cas_u32(now(), a, expected, desired);
-  m_.sched_.note_effect(id_);
+  m_.sched_.note_access(id_, a, 4, AccessKind::kAtomic, /*sync=*/true);
   charge(0, total - req, &CoreStats::stall_sync_read);
   return old;
 }

@@ -39,6 +39,8 @@ int Scheduler::consult_policy_locked(int yielding) {
   if (yielding >= 0) {
     yp.observable = slots_[yielding].observable;
     slots_[yielding].observable = false;
+    yp.footprint = std::move(slots_[yielding].fp);
+    slots_[yielding].fp.clear();
   }
   const int choice = policy_->pick(yp, cands);
   PMC_CHECK_MSG(choice >= 0 && choice < static_cast<int>(cands.size()),
@@ -96,6 +98,7 @@ void Scheduler::run(const std::function<void(int)>& body) {
     s.time = 0;
     s.done = false;
     s.observable = false;
+    s.fp.clear();
   }
   error_ = nullptr;
   step_ = 0;

@@ -31,6 +31,8 @@
 #include <mutex>
 #include <vector>
 
+#include "sim/footprint.h"
+
 namespace pmc::sim {
 
 /// One runnable core at a decision point.
@@ -53,6 +55,13 @@ struct YieldPoint {
   /// means the segment that just ended was pure delay (compute/idle), which
   /// schedule explorers use to prune equivalent interleavings.
   bool observable = false;
+  /// Shared-memory footprint of the segment that just ended (empty for the
+  /// initial dispatch and for pure-delay segments). Schedule explorers use
+  /// footprint commutativity for happens-before partial-order reduction
+  /// (DESIGN.md §8). Populated only when the policy opts in via
+  /// SchedulePolicy::wants_footprints(); then `observable ==
+  /// !footprint.empty()` by construction.
+  Footprint footprint;
 };
 
 /// Overrides the scheduler's pick at each decision point. pick() is called
@@ -64,6 +73,10 @@ class SchedulePolicy {
   virtual ~SchedulePolicy() = default;
   virtual int pick(const YieldPoint& yp,
                    const std::vector<ScheduleCandidate>& cands) = 0;
+  /// Opt-in to per-segment footprint accumulation (YieldPoint::footprint).
+  /// Off by default: recording costs heap traffic on every memory access,
+  /// and only partial-order-reduction consumers read it (DESIGN.md §8).
+  virtual bool wants_footprints() const { return false; }
 };
 
 class Scheduler {
@@ -76,7 +89,10 @@ class Scheduler {
 
   /// Installs a decision-point override (nullptr restores the default
   /// min-time pick). Must be called before run(); not owned.
-  void set_policy(SchedulePolicy* policy) { policy_ = policy; }
+  void set_policy(SchedulePolicy* policy) {
+    policy_ = policy;
+    record_fp_ = policy != nullptr && policy->wants_footprints();
+  }
 
   /// Runs body(core_id) on one host thread per core under min-time
   /// scheduling; returns when all cores finish. Rethrows the first exception
@@ -86,11 +102,29 @@ class Scheduler {
   /// Local clock of `core`. Only meaningful from that core's own thread.
   uint64_t now(int core) const { return slots_[core].time; }
 
-  /// Marks that `core` performed a memory-system effect since its last
-  /// advance (cheap no-op without a policy). Called by the machine layer
-  /// from the running core's own thread.
+  /// Marks that `core` performed (or is mid-way through) a memory-system
+  /// effect on `[addr, addr+len)` since its last advance (cheap no-op
+  /// without a policy). `sync` tags lock/barrier words. Called by the
+  /// machine layer from the running core's own thread; accumulated into the
+  /// current segment's footprint and reported at the next yield.
+  void note_access(int core, uint64_t addr, uint32_t len, AccessKind kind,
+                   bool sync = false) {
+    if (policy_ != nullptr) {
+      slots_[core].observable = true;
+      if (record_fp_) slots_[core].fp.add(addr, len, kind, sync);
+    }
+  }
+
+  /// Escape hatch for effects with no addressable range: the segment stays
+  /// observable and its footprint conflicts with everything (never enables
+  /// pruning). No machine path uses it today — every current effect has a
+  /// range and calls note_access — but new shared-state paths that cannot
+  /// name one must call this rather than stay invisible to exploration.
   void note_effect(int core) {
-    if (policy_ != nullptr) slots_[core].observable = true;
+    if (policy_ != nullptr) {
+      slots_[core].observable = true;
+      if (record_fp_) slots_[core].fp.add_wildcard();
+    }
   }
 
   /// Number of scheduling decisions taken so far (policy runs only).
@@ -108,6 +142,7 @@ class Scheduler {
     uint64_t time = 0;
     bool done = false;
     bool observable = false;  // effect since last yield (policy runs only)
+    Footprint fp;             // footprint since last yield (policy runs only)
     std::condition_variable cv;
   };
 
@@ -123,6 +158,7 @@ class Scheduler {
   uint64_t max_cycles_;
   std::exception_ptr error_;
   SchedulePolicy* policy_ = nullptr;
+  bool record_fp_ = false;  // policy_->wants_footprints(), cached
   uint64_t step_ = 0;      // decision counter (policy runs only)
   uint64_t frontier_ = 0;  // latest dispatch time (policy runs only)
 };

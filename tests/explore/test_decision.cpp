@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace pmc::explore {
 namespace {
@@ -41,6 +42,48 @@ TEST(Decision, RejectsDefaultChoiceAndNonIncreasingSteps) {
   EXPECT_THROW(parse_decision_string("3:0"), util::CheckFailure);
   EXPECT_THROW(parse_decision_string("4:1,4:1"), util::CheckFailure);
   EXPECT_THROW(parse_decision_string("5:1,4:1"), util::CheckFailure);
+}
+
+TEST(Decision, RejectsOverflowInsteadOfWrapping) {
+  // 99999999999999999999999 wraps to a small number in 64-bit arithmetic;
+  // a parser that accepts it replays some unrelated schedule (ISSUE 4).
+  EXPECT_THROW(parse_decision_string("99999999999999999999999:1"),
+               util::CheckFailure);
+  EXPECT_THROW(parse_decision_string("1:99999999999999999999999"),
+               util::CheckFailure);
+  // UINT64_MAX itself parses as a number but fails the range check.
+  EXPECT_THROW(parse_decision_string("18446744073709551615:1"),
+               util::CheckFailure);
+  // One past UINT64_MAX overflows in the last digit.
+  EXPECT_THROW(parse_decision_string("18446744073709551616:1"),
+               util::CheckFailure);
+}
+
+TEST(Decision, BoundsStepLikeChoice) {
+  // Steps come from horizon-bounded exploration; both fields share the
+  // 1'000'000 cap.
+  EXPECT_NO_THROW(parse_decision_string("1000000:1000000"));
+  EXPECT_THROW(parse_decision_string("1000001:1"), util::CheckFailure);
+  EXPECT_THROW(parse_decision_string("1:1000001"), util::CheckFailure);
+}
+
+TEST(Decision, RandomizedRoundTripProperty) {
+  // to_string(parse(s)) == s and parse(to_string(ds)) == ds over random
+  // well-formed strings: the encoding is a bijection on legal schedules.
+  util::Rng rng(0xDEC15105);
+  for (int iter = 0; iter < 200; ++iter) {
+    DecisionString ds;
+    uint64_t step = 0;
+    const int len = static_cast<int>(rng.next_below(5));
+    for (int i = 0; i < len; ++i) {
+      step += 1 + rng.next_below(1000);
+      if (step > 1'000'000) break;
+      ds.push_back({step, 1 + static_cast<int>(rng.next_below(999))});
+    }
+    const std::string text = to_string(ds);
+    EXPECT_EQ(parse_decision_string(text), ds);
+    EXPECT_EQ(to_string(parse_decision_string(text)), text);
+  }
 }
 
 }  // namespace

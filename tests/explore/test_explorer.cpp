@@ -12,6 +12,7 @@
 
 #include "explore/litmus_driver.h"
 #include "model/litmus_library.h"
+#include "sim/machine.h"
 
 namespace pmc::explore {
 namespace {
@@ -47,10 +48,32 @@ TEST(Explorer, ClosedFormCountWithoutPruning) {
   EXPECT_EQ(rep.failing, 0u);
 }
 
+// A 2-core raw-machine program whose schedule prefix contains genuine
+// pure-delay segments: back-to-back compute() calls yield decision points
+// whose just-ended segment performed no memory-system effect. (Litmus
+// programs have none in-horizon: every segment of a memory op — including
+// the mid-op stall slices — now carries its footprint, closing the PR 2 gap
+// where those slices were silently treated as preemptible pure delay.)
+RunOutcome run_compute_heavy(ReplayPolicy& policy) {
+  sim::MachineConfig mc = sim::MachineConfig::ml605(2);
+  sim::Machine m(mc);
+  m.set_schedule_policy(&policy);
+  m.run([](sim::Core& core) {
+    const sim::Addr a =
+        sim::kSdramBase + 64 * static_cast<sim::Addr>(core.id());
+    for (uint32_t i = 0; i < 4; ++i) {
+      core.store_u32(a, i, sim::MemClass::kSharedData);
+      core.compute(8);
+      core.compute(8);  // the segment between the computes is pure delay
+    }
+  });
+  RunOutcome out;
+  out.trace_hash = m.state_hash();
+  return out;
+}
+
 TEST(Explorer, ClosedFormCountWithPruning) {
-  const LitmusCheck check(model::litmus::fig5_mp_annotated(),
-                          rt::Target::kNoCC);
-  Explorer ex(check.runner());
+  Explorer ex(run_compute_heavy);
   ExploreConfig cfg;
   cfg.preemption_bound = 1;  // depth 1: pruned schedules have no children
   cfg.horizon = 10;
@@ -58,8 +81,27 @@ TEST(Explorer, ClosedFormCountWithPruning) {
   const auto rep = ex.explore(cfg);
   // Every enumerated schedule is either run or pruned: C(10,0) + C(10,1).
   EXPECT_EQ(rep.explored + rep.pruned, 11u);
-  EXPECT_GT(rep.pruned, 0u) << "fig5 has pure-delay segments to prune";
+  EXPECT_GT(rep.pruned, 0u) << "back-to-back computes must prune";
   EXPECT_EQ(rep.failing, 0u);
+}
+
+TEST(Explorer, MemoryOpStallSegmentsAreNotPureDelay) {
+  // Regression for the PR 2 gap: the mid-operation stall segment of an
+  // uncached store contains the posted write, so preempting it is a real
+  // reordering — it must not be delay-pruned. With pruning on and off the
+  // litmus space is therefore the same size.
+  const LitmusCheck check(model::litmus::fig5_mp_annotated(),
+                          rt::Target::kNoCC);
+  Explorer ex(check.runner());
+  ExploreConfig cfg;
+  cfg.preemption_bound = 1;
+  cfg.horizon = 10;
+  cfg.prune_delay = true;
+  const auto pruned_on = ex.explore(cfg);
+  cfg.prune_delay = false;
+  const auto pruned_off = ex.explore(cfg);
+  EXPECT_EQ(pruned_on.explored, pruned_off.explored);
+  EXPECT_EQ(pruned_on.pruned, 0u);
 }
 
 TEST(Explorer, ThreeCoreClosedFormCount) {
@@ -72,6 +114,35 @@ TEST(Explorer, ThreeCoreClosedFormCount) {
   cfg.prune_delay = false;
   const auto rep = ex.explore(cfg);
   EXPECT_EQ(rep.explored, 1u + 2u * 8u);
+}
+
+TEST(Explorer, TruncatedRunReportsLexLeastAmongExplored) {
+  // `max_schedules` cuts the space short, but the reported failing schedule
+  // must still be the lexicographic minimum among what *was* explored — not
+  // whatever the DFS happened to hit first (ISSUE 4 satellite).
+  LitmusCheck check = seeded_bug_check(rt::Target::kSWCC);
+  Explorer ex(check.runner());
+  ExploreConfig cfg;
+  cfg.preemption_bound = 2;
+  cfg.horizon = 16;
+  cfg.collect_failing = true;
+  const auto full = ex.explore(cfg);
+  ASSERT_FALSE(full.truncated);
+  ASSERT_GT(full.failing, 0u);
+  // Truncate right after the temporally first failure: later (possibly
+  // lex-smaller) failures are cut off, so the report must be the minimum of
+  // the explored prefix, not of the full space.
+  cfg.max_schedules = full.schedules_to_first_failure;
+  const auto rep = ex.explore(cfg);
+  ASSERT_TRUE(rep.truncated);
+  EXPECT_EQ(rep.explored, full.schedules_to_first_failure);
+  ASSERT_GT(rep.failing, 0u);
+  ASSERT_EQ(rep.failing_schedules.size(), rep.failing);
+  EXPECT_EQ(to_string(rep.first_failing),
+            to_string(rep.failing_schedules.front()));
+  for (const auto& f : rep.failing_schedules) {
+    EXPECT_FALSE(lex_less(f, rep.first_failing));
+  }
 }
 
 TEST(Explorer, MaxSchedulesTruncates) {

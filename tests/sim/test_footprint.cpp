@@ -1,0 +1,88 @@
+// Footprint commutativity: the independence relation under the
+// happens-before partial-order reduction (DESIGN.md §8).
+#include "sim/footprint.h"
+
+#include <gtest/gtest.h>
+
+namespace pmc::sim {
+namespace {
+
+Footprint fp(uint64_t addr, uint32_t len, AccessKind kind, bool sync = false) {
+  Footprint f;
+  f.add(addr, len, kind, sync);
+  return f;
+}
+
+TEST(Footprint, ReadsOfTheSameLocationCommute) {
+  EXPECT_FALSE(conflicts(fp(0x100, 4, AccessKind::kRead),
+                         fp(0x100, 4, AccessKind::kRead)));
+}
+
+TEST(Footprint, ReadWriteAndWriteWriteOverlapsConflict) {
+  EXPECT_TRUE(conflicts(fp(0x100, 4, AccessKind::kRead),
+                        fp(0x100, 4, AccessKind::kWrite)));
+  EXPECT_TRUE(conflicts(fp(0x100, 4, AccessKind::kWrite),
+                        fp(0x100, 4, AccessKind::kWrite)));
+  EXPECT_TRUE(conflicts(fp(0x100, 4, AccessKind::kAtomic),
+                        fp(0x100, 4, AccessKind::kRead)));
+  // Partial overlap counts: [0x100,0x140) vs [0x13c,0x140).
+  EXPECT_TRUE(conflicts(fp(0x100, 64, AccessKind::kWrite),
+                        fp(0x13c, 4, AccessKind::kRead)));
+}
+
+TEST(Footprint, DisjointRangesCommute) {
+  EXPECT_FALSE(conflicts(fp(0x100, 4, AccessKind::kWrite),
+                         fp(0x104, 4, AccessKind::kWrite)));
+  EXPECT_FALSE(conflicts(fp(0x100, 4, AccessKind::kAtomic, true),
+                         fp(0x104, 4, AccessKind::kAtomic, true)));
+}
+
+TEST(Footprint, CommonSyncWordConflictsEvenReadRead) {
+  // Lock/barrier words order the computation: two polls of the same sync
+  // word are never treated as independent (ISSUE 4 tentpole spec).
+  EXPECT_TRUE(conflicts(fp(0x200, 4, AccessKind::kRead, true),
+                        fp(0x200, 4, AccessKind::kRead, true)));
+  // A sync read against a plain read of the same word still commutes.
+  EXPECT_FALSE(conflicts(fp(0x200, 4, AccessKind::kRead, true),
+                         fp(0x200, 4, AccessKind::kRead, false)));
+}
+
+TEST(Footprint, EmptyCommutesWithEverythingIncludingWildcard) {
+  const Footprint empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(conflicts(empty, fp(0x100, 4, AccessKind::kWrite)));
+  EXPECT_FALSE(conflicts(empty, Footprint::wildcard()));
+}
+
+TEST(Footprint, WildcardConflictsWithEveryNonEmptyFootprint) {
+  EXPECT_TRUE(Footprint::wildcard().is_wildcard());
+  EXPECT_FALSE(Footprint::wildcard().empty());
+  EXPECT_TRUE(conflicts(Footprint::wildcard(),
+                        fp(0x100, 4, AccessKind::kRead)));
+  EXPECT_TRUE(conflicts(Footprint::wildcard(), Footprint::wildcard()));
+}
+
+TEST(Footprint, AdjacentSameKindAccessesCoalesce) {
+  Footprint f;
+  f.add(0x100, 4, AccessKind::kWrite, false);
+  f.add(0x104, 4, AccessKind::kWrite, false);  // extends the run
+  f.add(0x100, 4, AccessKind::kWrite, false);  // duplicate, absorbed
+  ASSERT_EQ(f.accesses().size(), 1u);
+  EXPECT_EQ(f.accesses()[0].addr, 0x100u);
+  EXPECT_EQ(f.accesses()[0].len, 8u);
+  f.add(0x104, 4, AccessKind::kRead, false);  // different kind: new record
+  EXPECT_EQ(f.accesses().size(), 2u);
+}
+
+TEST(Footprint, ClearResetsWildcardAndAccesses) {
+  Footprint f;
+  f.add(0x100, 4, AccessKind::kWrite, false);
+  f.add_wildcard();
+  EXPECT_TRUE(f.is_wildcard());
+  f.clear();
+  EXPECT_TRUE(f.empty());
+  EXPECT_FALSE(f.is_wildcard());
+}
+
+}  // namespace
+}  // namespace pmc::sim
