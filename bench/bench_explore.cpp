@@ -1,5 +1,5 @@
 // bench_explore: throughput and parallel scaling of the schedule-exploration
-// engine.
+// engine, driven end-to-end through the CheckSession API (DESIGN.md §9).
 //
 // Explores fig5_mp_annotated (message passing, the paper's running example)
 // on every simulated back-end under a fixed preemption bound and horizon,
@@ -12,14 +12,16 @@
 // bit-identical while the wall clock drops. The DPOR section measures the
 // partial-order-reduction ratio (`dpor_reduction`, DESIGN.md §8) over the
 // whole annotatable suite — a deterministic property of the schedule tree.
+// The apps section measures the apps-layer workload (MFifo + TaskCounter on
+// every back-end, reduced search) as `apps_schedules_per_sec`.
 //
 //   bench_explore [--preemptions=N] [--horizon=H] [--jobs=N] [--json[=PATH]]
 #include <chrono>
 #include <thread>
 
 #include "bench/bench_common.h"
+#include "explore/check.h"
 #include "explore/litmus_driver.h"
-#include "explore/parallel_explorer.h"
 #include "model/litmus_library.h"
 
 using namespace pmc;
@@ -48,15 +50,15 @@ int main(int argc, char** argv) {
               "preemptions<=%d, horizon=%llu)\n\n",
               cfg.preemption_bound,
               static_cast<unsigned long long>(cfg.horizon));
+  const explore::CheckSession session(cfg);
   util::Table table;
   table.add_row({"back-end", "explored", "pruned", "prune", "sched/s"});
   uint64_t total_explored = 0;
   uint64_t total_pruned = 0;
   for (rt::Target t : rt::sim_targets()) {
-    const explore::LitmusCheck check(model::litmus::fig5_mp_annotated(), t);
-    explore::Explorer ex(check.runner());
+    const explore::LitmusTarget target(model::litmus::fig5_mp_annotated(), t);
     const auto t0 = std::chrono::steady_clock::now();
-    const auto rep = ex.explore(cfg);
+    const auto rep = session.explore(target);
     const double secs = seconds_since(t0);
     if (rep.failing != 0) {
       std::fprintf(stderr, "!! %s: %llu model-invalid schedule(s)\n",
@@ -106,12 +108,16 @@ int main(int argc, char** argv) {
   int measured_jobs = 1;  // the curve doubles, so record what actually ran
   for (int jobs = 1; jobs <= max_jobs; jobs *= 2) {
     measured_jobs = jobs;
+    explore::SessionOptions sopts;
+    sopts.explore = cfg;
+    sopts.jobs = jobs;
+    sopts.engine = explore::Engine::kParallel;
+    const explore::CheckSession scaled(sopts);
     uint64_t explored = 0;
     const auto t0 = std::chrono::steady_clock::now();
     for (rt::Target t : rt::sim_targets()) {
-      const explore::LitmusCheck check(model::litmus::fig4_exclusive(), t);
-      explore::ParallelExplorer ex(check.runner(), jobs);
-      const auto rep = ex.explore(cfg);
+      const explore::LitmusTarget target(model::litmus::fig4_exclusive(), t);
+      const auto rep = scaled.explore(target);
       if (rep.failing != 0) {
         std::fprintf(stderr, "!! %s: %llu model-invalid schedule(s)\n",
                      rt::to_string(t),
@@ -161,11 +167,11 @@ int main(int argc, char** argv) {
   for (int i = 0; i < 2; ++i) {
     explore::ExploreConfig dcfg = cfg;
     dcfg.dpor = modes[i];
+    const explore::CheckSession dpor_session(dcfg);
     for (rt::Target t : rt::sim_targets()) {
       for (const auto& test : explore::annotatable_tests()) {
-        const explore::LitmusCheck check(test, t);
-        explore::Explorer ex(check.runner());
-        const auto rep = ex.explore(dcfg);
+        const explore::LitmusTarget target(test, t);
+        const auto rep = dpor_session.explore(target);
         if (rep.failing != 0) {
           std::fprintf(stderr, "!! %s/%s dpor=%s: %llu model-invalid "
                        "schedule(s)\n",
@@ -208,13 +214,62 @@ int main(int argc, char** argv) {
                : static_cast<double>(dpor_explored[0]) /
                      static_cast<double>(dpor_explored[1]));
 
+  // Apps-layer workload (ROADMAP): MFifo + TaskCounter on every back-end
+  // through the session, reduced search. App schedules re-execute a whole
+  // kernel (locks, polls, payload copies), so this rate is the end-to-end
+  // cost of model-checking a real workload, not a litmus microbenchmark.
+  {
+    explore::SessionOptions aopts;
+    aopts.explore.preemption_bound = 1;
+    aopts.explore.horizon = 14;
+    aopts.explore.dpor = explore::DporMode::kSleepSet;
+    const explore::CheckSession apps_session(aopts);
+    std::printf("apps-layer model checking (mfifo + taskcounter, "
+                "dpor=sleepset)\n\n");
+    util::Table apps_table;
+    apps_table.add_row({"app", "explored", "dpor-pruned", "sched/s"});
+    uint64_t apps_explored = 0;
+    double apps_secs = 0;
+    for (const explore::AppKind kind : explore::all_app_kinds()) {
+      uint64_t explored = 0;
+      uint64_t dpor_pruned = 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (rt::Target t : rt::sim_targets()) {
+        const auto target = explore::make_app_target(kind, t);
+        const auto rep = apps_session.explore(*target);
+        if (rep.failing != 0) {
+          std::fprintf(stderr, "!! %s on %s: %llu failing schedule(s)\n",
+                       explore::to_string(kind), rt::to_string(t),
+                       static_cast<unsigned long long>(rep.failing));
+          return 1;
+        }
+        explored += rep.explored;
+        dpor_pruned += rep.dpor_pruned;
+      }
+      const double secs = seconds_since(t0);
+      apps_explored += explored;
+      apps_secs += secs;
+      const double rate =
+          secs > 0 ? static_cast<double>(explored) / secs : 0.0;
+      apps_table.add_row({explore::to_string(kind), bench::fmt_u64(explored),
+                          bench::fmt_u64(dpor_pruned),
+                          bench::fmt_u64(static_cast<uint64_t>(rate))});
+      json.add(std::string("apps_") + explore::to_string(kind) + "_explored",
+               explored);
+    }
+    std::printf("%s\n", apps_table.render().c_str());
+    json.add("apps_explored", apps_explored);
+    json.add("apps_schedules_per_sec",
+             apps_secs > 0 ? static_cast<double>(apps_explored) / apps_secs
+                           : 0.0);
+  }
+
   // Seeded-bug mode: schedules until the injected missing flush is exposed.
   uint64_t worst_to_find = 0;
   for (rt::Target t : rt::sim_targets()) {
     if (!explore::has_seeded_fault(t)) continue;
-    const explore::LitmusCheck check = explore::seeded_bug_check(t);
-    explore::Explorer ex(check.runner());
-    const auto rep = ex.explore(cfg);
+    const explore::LitmusTarget target = explore::seeded_bug_check(t);
+    const auto rep = session.explore(target);
     if (rep.failing == 0) {
       std::fprintf(stderr, "!! %s: seeded fault not found\n",
                    rt::to_string(t));

@@ -1,33 +1,32 @@
-// explore_litmus: model-check the Table II back-ends across interleavings.
+// explore_litmus: the one explorer front-end — model-check litmus tests,
+// generated fuzz programs, and apps-layer kernels across interleavings.
 //
-// For each annotation-disciplined litmus test, enumerates scheduler
-// interleavings (preemption-bounded, see DESIGN.md §6/§7) and validates
-// every resulting trace against the Definition 12 oracle plus the model's
-// reachable-outcome set. Clean mode must find zero failures; --seed-bug
-// injects the per-back-end "missing flush" fault that only reordered
-// schedules expose, and the explorer must find, minimize, and replay it.
-// --fuzz switches to differential fuzzing of randomized lock-disciplined
-// programs (the DiffCheck dual oracle). --jobs=N shards the exploration
-// frontier over N workers; reports stay deterministic at any job count.
-//
-// --dpor=off|footprint|sleepset (bare --dpor = sleepset) turns on
-// happens-before partial-order reduction: commuting reorderings collapse to
-// one representative, so far fewer schedules run while the same failures
-// (after minimization) are found (DESIGN.md §8).
+// Every mode drives a CheckTarget through the CheckSession facade
+// (DESIGN.md §9): the session owns bounds, DPOR mode, engine selection
+// (--jobs), and failure minimization, so reports are deterministic at any
+// job count. Clean modes must find zero failures; --seed-bug injects the
+// per-back-end "missing flush" fault that only reordered schedules expose,
+// and the session must find, minimize, and replay it.
 //
 //   explore_litmus --backend=swcc --preemptions=2 --horizon=24 --jobs=4
 //   explore_litmus --dpor=sleepset --seed-bug --backend=all
 //   explore_litmus --backend=dsm --test=fig4_exclusive --replay=3:1,4:1
+//   explore_litmus --app=mfifo --backend=all --dpor=sleepset
+//   explore_litmus --app=all --seed-bug --dpor=sleepset
 //   explore_litmus --fuzz=8 --jobs=2 --json
 //   explore_litmus --fuzz-seed=3 --backend=swcc --replay=2:1
+//   explore_litmus --outcomes          # model-level reachable-outcome table
+//   explore_litmus --dot               # Fig. 5 execution graph as Graphviz
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "bench/bench_common.h"
+#include "explore/check.h"
 #include "explore/diff_check.h"
 #include "explore/litmus_driver.h"
-#include "explore/parallel_explorer.h"
+#include "model/execution.h"
+#include "model/litmus_library.h"
 #include "util/check.h"
 #include "util/table.h"
 
@@ -49,6 +48,17 @@ std::vector<rt::Target> parse_backends(const char* arg) {
     std::exit(2);
   }
   return {*target};
+}
+
+std::vector<explore::AppKind> parse_apps(const char* arg) {
+  if (std::strcmp(arg, "all") == 0) return explore::all_app_kinds();
+  const auto kind = explore::app_kind_from_string(arg);
+  if (!kind) {
+    std::fprintf(stderr, "unknown app '%s' (want mfifo|taskcounter|all)\n",
+                 arg);
+    std::exit(2);
+  }
+  return {*kind};
 }
 
 /// --dpor[=off|footprint|sleepset]; the bare flag means sleepset (the full
@@ -83,9 +93,9 @@ explore::ProgramShape fuzz_shape(uint64_t seed, int argc, char** argv) {
   return shape;
 }
 
-int run_replay(const explore::ScheduleRunner& runner, const char* what,
-               const char* backend, const char* decisions, uint64_t horizon) {
-  explore::ParallelExplorer ex(runner, 1);
+int run_replay(const explore::CheckSession& session,
+               const explore::CheckTarget& target, const char* backend,
+               const char* decisions) {
   explore::DecisionString ds;
   try {
     ds = explore::parse_decision_string(decisions);
@@ -94,7 +104,7 @@ int run_replay(const explore::ScheduleRunner& runner, const char* what,
     return 2;
   }
   bool applied = false;
-  const auto out = ex.replay(ds, horizon, &applied);
+  const auto out = session.replay(target, ds, &applied);
   if (!applied) {
     std::fprintf(stderr,
                  "schedule \"%s\" does not match this program: some "
@@ -103,38 +113,38 @@ int run_replay(const explore::ScheduleRunner& runner, const char* what,
                  explore::to_string(ds).c_str());
     return 2;
   }
-  std::printf("%s on %s, schedule \"%s\": %s\n", what, backend,
-              explore::to_string(ds).c_str(),
+  std::printf("%s on %s, schedule \"%s\": %s\n", target.name().c_str(),
+              backend, explore::to_string(ds).c_str(),
               out.ok ? "model-valid" : out.message.c_str());
   return out.ok ? 0 : 1;
 }
 
-int run_seed_bug(rt::Target target, const explore::ExploreConfig& cfg,
-                 int jobs, bench::JsonReport& json) {
+int run_seed_bug(rt::Target target, const explore::CheckSession& session,
+                 bench::JsonReport& json) {
   if (!explore::has_seeded_fault(target)) {
     std::printf("%-6s no seedable protocol fault (no-CC has no coherence "
                 "actions to omit) — skipped\n",
                 rt::to_string(target));
     return 0;
   }
-  explore::LitmusCheck check = explore::seeded_bug_check(target);
-  explore::ParallelExplorer ex(check.runner(), jobs);
+  const explore::LitmusTarget check = explore::seeded_bug_check(target);
   // The fault hides under the default schedule; exploration must expose it.
-  if (!ex.replay({}, cfg.horizon).ok) {
+  if (!session.replay(check, {}).ok) {
     std::printf("%-6s unexpected: fault already visible under the default "
                 "schedule\n",
                 rt::to_string(target));
     return 1;
   }
-  const auto rep = ex.explore(cfg);
+  const explore::CheckReport rep = session.check(check);
   if (rep.failing == 0) {
     std::printf("%-6s FAILED to find the seeded fault in %llu schedules\n",
                 rt::to_string(target),
                 static_cast<unsigned long long>(rep.explored));
     return 1;
   }
-  const auto minimal = ex.minimize(rep.first_failing, cfg.horizon);
-  const auto confirm = ex.replay(minimal, cfg.horizon);
+  // Confirm the minimized schedule with an explicit replay verdict rather
+  // than inferring it from message emptiness.
+  const auto confirm = session.replay(check, rep.minimized_schedule);
   std::printf(
       "%-6s seeded fault: %llu of %llu explored schedules failing\n"
       "       canonical failing schedule: \"%s\" (lexicographic minimum)\n"
@@ -143,12 +153,88 @@ int run_seed_bug(rt::Target target, const explore::ExploreConfig& cfg,
       rt::to_string(target), static_cast<unsigned long long>(rep.failing),
       static_cast<unsigned long long>(rep.explored),
       explore::to_string(rep.first_failing).c_str(),
-      explore::to_string(minimal).c_str(), minimal.size(),
+      explore::to_string(rep.minimized_schedule).c_str(),
+      rep.minimized_schedule.size(),
       confirm.ok ? "UNEXPECTEDLY VALID" : confirm.message.c_str());
   const std::string key = std::string("seedbug_") + rt::to_string(target);
   json.add(key + "_failing", rep.failing);
   json.add(key + "_explored", rep.explored);
   return confirm.ok ? 1 : 0;
+}
+
+int run_apps(const std::vector<explore::AppKind>& kinds,
+             const std::vector<rt::Target>& backends, bool seed_bug,
+             const explore::CheckSession& session, bench::JsonReport& json) {
+  const auto& cfg = session.options().explore;
+  std::printf("apps-layer model checking: preemptions<=%d, horizon=%llu, "
+              "jobs=%d, dpor=%s%s\n\n",
+              cfg.preemption_bound,
+              static_cast<unsigned long long>(cfg.horizon),
+              session.options().jobs, explore::to_string(cfg.dpor),
+              seed_bug ? ", seeded faults injected" : "");
+  const rt::FaultInjection faults =
+      seed_bug ? explore::all_seeded_faults() : rt::FaultInjection{};
+  bool any_faultable = false;
+  for (const rt::Target t : backends) {
+    any_faultable = any_faultable || explore::has_seeded_fault(t);
+  }
+  if (seed_bug && !any_faultable) {
+    // Mirror the litmus seed-bug mode: a selection with nothing to fault
+    // (no-CC only) is a clean skip, not a failure to find.
+    std::printf("no selected back-end has a seedable protocol fault — "
+                "skipped\n");
+    return 0;
+  }
+  util::Table table;
+  table.add_row({"app", "back-end", "explored", "pruned", "dpor-pruned",
+                 "traces", "failing"});
+  int rc = 0;
+  for (const explore::AppKind kind : kinds) {
+    // In seed-bug mode each app must expose a seeded fault on at least one
+    // faultable back-end (which fault a given kernel can observe at these
+    // small bounds differs per protocol).
+    bool found_for_app = false;
+    for (const rt::Target t : backends) {
+      const auto target = explore::make_app_target(kind, t, faults);
+      const explore::CheckReport rep = session.check(*target);
+      table.add_row({explore::to_string(kind), rt::to_string(t),
+                     std::to_string(rep.explored) + (rep.truncated ? "+" : ""),
+                     std::to_string(rep.pruned),
+                     std::to_string(rep.dpor_pruned),
+                     std::to_string(rep.distinct_traces),
+                     std::to_string(rep.failing)});
+      const std::string key = std::string("app_") + explore::to_string(kind) +
+                              "_" + rt::to_string(t);
+      json.add(key + "_explored", rep.explored);
+      json.add(key + "_dpor_pruned", rep.dpor_pruned);
+      json.add(key + "_traces", rep.distinct_traces);
+      json.add(key + "_failing", rep.failing);
+      const bool expect_failure = seed_bug && explore::has_seeded_fault(t);
+      if (!expect_failure && rep.failing != 0) {
+        rc = 1;
+        std::printf("!! %s: schedule \"%s\": %s\n", rep.target.c_str(),
+                    explore::to_string(rep.first_failing).c_str(),
+                    rep.first_failing_message.c_str());
+      }
+      if (expect_failure && rep.failing != 0) {
+        found_for_app = true;
+        std::printf("%s seeded fault: %llu of %llu failing, minimized to "
+                    "\"%s\": %s\n",
+                    rep.target.c_str(),
+                    static_cast<unsigned long long>(rep.failing),
+                    static_cast<unsigned long long>(rep.explored),
+                    explore::to_string(rep.minimized_schedule).c_str(),
+                    rep.minimized_message.c_str());
+      }
+    }
+    if (seed_bug && !found_for_app) {
+      std::printf("!! %s: no seeded fault exposed on any back-end\n",
+                  explore::to_string(kind));
+      rc = 1;
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  return rc;
 }
 
 int run_fuzz(uint64_t base_seed, uint64_t count, bool seed_bug,
@@ -213,10 +299,82 @@ int run_fuzz(uint64_t base_seed, uint64_t count, bool seed_bug,
   return rc;
 }
 
+// -- Model-level enumeration (the folded-in litmus_explorer) -----------------
+
+void show_outcomes(const model::LitmusTest& test) {
+  std::printf("%-28s", test.name.c_str());
+  for (model::IssueMode mode :
+       {model::IssueMode::kProgramOrder, model::IssueMode::kWeakIssue}) {
+    model::ExploreOptions opts;
+    opts.mode = mode;
+    opts.weak_window = 4;
+    const auto res = model::explore(test, opts);
+    std::printf("  %s:",
+                mode == model::IssueMode::kProgramOrder ? "in-order" : "weak");
+    for (const auto& outcome : res.outcomes) {
+      std::printf(" {");
+      for (size_t i = 0; i < outcome.size(); ++i) {
+        std::printf("%s%llu", i ? "," : "",
+                    static_cast<unsigned long long>(outcome[i]));
+      }
+      std::printf("}");
+    }
+    if (res.race_observed) std::printf(" [racy]");
+  }
+  std::printf("\n");
+}
+
+int run_outcomes() {
+  std::printf("reachable outcomes per litmus test (registers in braces):\n\n");
+  for (const auto& test : model::litmus::all_tests()) {
+    show_outcomes(test);
+  }
+  std::printf(
+      "\nreading the table:\n"
+      " * fig1_mp_plain: {0} reachable — the stale read of the motivating "
+      "example;\n"
+      " * fig5_mp_annotated: only {42} — annotations forbid the stale "
+      "outcome in both modes;\n"
+      " * fig5_mp_no_reader_fence: {0} reappears under weak issue — the "
+      "fence at Fig. 5 line 11 is essential;\n"
+      " * fig5_mp_no_writer_fence: identical to the annotated test — the "
+      "line 3 fence is redundant in the model;\n"
+      " * sb_locked: (0,0) unreachable — PMC behaves sequentially "
+      "consistent for data-race-free programs (Section IV-E).\n"
+      "\nrun with --dot for the Fig. 5 dependency graph in Graphviz form.\n");
+  return 0;
+}
+
+int run_dot() {
+  // Rebuild the Fig. 5 execution in its depicted interleaving and dump it.
+  // (The legacy litmus_explorer passed a hard-coded OpId for the data
+  // read's source, which had drifted from the op numbering and aborted;
+  // capturing the writes' ids keeps the graph correct by construction.)
+  model::Execution e(2, 2, {0, 0});
+  e.acquire(0, 0);
+  const model::OpId wx = e.write(0, 0, 42);
+  e.fence(0);
+  e.release(0, 0);
+  e.acquire(0, 1);
+  const model::OpId wf = e.write(0, 1, 1);
+  e.release(0, 1);
+  e.read(1, 1, 1, wf);
+  e.fence(1);
+  e.acquire(1, 0);
+  e.read(1, 0, 42, wx);
+  e.release(1, 0);
+  std::printf("%s", e.to_dot().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  explore::ExploreConfig cfg;
+  if (flag_set(argc, argv, "dot")) return run_dot();
+  if (flag_set(argc, argv, "outcomes")) return run_outcomes();
+
+  explore::SessionOptions sopts;
+  explore::ExploreConfig& cfg = sopts.explore;
   cfg.preemption_bound =
       static_cast<int>(flag_int(argc, argv, "preemptions", 2));
   cfg.horizon = static_cast<uint64_t>(flag_int(argc, argv, "horizon", 24));
@@ -232,16 +390,36 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(flag_int(argc, argv, "max-schedules", 50'000));
   cfg.prune_delay = !flag_set(argc, argv, "no-prune");
   cfg.dpor = parse_dpor(argc, argv);
-  const int jobs = static_cast<int>(flag_int(argc, argv, "jobs", 1));
+  sopts.jobs = static_cast<int>(flag_int(argc, argv, "jobs", 1));
+  const int jobs = sopts.jobs;
   const auto backends = parse_backends(flag_str(argc, argv, "backend", nullptr));
   const char* test_filter = flag_str(argc, argv, "test", nullptr);
   const char* replay = flag_str(argc, argv, "replay", nullptr);
+  const char* app = flag_str(argc, argv, "app", nullptr);
   const int64_t fuzz_count = flag_int(argc, argv, "fuzz", 0);
   const int64_t fuzz_seed = flag_int(argc, argv, "fuzz-seed", -1);
 
   bench::JsonReport json("explore_litmus");
   json.add("jobs", jobs);
   json.add("dpor", std::string(explore::to_string(cfg.dpor)));
+
+  // -- Apps-layer mode --------------------------------------------------------
+  if (app != nullptr) {
+    // App kernels take more decisions per schedule than a litmus test, so
+    // the default bounds trade horizon for per-schedule depth; explicit
+    // flags win.
+    explore::SessionOptions aopts = sopts;
+    aopts.explore.preemption_bound =
+        static_cast<int>(flag_int(argc, argv, "preemptions", 1));
+    aopts.explore.horizon =
+        static_cast<uint64_t>(flag_int(argc, argv, "horizon", 14));
+    json.add("preemptions", aopts.explore.preemption_bound);
+    json.add("horizon", aopts.explore.horizon);
+    const explore::CheckSession session(aopts);
+    const int rc = run_apps(parse_apps(app), backends,
+                            flag_set(argc, argv, "seed-bug"), session, json);
+    return json.maybe_write(argc, argv) ? rc : 1;
+  }
 
   // -- Differential fuzzing modes ---------------------------------------------
   if (fuzz_seed >= 0 && replay != nullptr) {
@@ -256,11 +434,9 @@ int main(int argc, char** argv) {
     const rt::FaultInjection faults = flag_set(argc, argv, "seed-bug")
                                           ? explore::all_seeded_faults()
                                           : rt::FaultInjection{};
-    const explore::DiffCheck dc(prog, faults);
-    const std::string what =
-        "fuzz program seed " + std::to_string(fuzz_seed);
-    return run_replay(dc.runner(backends[0]), what.c_str(),
-                      rt::to_string(backends[0]), replay, cfg.horizon);
+    const explore::GenProgramTarget target(prog, backends[0], faults);
+    const explore::CheckSession session(sopts);
+    return run_replay(session, target, rt::to_string(backends[0]), replay);
   }
   if (fuzz_count > 0 || fuzz_seed >= 0) {
     // Fuzz defaults trade horizon for program count; explicit flags win.
@@ -280,11 +456,12 @@ int main(int argc, char** argv) {
   }
 
   // -- Litmus modes -----------------------------------------------------------
+  const explore::CheckSession session(sopts);
   json.add("preemptions", cfg.preemption_bound);
   json.add("horizon", cfg.horizon);
   if (flag_set(argc, argv, "seed-bug")) {
     int rc = 0;
-    for (rt::Target t : backends) rc |= run_seed_bug(t, cfg, jobs, json);
+    for (rt::Target t : backends) rc |= run_seed_bug(t, session, json);
     return json.maybe_write(argc, argv) ? rc : 1;
   }
 
@@ -305,9 +482,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--replay needs --backend= and --test=\n");
       return 2;
     }
-    const explore::LitmusCheck check(tests[0], backends[0]);
-    return run_replay(check.runner(), check.test().name.c_str(),
-                      rt::to_string(check.target()), replay, cfg.horizon);
+    const explore::LitmusTarget target(tests[0], backends[0]);
+    return run_replay(session, target, rt::to_string(target.target()), replay);
   }
 
   std::printf("schedule exploration: preemptions<=%d, horizon=%llu, "
@@ -323,9 +499,8 @@ int main(int argc, char** argv) {
   uint64_t failing_total = 0;
   for (rt::Target t : backends) {
     for (const auto& test : tests) {
-      const explore::LitmusCheck check(test, t);
-      explore::ParallelExplorer ex(check.runner(), jobs);
-      const auto rep = ex.explore(cfg);
+      const explore::LitmusTarget target(test, t);
+      const auto rep = session.explore(target);
       table.add_row({rt::to_string(t), test.name,
                      std::to_string(rep.explored) +
                          (rep.truncated ? "+" : ""),
@@ -343,7 +518,7 @@ int main(int argc, char** argv) {
       json.add(key + "_traces", rep.distinct_traces);
       json.add(key + "_failing", rep.failing);
       json.add(key + "_allowed_outcomes",
-               static_cast<uint64_t>(check.allowed_outcomes()));
+               static_cast<uint64_t>(target.allowed_outcomes()));
       failing_total += rep.failing;
       if (rep.failing != 0) {
         rc = 1;

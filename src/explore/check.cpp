@@ -1,0 +1,714 @@
+#include "explore/check.h"
+
+#include <algorithm>
+#include <exception>
+#include <unordered_map>
+
+#include "apps/mfifo.h"
+#include "apps/task_queue.h"
+#include "explore/litmus_driver.h"
+#include "explore/parallel_explorer.h"
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace pmc::explore {
+
+// -- Happens-before trace fingerprint ----------------------------------------
+
+namespace {
+
+/// Dependence chains of one location: the node hash of its last write, a
+/// commutative accumulator of the reads since that write (a write must
+/// order after every one of them, but the reads commute among themselves),
+/// and the last acquire/release (lock order is a total chain per location).
+struct LocChain {
+  uint64_t last_write = 0;
+  uint64_t reads_acc = 0;
+  uint64_t last_sync = 0;
+};
+
+/// Stutter witness of one processor: the dependence-relevant content of its
+/// most recent event when that event was a read. A poll loop spinning on an
+/// unchanged version re-issues byte-identical reads; collapsing them makes
+/// spin-iteration counts (pure timing) invisible to the quotient.
+struct LastRead {
+  bool valid = false;
+  model::LocId loc = -1;
+  uint64_t value = 0;
+  uint64_t dep = 0;  // the last_write chain the read observed
+};
+
+}  // namespace
+
+uint64_t hb_trace_hash(const std::vector<model::TraceEvent>& trace) {
+  using Kind = model::TraceEvent::Kind;
+  std::unordered_map<model::ProcId, uint64_t> proc_chain;
+  std::unordered_map<model::ProcId, LastRead> last_read;
+  std::unordered_map<model::LocId, LocChain> locs;
+  uint64_t sum = 0;  // commutative fold: wrapping sum of per-event hashes
+  for (const model::TraceEvent& e : trace) {
+    LocChain& lc = locs[e.loc];
+    LastRead& lr = last_read[e.proc];
+    if (e.kind == Kind::kRead && lr.valid && lr.loc == e.loc &&
+        lr.value == e.value && lr.dep == lc.last_write) {
+      continue;  // stuttering poll read: same location, value, and writer
+    }
+    uint64_t node = util::kFnvOffset;
+    node = util::hash_combine(node, static_cast<uint64_t>(e.kind));
+    node = util::hash_combine(node, static_cast<uint64_t>(e.proc));
+    node = util::hash_combine(node,
+                              static_cast<uint64_t>(static_cast<int64_t>(e.loc)));
+    node = util::hash_combine(node, e.value);
+    node = util::hash_combine(node, proc_chain[e.proc]);  // program order
+    switch (e.kind) {
+      case Kind::kRead:
+        node = util::hash_combine(node, lc.last_write);
+        break;
+      case Kind::kWrite:
+        node = util::hash_combine(node, lc.last_write);
+        node = util::hash_combine(node, lc.reads_acc);
+        break;
+      case Kind::kAcquire:
+      case Kind::kRelease:
+        node = util::hash_combine(node, lc.last_sync);
+        break;
+      case Kind::kFence:
+        break;  // program order only
+    }
+    sum += node;
+    proc_chain[e.proc] = node;
+    lr.valid = e.kind == Kind::kRead;
+    if (lr.valid) {
+      lr.loc = e.loc;
+      lr.value = e.value;
+      lr.dep = lc.last_write;
+    }
+    switch (e.kind) {
+      case Kind::kRead:
+        lc.reads_acc += node;
+        break;
+      case Kind::kWrite:
+        lc.last_write = node;
+        lc.reads_acc = 0;
+        break;
+      case Kind::kAcquire:
+      case Kind::kRelease:
+        lc.last_sync = node;
+        break;
+      case Kind::kFence:
+        break;
+    }
+  }
+  return util::hash_combine(util::kFnvOffset, sum);
+}
+
+// -- LitmusTarget ------------------------------------------------------------
+
+namespace {
+
+bool contains_poll(const model::LitmusTest& test) {
+  for (const auto& th : test.threads) {
+    for (const auto& op : th.ops) {
+      if (op.kind == model::LitmusOp::Kind::kLoadUntil) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+LitmusTarget::LitmusTarget(model::LitmusTest test, rt::Target target,
+                           rt::FaultInjection faults)
+    : test_(std::move(test)), target_(target), faults_(faults) {
+  PMC_CHECK_MSG(annotatable(test_),
+                test_.name << " is not annotation-disciplined; the back-ends "
+                              "only define behavior for §V-A programs");
+  PMC_CHECK_MSG(rt::is_sim(target_), "exploration drives simulated targets");
+  has_poll_ = contains_poll(test_);
+  // The in-order simulated cores issue in program order, so the
+  // program-order enumeration is the exact end-to-end oracle.
+  allowed_ = model::explore(test_).outcomes;
+  PMC_CHECK_MSG(!allowed_.empty(), test_.name << " has no completed path");
+}
+
+std::string LitmusTarget::name() const {
+  return test_.name + "@" + rt::to_string(target_);
+}
+
+RunOutcome LitmusTarget::run(ReplayPolicy& policy) const {
+  using Kind = model::LitmusOp::Kind;
+  RunOutcome out;
+  try {
+    rt::ProgramOptions opts;
+    opts.target = target_;
+    opts.cores = static_cast<int>(test_.threads.size());
+    opts.machine = sim::MachineConfig::ml605(opts.cores);
+    opts.machine.lm_bytes = 32 * 1024;
+    opts.machine.sdram_bytes = 256 * 1024;
+    opts.machine.max_cycles = UINT64_C(50'000'000);
+    opts.lock_capacity = 16;
+    opts.validate = true;
+    opts.faults = faults_;
+    opts.policy.dsm_eager_release = has_poll_;
+    opts.schedule_policy = &policy;
+    rt::Program prog(opts);
+
+    std::vector<rt::ObjId> objs;
+    for (int v = 0; v < test_.num_locs; ++v) {
+      const uint32_t init =
+          v < static_cast<int>(test_.initial.size())
+              ? static_cast<uint32_t>(test_.initial[static_cast<size_t>(v)])
+              : 0;
+      objs.push_back(prog.create_typed<uint32_t>(
+          init, rt::Placement::kReplicated, "v" + std::to_string(v)));
+    }
+    std::vector<uint64_t> regs(static_cast<size_t>(test_.num_regs), 0);
+
+    prog.run([&](rt::Env& env) {
+      const auto& ops = test_.threads[static_cast<size_t>(env.id())].ops;
+      std::vector<model::LocId> open;
+      auto is_open = [&](model::LocId v) {
+        return std::find(open.begin(), open.end(), v) != open.end();
+      };
+      for (const auto& op : ops) {
+        const rt::ObjId obj =
+            op.loc >= 0 ? objs[static_cast<size_t>(op.loc)] : -1;
+        switch (op.kind) {
+          case Kind::kAcquire:
+            env.entry_x(obj);
+            open.push_back(op.loc);
+            break;
+          case Kind::kRelease:
+            env.exit_x(obj);
+            open.pop_back();
+            break;
+          case Kind::kStore:
+            env.st<uint32_t>(obj, 0, static_cast<uint32_t>(op.value));
+            break;
+          case Kind::kLoad: {
+            uint32_t v;
+            if (is_open(op.loc)) {
+              v = env.ld<uint32_t>(obj);
+            } else {
+              env.entry_ro(obj);
+              v = env.ld<uint32_t>(obj);
+              env.exit_ro(obj);
+            }
+            if (op.reg >= 0) regs[static_cast<size_t>(op.reg)] = v;
+            break;
+          }
+          case Kind::kLoadUntil: {
+            uint32_t v;
+            do {
+              env.entry_ro(obj);
+              v = env.ld<uint32_t>(obj);
+              env.exit_ro(obj);
+            } while (v != static_cast<uint32_t>(op.value));
+            break;
+          }
+          case Kind::kFence:
+            env.fence();
+            break;
+        }
+      }
+    });
+
+    uint64_t h = hb_trace_hash(prog.trace());
+    for (const uint64_t r : regs) h = util::hash_combine(h, r);
+    out.trace_hash = h;
+
+    if (!prog.validator()->ok()) {
+      out.ok = false;
+      out.message = "Definition 12 violation: " +
+                    prog.validator()->first_violation();
+      return out;
+    }
+    if (allowed_.find(regs) == allowed_.end()) {
+      out.ok = false;
+      out.message = "outcome {";
+      for (size_t i = 0; i < regs.size(); ++i) {
+        if (i) out.message += ',';
+        out.message += std::to_string(regs[i]);
+      }
+      out.message += "} is not reachable in the model";
+      return out;
+    }
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.message = e.what();
+  }
+  return out;
+}
+
+// -- GenProgramTarget --------------------------------------------------------
+
+GenProgramTarget::GenProgramTarget(GenProgram prog, rt::Target target,
+                                   rt::FaultInjection faults)
+    : prog_(std::move(prog)), target_(target), faults_(faults) {
+  PMC_CHECK_MSG(!prog_.threads.empty() &&
+                    static_cast<int>(prog_.threads.size()) == prog_.shape.cores,
+                "program thread count must match its shape");
+  PMC_CHECK_MSG(rt::is_sim(target_), "exploration drives simulated targets");
+}
+
+std::string GenProgramTarget::name() const {
+  return "fuzz-seed-" + std::to_string(prog_.shape.seed) + "@" +
+         rt::to_string(target_);
+}
+
+RunOutcome GenProgramTarget::run(ReplayPolicy& policy) const {
+  RunOutcome out;
+  try {
+    rt::ProgramOptions opts;
+    opts.target = target_;
+    opts.cores = prog_.shape.cores;
+    opts.machine = sim::MachineConfig::ml605(opts.cores);
+    opts.machine.lm_bytes = 32 * 1024;
+    opts.machine.sdram_bytes = 512 * 1024;
+    opts.machine.max_cycles = UINT64_C(100'000'000);
+    opts.lock_capacity = 64;
+    opts.validate = true;
+    opts.faults = faults_;
+    opts.schedule_policy = &policy;
+    rt::Program p(opts);
+
+    std::vector<rt::ObjId> objs;
+    for (int i = 0; i < prog_.shape.objects; ++i) {
+      objs.push_back(p.create_typed<uint32_t>(GenProgram::initial_value(i),
+                                              rt::Placement::kReplicated,
+                                              "fuzz" + std::to_string(i)));
+    }
+    p.run([&](rt::Env& env) { run_ops(prog_, env, objs); });
+
+    uint64_t h = hb_trace_hash(p.trace());
+    for (int i = 0; i < prog_.shape.objects; ++i) {
+      h = util::hash_combine(h, p.result<uint32_t>(objs[static_cast<size_t>(i)]));
+    }
+    out.trace_hash = h;
+
+    if (p.validator() != nullptr && !p.validator()->ok()) {
+      out.ok = false;
+      out.message =
+          "Definition 12 violation: " + p.validator()->first_violation();
+      return out;
+    }
+    for (int i = 0; i < prog_.shape.objects; ++i) {
+      const uint32_t got = p.result<uint32_t>(objs[static_cast<size_t>(i)]);
+      const uint32_t want = prog_.expected_final(i);
+      if (got != want) {
+        out.ok = false;
+        out.message = "final-state divergence on " +
+                      std::string(rt::to_string(target_)) + ": object x" +
+                      std::to_string(i) + " is " + std::to_string(got) +
+                      ", every back-end must reach " + std::to_string(want);
+        return out;
+      }
+    }
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.message = e.what();
+  }
+  return out;
+}
+
+size_t GenProgramTarget::shrink_count() const { return prog_.ops(); }
+
+std::unique_ptr<CheckTarget> GenProgramTarget::shrink(size_t i) const {
+  GenProgram cand = prog_;
+  for (size_t th = 0; th < cand.threads.size(); ++th) {
+    const size_t len = cand.threads[th].size();
+    if (i < len) {
+      // Dropping a barrier removes the matching slot-aligned barrier from
+      // every thread, so the candidates for thread > 0's instances are
+      // byte-identical to thread 0's — structurally duplicate, not worth a
+      // re-exploration each.
+      if (th > 0 && cand.threads[th][i].kind == GenOp::Kind::kBarrier) {
+        return nullptr;
+      }
+      if (!cand.drop(static_cast<int>(th), i)) return nullptr;
+      return std::make_unique<GenProgramTarget>(std::move(cand), target_,
+                                                faults_);
+    }
+    i -= len;
+  }
+  return nullptr;
+}
+
+// -- Apps-layer targets ------------------------------------------------------
+
+namespace {
+
+rt::ProgramOptions app_options(rt::Target target, int cores,
+                               const rt::FaultInjection& faults,
+                               sim::SchedulePolicy* policy) {
+  rt::ProgramOptions opts;
+  opts.target = target;
+  opts.cores = cores;
+  opts.machine = sim::MachineConfig::ml605(cores);
+  opts.machine.lm_bytes = 32 * 1024;
+  opts.machine.sdram_bytes = 256 * 1024;
+  // A seeded protocol fault can starve a poll loop outright (e.g. SPM never
+  // copying the counter back); the watchdog converts the hang into a failing
+  // outcome the session then minimizes. Clean app runs at these shapes stay
+  // well under 100k cycles, so 2M is ample headroom while keeping the
+  // deadlocked-schedule case (which simulates every cycle) explorable.
+  opts.machine.max_cycles = UINT64_C(2'000'000);
+  opts.lock_capacity = 32;
+  opts.validate = true;
+  opts.faults = faults;
+  opts.schedule_policy = policy;
+  return opts;
+}
+
+}  // namespace
+
+MFifoTarget::MFifoTarget(rt::Target target, MFifoShape shape,
+                         rt::FaultInjection faults)
+    : target_(target), shape_(shape), faults_(faults) {
+  PMC_CHECK_MSG(rt::is_sim(target_), "exploration drives simulated targets");
+  PMC_CHECK(shape_.depth >= 1 && shape_.readers >= 1 && shape_.items >= 1);
+}
+
+std::string MFifoTarget::name() const {
+  return "mfifo(d" + std::to_string(shape_.depth) + ",r" +
+         std::to_string(shape_.readers) + ",i" + std::to_string(shape_.items) +
+         ")@" + rt::to_string(target_);
+}
+
+RunOutcome MFifoTarget::run(ReplayPolicy& policy) const {
+  RunOutcome out;
+  try {
+    rt::ProgramOptions opts =
+        app_options(target_, 1 + shape_.readers, faults_, &policy);
+    // push() and pop() both poll pointers; like every polling litmus test,
+    // DSM must release eagerly or the unsynchronized poll spins forever.
+    opts.policy.dsm_eager_release = true;
+    rt::Program prog(opts);
+    apps::MFifo fifo(prog, /*elem_bytes=*/4, shape_.depth, shape_.readers);
+    std::vector<std::vector<uint32_t>> got(
+        static_cast<size_t>(shape_.readers));
+    prog.run([&](rt::Env& env) {
+      if (env.id() == 0) {
+        for (uint32_t i = 0; i < shape_.items; ++i) {
+          const uint32_t v = 100u + i;
+          fifo.push(env, &v);
+        }
+      } else {
+        const int me = env.id() - 1;
+        auto& mine = got[static_cast<size_t>(me)];
+        for (uint32_t i = 0; i < shape_.items; ++i) {
+          uint32_t v = 0;
+          fifo.pop(env, me, &v);
+          mine.push_back(v);
+        }
+      }
+    });
+
+    uint64_t h = hb_trace_hash(prog.trace());
+    for (const auto& r : got) {
+      for (const uint32_t v : r) h = util::hash_combine(h, v);
+    }
+    out.trace_hash = h;
+
+    if (prog.validator() != nullptr && !prog.validator()->ok()) {
+      out.ok = false;
+      out.message = "Definition 12 violation: " +
+                    prog.validator()->first_violation();
+      return out;
+    }
+    // Broadcast delivery: every reader received every element, in push
+    // order (a single writer makes the global slot order the push order).
+    for (int r = 0; r < shape_.readers; ++r) {
+      const auto& mine = got[static_cast<size_t>(r)];
+      for (uint32_t i = 0; i < shape_.items; ++i) {
+        if (mine[i] != 100u + i) {
+          out.ok = false;
+          out.message = "broadcast violation on " +
+                        std::string(rt::to_string(target_)) + ": reader " +
+                        std::to_string(r) + " got " + std::to_string(mine[i]) +
+                        " as element " + std::to_string(i) + ", expected " +
+                        std::to_string(100u + i);
+          return out;
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.message = e.what();
+  }
+  return out;
+}
+
+TaskCounterTarget::TaskCounterTarget(rt::Target target, TaskCounterShape shape,
+                                     rt::FaultInjection faults)
+    : target_(target), shape_(shape), faults_(faults) {
+  PMC_CHECK_MSG(rt::is_sim(target_), "exploration drives simulated targets");
+  PMC_CHECK(shape_.cores >= 1 && shape_.total >= 1 && shape_.chunk >= 1);
+}
+
+std::string TaskCounterTarget::name() const {
+  return "taskcounter(c" + std::to_string(shape_.cores) + ",t" +
+         std::to_string(shape_.total) + ",k" + std::to_string(shape_.chunk) +
+         ")@" + rt::to_string(target_);
+}
+
+RunOutcome TaskCounterTarget::run(ReplayPolicy& policy) const {
+  using Chunk = apps::TaskCounter::Chunk;
+  RunOutcome out;
+  try {
+    rt::ProgramOptions opts =
+        app_options(target_, shape_.cores, faults_, &policy);
+    rt::Program prog(opts);
+    apps::TaskCounter counter;
+    counter.create(prog);
+    std::vector<std::vector<Chunk>> got(static_cast<size_t>(shape_.cores));
+    prog.run([&](rt::Env& env) {
+      auto& mine = got[static_cast<size_t>(env.id())];
+      for (;;) {
+        const Chunk c = counter.grab(env, shape_.total, shape_.chunk);
+        if (c.empty()) break;
+        mine.push_back(c);
+      }
+    });
+
+    uint64_t h = hb_trace_hash(prog.trace());
+    for (const auto& core : got) {
+      for (const Chunk& c : core) {
+        h = util::hash_combine(h, c.begin);
+        h = util::hash_combine(h, c.end);
+      }
+    }
+    out.trace_hash = h;
+
+    if (prog.validator() != nullptr && !prog.validator()->ok()) {
+      out.ok = false;
+      out.message = "Definition 12 violation: " +
+                    prog.validator()->first_violation();
+      return out;
+    }
+    // Exact chunk partition: the grabbed chunks tile [0, total) with no
+    // gap, no overlap, and no chunk larger than the grab size.
+    std::vector<Chunk> all;
+    for (const auto& core : got) {
+      all.insert(all.end(), core.begin(), core.end());
+    }
+    std::sort(all.begin(), all.end(), [](const Chunk& a, const Chunk& b) {
+      return a.begin < b.begin || (a.begin == b.begin && a.end < b.end);
+    });
+    uint32_t next = 0;
+    for (const Chunk& c : all) {
+      if (c.begin != next || c.end <= c.begin || c.end > shape_.total ||
+          c.end - c.begin > shape_.chunk) {
+        out.ok = false;
+        out.message = "partition violation on " +
+                      std::string(rt::to_string(target_)) + ": chunk [" +
+                      std::to_string(c.begin) + "," + std::to_string(c.end) +
+                      ") does not extend [0," + std::to_string(next) +
+                      ") exactly";
+        return out;
+      }
+      next = c.end;
+    }
+    if (next != shape_.total) {
+      out.ok = false;
+      out.message = "partition violation on " +
+                    std::string(rt::to_string(target_)) + ": chunks cover [0," +
+                    std::to_string(next) + ") of [0," +
+                    std::to_string(shape_.total) + ")";
+      return out;
+    }
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.message = e.what();
+  }
+  return out;
+}
+
+const char* to_string(AppKind kind) {
+  switch (kind) {
+    case AppKind::kMFifo: return "mfifo";
+    case AppKind::kTaskCounter: return "taskcounter";
+  }
+  return "?";
+}
+
+std::optional<AppKind> app_kind_from_string(std::string_view text) {
+  if (text == "mfifo") return AppKind::kMFifo;
+  if (text == "taskcounter") return AppKind::kTaskCounter;
+  return std::nullopt;
+}
+
+std::vector<AppKind> all_app_kinds() {
+  return {AppKind::kMFifo, AppKind::kTaskCounter};
+}
+
+std::unique_ptr<CheckTarget> make_app_target(AppKind kind, rt::Target target,
+                                             rt::FaultInjection faults) {
+  switch (kind) {
+    case AppKind::kMFifo:
+      return std::make_unique<MFifoTarget>(target, MFifoShape{}, faults);
+    case AppKind::kTaskCounter:
+      return std::make_unique<TaskCounterTarget>(target, TaskCounterShape{},
+                                                 faults);
+  }
+  PMC_CHECK_MSG(false, "unknown app kind");
+  return nullptr;
+}
+
+// -- CheckSession ------------------------------------------------------------
+
+CheckSession::CheckSession(SessionOptions opts) : opts_(std::move(opts)) {
+  PMC_CHECK(opts_.explore.preemption_bound >= 0);
+  if (opts_.jobs < 1) opts_.jobs = 1;
+}
+
+bool CheckSession::parallel_engine() const {
+  switch (opts_.engine) {
+    case Engine::kSequential: return false;
+    case Engine::kParallel: return true;
+    case Engine::kAuto: return opts_.jobs > 1;
+  }
+  return false;
+}
+
+ExploreReport CheckSession::explore(const CheckTarget& target) const {
+  return explore(target.runner());
+}
+
+ExploreReport CheckSession::explore(const ScheduleRunner& runner) const {
+  if (parallel_engine()) {
+    ParallelExplorer ex(runner, opts_.jobs);
+    return ex.explore(opts_.explore);
+  }
+  Explorer ex(runner);
+  return ex.explore(opts_.explore);
+}
+
+RunOutcome CheckSession::replay(const CheckTarget& target,
+                                const DecisionString& schedule,
+                                bool* fully_applied) const {
+  return replay(target.runner(), schedule, fully_applied);
+}
+
+RunOutcome CheckSession::replay(const ScheduleRunner& runner,
+                                const DecisionString& schedule,
+                                bool* fully_applied) const {
+  // Replay is inherently sequential; both engines share the same contract.
+  Explorer ex(runner);
+  return ex.replay(schedule, opts_.explore.horizon, fully_applied);
+}
+
+DecisionString CheckSession::minimize(const CheckTarget& target,
+                                      DecisionString failing) const {
+  return minimize(target.runner(), std::move(failing));
+}
+
+DecisionString CheckSession::minimize(const ScheduleRunner& runner,
+                                      DecisionString failing) const {
+  if (parallel_engine()) {
+    // Round-parallel lowest-index-wins: identical result to the sequential
+    // greedy scan at any job count.
+    ParallelExplorer ex(runner, opts_.jobs);
+    return ex.minimize(std::move(failing), opts_.explore.horizon);
+  }
+  Explorer ex(runner);
+  return ex.minimize(std::move(failing), opts_.explore.horizon);
+}
+
+CheckReport CheckSession::check(const CheckTarget& target) const {
+  CheckReport rep;
+  rep.target = target.name();
+  const ExploreReport r = explore(target);
+  rep.explored = r.explored;
+  rep.pruned = r.pruned;
+  rep.dpor_pruned = r.dpor_pruned;
+  rep.distinct_traces = r.distinct_traces;
+  rep.failing = r.failing;
+  rep.max_decision_points = r.max_decision_points;
+  rep.truncated = r.truncated;
+  rep.ok = r.failing == 0;
+  if (rep.ok) return rep;
+
+  rep.first_failing = r.first_failing;
+  rep.first_failing_message = r.first_failing_message;
+  // Minimize against the original target first: this is the only schedule a
+  // caller can replay without the shrunk target in hand (repro lines), and
+  // it must be computed before shrinking shifts the decision steps.
+  rep.repro_schedule = minimize(target, r.first_failing);
+
+  if (r.truncated || target.shrink_count() == 0) {
+    // Which schedules a truncated exploration covers depends on worker
+    // timing, so re-exploration-based target shrinking would be neither
+    // deterministic nor sound. Minimize the schedule actually in hand.
+    rep.minimized_schedule = rep.repro_schedule;
+    rep.minimized_message = replay(target, rep.minimized_schedule).message;
+    return rep;
+  }
+
+  // Shrink the target: greedily accept any single-step reduction that keeps
+  // some schedule failing. Each candidate is judged by *re-exploring* the
+  // reduced target — a dropped op shifts every later decision step, so
+  // replaying the old string would describe a different schedule. (Shrunk
+  // targets have no more decision points than the original, so with the
+  // original untruncated none of these re-explorations can truncate either.)
+  std::shared_ptr<const CheckTarget> owned;
+  const CheckTarget* cur = &target;
+  ExploreReport cur_rep = r;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const size_t n = cur->shrink_count();
+    for (size_t i = 0; i < n; ++i) {
+      std::unique_ptr<CheckTarget> cand = cur->shrink(i);
+      if (cand == nullptr) continue;
+      const ExploreReport cand_rep = explore(*cand);
+      if (cand_rep.failing > 0) {
+        owned = std::move(cand);
+        cur = owned.get();
+        cur_rep = cand_rep;
+        changed = true;
+        break;
+      }
+    }
+  }
+  PMC_CHECK_MSG(cur_rep.failing > 0,
+                "minimized target stopped failing — minimizer bug");
+
+  if (owned != nullptr) {
+    rep.minimized_schedule = minimize(*cur, cur_rep.first_failing);
+    rep.minimized_message = replay(*cur, rep.minimized_schedule).message;
+    rep.minimized_listing = cur->describe();
+    rep.minimized_target = std::move(owned);
+  } else {
+    // Nothing was droppable: the original target is already 1-minimal, and
+    // its minimized schedule is exactly the repro_schedule in hand.
+    rep.minimized_schedule = rep.repro_schedule;
+    rep.minimized_message = replay(target, rep.minimized_schedule).message;
+  }
+  return rep;
+}
+
+std::string CheckReport::to_text() const {
+  std::string s;
+  s += "target: " + target + "\n";
+  s += "explored: " + std::to_string(explored) +
+       " pruned: " + std::to_string(pruned) +
+       " dpor_pruned: " + std::to_string(dpor_pruned) +
+       " distinct_traces: " + std::to_string(distinct_traces) +
+       " max_decision_points: " + std::to_string(max_decision_points) +
+       (truncated ? " truncated" : "") + "\n";
+  s += "failing: " + std::to_string(failing) + "\n";
+  if (failing > 0) {
+    s += "first_failing: \"" + explore::to_string(first_failing) +
+         "\": " + first_failing_message + "\n";
+    s += "repro_schedule: \"" + explore::to_string(repro_schedule) + "\"\n";
+    s += "minimized_schedule: \"" + explore::to_string(minimized_schedule) +
+         "\": " + minimized_message + "\n";
+    if (!minimized_listing.empty()) {
+      s += "minimized_target:\n" + minimized_listing;
+    }
+  }
+  return s;
+}
+
+}  // namespace pmc::explore

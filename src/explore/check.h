@@ -1,0 +1,295 @@
+// One front door for model checking heterogeneous workloads (DESIGN.md §9).
+//
+// A CheckTarget is anything the explorer can model-check: it builds a fresh
+// rt::Program (or raw machine) for one back-end, runs it under a
+// ReplayPolicy, and judges the run with its own oracle. LitmusTarget drives
+// the annotatable litmus subset, GenProgramTarget one generated fuzz
+// program, MFifoTarget / TaskCounterTarget the apps-layer kernels at small
+// shapes, and FnTarget wraps an ad-hoc runner. Targets that can shrink
+// themselves (drop an op, keep the bug) expose shrink candidates, which is
+// what turns "minimize the program, then the schedule" into a generic
+// session step instead of DiffCheck-private code.
+//
+// A CheckSession owns the knobs every caller used to wire by hand — the
+// ExploreConfig bounds, DPOR mode, engine selection (sequential vs --jobs
+// parallel workers) — and produces one canonical CheckReport per target:
+// totals, the lexicographically least failing schedule, the shrunk target,
+// and the minimized schedule on it. Every field of a CheckReport is a pure
+// function of (target, SessionOptions); engine and job count never leak in
+// (absent truncation), so reports are byte-identical across engines and job
+// counts — the determinism contract tests/explore/ locks.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "explore/explorer.h"
+#include "explore/program_gen.h"
+#include "model/litmus.h"
+#include "model/trace.h"
+#include "runtime/program.h"
+
+namespace pmc::explore {
+
+/// Order-insensitive fingerprint of a recorded model trace: the hash of its
+/// happens-before quotient rather than of the raw interleaved event order.
+/// Each event hashes its content chained with its direct predecessors in the
+/// dependence relation (program order; reads after the last write of their
+/// location; writes after that location's last write and every read since;
+/// acquire/release after the location's last acquire/release), and the
+/// per-event hashes fold commutatively. Two schedules that differ only by
+/// commuting independent events — exactly what DPOR prunes — therefore hash
+/// identically, which makes `distinct_traces` a true behavior count.
+/// Consecutive identical stale reads of one location by one processor (poll
+/// loops spinning on an unchanged version) collapse to one event, so the
+/// iteration count of a spin loop — pure timing — does not split classes.
+uint64_t hb_trace_hash(const std::vector<model::TraceEvent>& trace);
+
+/// One checkable unit: builds a fresh program for its back-end on every
+/// run() call and judges the run with its own oracle. run() must be safe to
+/// invoke concurrently from several threads (share nothing mutable — build
+/// the whole world afresh per call) and must report oracle violations and
+/// exceptions as failing RunOutcomes, never propagate them.
+class CheckTarget {
+ public:
+  virtual ~CheckTarget() = default;
+
+  /// Stable display name, e.g. "fig4_exclusive@dsm" or "mfifo(d2,r2,i2)@swcc".
+  virtual std::string name() const = 0;
+
+  /// Executes one schedule; the ReplayPolicy is the only scheduling input.
+  virtual RunOutcome run(ReplayPolicy& policy) const = 0;
+
+  /// Explorer adapter. Borrows `this`: the target must outlive the runner.
+  ScheduleRunner runner() const {
+    return [this](ReplayPolicy& p) { return run(p); };
+  }
+
+  // -- Failure minimization (optional) ---------------------------------------
+  /// Number of single-step reductions of this target (0: not shrinkable).
+  virtual size_t shrink_count() const { return 0; }
+  /// The `i`-th reduction candidate (i < shrink_count()), or nullptr when the
+  /// reduction is structurally impossible. The candidate is a full target:
+  /// the session re-explores it to decide whether the bug survived.
+  virtual std::unique_ptr<CheckTarget> shrink(size_t i) const {
+    (void)i;
+    return nullptr;
+  }
+  /// Human-readable listing of the target's program (failure reports of
+  /// minimized targets); empty when there is nothing useful to print.
+  virtual std::string describe() const { return {}; }
+};
+
+/// Ad-hoc target wrapping a ScheduleRunner (raw-machine test programs).
+class FnTarget final : public CheckTarget {
+ public:
+  FnTarget(std::string name, ScheduleRunner fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+  std::string name() const override { return name_; }
+  RunOutcome run(ReplayPolicy& policy) const override { return fn_(policy); }
+
+ private:
+  std::string name_;
+  ScheduleRunner fn_;
+};
+
+/// One (litmus test, back-end) target. Computes the model's reachable
+/// outcome set once; run() executes a single schedule on a fresh Program
+/// under the dual oracle (Definition 12 validator + outcome membership).
+class LitmusTarget final : public CheckTarget {
+ public:
+  LitmusTarget(model::LitmusTest test, rt::Target target,
+               rt::FaultInjection faults = {});
+
+  const model::LitmusTest& test() const { return test_; }
+  rt::Target target() const { return target_; }
+  size_t allowed_outcomes() const { return allowed_.size(); }
+  /// DSM runs with eager release iff the test polls: a lazy-release replica
+  /// is never refreshed without an acquire, so an unsynchronized poll loop
+  /// would spin forever (the "slow reads" the paper permits, §IV-D).
+  bool dsm_eager() const { return has_poll_; }
+
+  std::string name() const override;
+  RunOutcome run(ReplayPolicy& policy) const override;
+
+ private:
+  model::LitmusTest test_;
+  rt::Target target_;
+  rt::FaultInjection faults_;
+  bool has_poll_ = false;
+  std::set<model::Outcome> allowed_;
+};
+
+/// One (generated fuzz program, back-end) target under the dual oracle
+/// (Definition 12 validator + closed-form final state). Shrinkable: each
+/// candidate drops one op (dropping a barrier drops it from every thread).
+class GenProgramTarget final : public CheckTarget {
+ public:
+  GenProgramTarget(GenProgram prog, rt::Target target,
+                   rt::FaultInjection faults = {});
+
+  const GenProgram& program() const { return prog_; }
+  rt::Target target() const { return target_; }
+
+  std::string name() const override;
+  RunOutcome run(ReplayPolicy& policy) const override;
+  size_t shrink_count() const override;
+  std::unique_ptr<CheckTarget> shrink(size_t i) const override;
+  std::string describe() const override { return to_string(prog_); }
+
+ private:
+  GenProgram prog_;
+  rt::Target target_;
+  rt::FaultInjection faults_;
+};
+
+// -- Apps-layer targets (ROADMAP "Apps-layer model checking") ----------------
+
+/// Small explorable shape of the Fig. 9 FIFO: one writer pushing `items`
+/// tagged elements through a depth-`depth` buffer to `readers` readers.
+struct MFifoShape {
+  uint32_t depth = 2;
+  int readers = 2;
+  uint32_t items = 2;
+};
+
+/// apps::MFifo under the broadcast-delivery oracle: every reader must
+/// receive every element, in push order, on every explored schedule (plus
+/// the Definition 12 validator). Polls both pointer kinds, so DSM runs with
+/// eager release like every polling litmus test.
+class MFifoTarget final : public CheckTarget {
+ public:
+  explicit MFifoTarget(rt::Target target, MFifoShape shape = {},
+                       rt::FaultInjection faults = {});
+  std::string name() const override;
+  RunOutcome run(ReplayPolicy& policy) const override;
+
+ private:
+  rt::Target target_;
+  MFifoShape shape_;
+  rt::FaultInjection faults_;
+};
+
+/// Small explorable shape of the dynamic work-distribution counter:
+/// `cores` workers grabbing chunks of `chunk` items from `total`.
+struct TaskCounterShape {
+  int cores = 2;
+  uint32_t total = 3;
+  uint32_t chunk = 1;
+};
+
+/// apps::TaskCounter under the exact-chunk-partition oracle: the chunks all
+/// cores grab must tile [0, total) exactly — no gap, no overlap, no chunk
+/// larger than `chunk` — on every explored schedule (plus the validator).
+class TaskCounterTarget final : public CheckTarget {
+ public:
+  explicit TaskCounterTarget(rt::Target target, TaskCounterShape shape = {},
+                             rt::FaultInjection faults = {});
+  std::string name() const override;
+  RunOutcome run(ReplayPolicy& policy) const override;
+
+ private:
+  rt::Target target_;
+  TaskCounterShape shape_;
+  rt::FaultInjection faults_;
+};
+
+enum class AppKind { kMFifo, kTaskCounter };
+const char* to_string(AppKind kind);
+/// "mfifo" | "taskcounter"; nullopt on anything else.
+std::optional<AppKind> app_kind_from_string(std::string_view text);
+std::vector<AppKind> all_app_kinds();
+/// The canonical small-shape app target the CLI, bench, and CI drive.
+std::unique_ptr<CheckTarget> make_app_target(AppKind kind, rt::Target target,
+                                             rt::FaultInjection faults = {});
+
+// -- The session facade ------------------------------------------------------
+
+/// Which exploration engine executes the session's bounded space. The
+/// space is a fixed tree either way, so every CheckReport field is engine-
+/// and job-count-invariant (absent truncation); kAuto picks the sequential
+/// engine for jobs <= 1 and the work-stealing parallel one otherwise.
+enum class Engine { kAuto, kSequential, kParallel };
+
+struct SessionOptions {
+  ExploreConfig explore;
+  int jobs = 1;
+  Engine engine = Engine::kAuto;
+};
+
+/// Canonical result of CheckSession::check. Deliberately excludes the
+/// wall-clock-ish schedules_to_first_failure (use CheckSession::explore for
+/// it): every field here is deterministic for (target, options).
+struct CheckReport {
+  std::string target;
+  uint64_t explored = 0;
+  uint64_t pruned = 0;
+  uint64_t dpor_pruned = 0;
+  uint64_t distinct_traces = 0;
+  uint64_t failing = 0;
+  uint64_t max_decision_points = 0;
+  bool truncated = false;
+  bool ok = true;
+
+  /// Lexicographically least failing schedule of the original target and
+  /// its verdict (meaningful iff failing > 0).
+  DecisionString first_failing;
+  std::string first_failing_message;
+  /// first_failing minimized against the *original* target — the only
+  /// schedule a caller can replay without the shrunk target in hand, so
+  /// this is what repro lines must print.
+  DecisionString repro_schedule;
+  /// The greedily shrunk target (nullptr when the target is not shrinkable,
+  /// nothing was droppable, or the run truncated), its listing, and the
+  /// failing schedule minimized against it.
+  std::shared_ptr<const CheckTarget> minimized_target;
+  std::string minimized_listing;
+  DecisionString minimized_schedule;
+  std::string minimized_message;
+
+  /// Canonical multi-line rendering; byte-identical across engines and job
+  /// counts (absent truncation) — what the determinism suites compare.
+  std::string to_text() const;
+};
+
+/// Owns engine selection, bounds, DPOR mode, and failure minimization —
+/// the one front door to the exploration stack. Cheap to construct; check()
+/// borrows the target only for the duration of the call.
+class CheckSession {
+ public:
+  explicit CheckSession(SessionOptions opts);
+  CheckSession(const ExploreConfig& cfg, int jobs = 1)
+      : CheckSession(SessionOptions{cfg, jobs, Engine::kAuto}) {}
+
+  const SessionOptions& options() const { return opts_; }
+  /// True when this session runs the parallel work-stealing engine.
+  bool parallel_engine() const;
+
+  /// The full pipeline: explore the bounded space; on failure canonicalize
+  /// (lexicographic minimum), shrink the target program-then-schedule where
+  /// it supports shrinking (skipped when truncated — which schedules a
+  /// truncated run covers is timing-dependent, so re-exploration-based
+  /// shrinking would be neither deterministic nor sound), and minimize.
+  CheckReport check(const CheckTarget& target) const;
+
+  // -- Building blocks (the only sanctioned route to the engines) ------------
+  ExploreReport explore(const CheckTarget& target) const;
+  ExploreReport explore(const ScheduleRunner& runner) const;
+  RunOutcome replay(const CheckTarget& target, const DecisionString& schedule,
+                    bool* fully_applied = nullptr) const;
+  RunOutcome replay(const ScheduleRunner& runner, const DecisionString& schedule,
+                    bool* fully_applied = nullptr) const;
+  DecisionString minimize(const CheckTarget& target,
+                          DecisionString failing) const;
+  DecisionString minimize(const ScheduleRunner& runner,
+                          DecisionString failing) const;
+
+ private:
+  SessionOptions opts_;
+};
+
+}  // namespace pmc::explore

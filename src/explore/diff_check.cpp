@@ -1,80 +1,8 @@
 #include "explore/diff_check.h"
 
-#include <algorithm>
-#include <exception>
-
 #include "util/check.h"
-#include "util/hash.h"
 
 namespace pmc::explore {
-
-namespace {
-
-/// One full run: fresh Program, the generated op streams, dual oracle.
-/// Everything is local, so concurrent calls share nothing mutable.
-RunOutcome run_program(const GenProgram& prog, const rt::FaultInjection& faults,
-                       rt::Target target, sim::SchedulePolicy* policy) {
-  RunOutcome out;
-  try {
-    rt::ProgramOptions opts;
-    opts.target = target;
-    opts.cores = prog.shape.cores;
-    opts.machine = sim::MachineConfig::ml605(opts.cores);
-    opts.machine.lm_bytes = 32 * 1024;
-    opts.machine.sdram_bytes = 512 * 1024;
-    opts.machine.max_cycles = UINT64_C(100'000'000);
-    opts.lock_capacity = 64;
-    opts.validate = true;
-    opts.faults = faults;
-    opts.schedule_policy = policy;
-    rt::Program p(opts);
-
-    std::vector<rt::ObjId> objs;
-    for (int i = 0; i < prog.shape.objects; ++i) {
-      objs.push_back(p.create_typed<uint32_t>(GenProgram::initial_value(i),
-                                              rt::Placement::kReplicated,
-                                              "fuzz" + std::to_string(i)));
-    }
-    p.run([&](rt::Env& env) { run_ops(prog, env, objs); });
-
-    uint64_t h = util::kFnvOffset;
-    for (const model::TraceEvent& e : p.trace()) {
-      h = util::hash_combine(h, static_cast<uint64_t>(e.kind));
-      h = util::hash_combine(h, static_cast<uint64_t>(e.proc));
-      h = util::hash_combine(h, static_cast<uint64_t>(e.loc));
-      h = util::hash_combine(h, e.value);
-    }
-    for (int i = 0; i < prog.shape.objects; ++i) {
-      h = util::hash_combine(h, p.result<uint32_t>(objs[static_cast<size_t>(i)]));
-    }
-    out.trace_hash = h;
-
-    if (p.validator() != nullptr && !p.validator()->ok()) {
-      out.ok = false;
-      out.message =
-          "Definition 12 violation: " + p.validator()->first_violation();
-      return out;
-    }
-    for (int i = 0; i < prog.shape.objects; ++i) {
-      const uint32_t got = p.result<uint32_t>(objs[static_cast<size_t>(i)]);
-      const uint32_t want = prog.expected_final(i);
-      if (got != want) {
-        out.ok = false;
-        out.message = "final-state divergence on " +
-                      std::string(rt::to_string(target)) + ": object x" +
-                      std::to_string(i) + " is " + std::to_string(got) +
-                      ", every back-end must reach " + std::to_string(want);
-        return out;
-      }
-    }
-  } catch (const std::exception& e) {
-    out.ok = false;
-    out.message = e.what();
-  }
-  return out;
-}
-
-}  // namespace
 
 DiffCheck::DiffCheck(GenProgram prog, rt::FaultInjection faults)
     : prog_(std::move(prog)), faults_(faults) {
@@ -83,91 +11,46 @@ DiffCheck::DiffCheck(GenProgram prog, rt::FaultInjection faults)
                 "program thread count must match its shape");
 }
 
-RunOutcome DiffCheck::run_once(rt::Target t, ReplayPolicy& policy) const {
-  return run_program(prog_, faults_, t, &policy);
-}
-
-ScheduleRunner DiffCheck::runner(rt::Target t) const {
-  // Captured by value so the runner outlives this DiffCheck.
-  return [prog = prog_, faults = faults_, t](ReplayPolicy& policy) {
-    return run_program(prog, faults, t, &policy);
-  };
+std::unique_ptr<CheckTarget> DiffCheck::target(rt::Target t) const {
+  return std::make_unique<GenProgramTarget>(prog_, t, faults_);
 }
 
 DiffReport DiffCheck::check(const ExploreConfig& cfg, int jobs,
                             const std::vector<rt::Target>& targets) const {
+  const CheckSession session(cfg, jobs);
   DiffReport rep;
   for (rt::Target t : targets) {
-    PMC_CHECK_MSG(rt::is_sim(t), "exploration drives simulated targets");
-    ParallelExplorer ex(runner(t), jobs);
-    const ExploreReport r = ex.explore(cfg);
-    rep.explored += r.explored;
-    rep.pruned += r.pruned;
-    rep.distinct_traces += r.distinct_traces;
-    rep.truncated = rep.truncated || r.truncated;
-    if (r.failing == 0 || rep.failure.has_value()) continue;
+    const GenProgramTarget gt(prog_, t, faults_);
+    if (rep.failure.has_value()) {
+      // The report carries one failure (the first back-end's); later
+      // back-ends still contribute their totals, but their failures are
+      // not minimized.
+      const ExploreReport r = session.explore(gt);
+      rep.explored += r.explored;
+      rep.pruned += r.pruned;
+      rep.distinct_traces += r.distinct_traces;
+      rep.truncated = rep.truncated || r.truncated;
+      continue;
+    }
+    const CheckReport cr = session.check(gt);
+    rep.explored += cr.explored;
+    rep.pruned += cr.pruned;
+    rep.distinct_traces += cr.distinct_traces;
+    rep.truncated = rep.truncated || cr.truncated;
+    if (cr.ok) continue;
 
     rep.ok = false;
     DiffFailure f;
     f.target = t;
-
+    f.schedule = cr.minimized_schedule;
+    f.message = cr.minimized_message;
     // The repro line's replay string must hold on the *original* program —
-    // the only one the CLI can regenerate from the seed — so minimize the
-    // canonical failing schedule against it before shrinking the program.
-    const DecisionString repro_schedule =
-        ex.minimize(r.first_failing, cfg.horizon);
-
-    if (r.truncated) {
-      // Which schedules a truncated exploration covers depends on worker
-      // timing, so re-exploration-based program shrinking would be neither
-      // deterministic nor sound (and a re-run might not even rediscover a
-      // failure). Report the unshrunk program with the schedule minimized
-      // against the failure actually in hand.
-      f.schedule = repro_schedule;
-      f.message = ex.replay(f.schedule, cfg.horizon).message;
-      f.program = prog_;
-      f.repro = repro_line(prog_.shape, t, repro_schedule, faults_);
-      rep.failure = std::move(f);
-      continue;
-    }
-
-    GenProgram cur = prog_;
-    {
-      // Shrink the program: greedily drop any op whose removal keeps some
-      // schedule failing. Each candidate is judged by *re-exploring* the
-      // reduced program — a dropped op shifts all later decision steps, so
-      // replaying the old string would describe a different schedule.
-      // (Shrunk programs have no more decision points than the original,
-      // so with the original untruncated none of these re-explorations can
-      // truncate either.)
-      bool changed = true;
-      while (changed) {
-        changed = false;
-        for (size_t th = 0; th < cur.threads.size() && !changed; ++th) {
-          for (size_t i = 0; i < cur.threads[th].size() && !changed; ++i) {
-            GenProgram cand = cur;
-            cand.drop(static_cast<int>(th), i);
-            const DiffCheck sub(std::move(cand), faults_);
-            ParallelExplorer sub_ex(sub.runner(t), jobs);
-            if (sub_ex.explore(cfg).failing > 0) {
-              cur = sub.prog_;
-              changed = true;
-            }
-          }
-        }
-      }
-    }
-
-    // Then shrink the schedule, on the (possibly) minimized program.
-    const DiffCheck final_check(cur, faults_);
-    ParallelExplorer final_ex(final_check.runner(t), jobs);
-    const ExploreReport final_rep = final_ex.explore(cfg);
-    PMC_CHECK_MSG(final_rep.failing > 0,
-                  "minimized program stopped failing — minimizer bug");
-    f.schedule = final_ex.minimize(final_rep.first_failing, cfg.horizon);
-    f.message = final_ex.replay(f.schedule, cfg.horizon).message;
-    f.program = std::move(cur);
-    f.repro = repro_line(f.program.shape, t, repro_schedule, faults_);
+    // the only one the CLI can regenerate from the seed — which is exactly
+    // the session's repro_schedule.
+    f.repro = repro_line(prog_.shape, t, cr.repro_schedule, faults_);
+    const auto* shrunk =
+        dynamic_cast<const GenProgramTarget*>(cr.minimized_target.get());
+    f.program = shrunk != nullptr ? shrunk->program() : prog_;
     rep.failure = std::move(f);
   }
   return rep;

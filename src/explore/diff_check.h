@@ -1,7 +1,8 @@
 // Cross-back-end differential fuzzing of generated programs (DESIGN.md §7).
 //
 // One generated lock-disciplined program is model-checked on every Table II
-// back-end: the explorer enumerates preemption-bounded schedules, and every
+// back-end through the CheckSession pipeline (explore/check.h): the session
+// enumerates preemption-bounded schedules of a GenProgramTarget, and every
 // single run must satisfy the dual oracle
 //
 //  1. the Definition 12 trace validator (the formal model per schedule), and
@@ -10,17 +11,18 @@
 //     back-ends disagreeing (on any schedule) is caught as at least one of
 //     them diverging from the closed form.
 //
-// On failure, DiffCheck shrinks the *program* first (greedy op dropping,
-// re-exploring after each candidate drop — a dropped op shifts every later
-// decision step, so replaying the old string would test some other
-// schedule), then the *decision string* (greedy 1-minimal reduction), and
-// renders a one-command repro line that every fuzz assertion embeds.
+// On failure the session shrinks the *program* first (greedy op dropping
+// via GenProgramTarget::shrink, re-exploring after each candidate drop),
+// then the *decision string*, and DiffCheck renders the one-command repro
+// line every fuzz assertion embeds. DiffCheck itself is a thin adapter:
+// target construction, engine selection, and minimization all live in the
+// session.
 #pragma once
 
 #include <optional>
 #include <string>
 
-#include "explore/parallel_explorer.h"
+#include "explore/check.h"
 #include "explore/program_gen.h"
 #include "runtime/program.h"
 
@@ -55,14 +57,8 @@ class DiffCheck {
 
   const GenProgram& program() const { return prog_; }
 
-  /// Runs one schedule of the program on `t`: fresh rt::Program, run_ops,
-  /// dual oracle. Safe to call concurrently (shares nothing mutable).
-  RunOutcome run_once(rt::Target t, ReplayPolicy& policy) const;
-
-  /// Explorer adapter for one back-end. The returned runner keeps `this`
-  /// alive by value-captured copies of program and faults, so it outlives
-  /// the DiffCheck if needed.
-  ScheduleRunner runner(rt::Target t) const;
+  /// The CheckTarget for one back-end (a fresh GenProgramTarget).
+  std::unique_ptr<CheckTarget> target(rt::Target t) const;
 
   /// Explores each of `targets` (default: every simulated back-end) under
   /// `cfg` with `jobs` workers; on the first failing back-end, minimizes

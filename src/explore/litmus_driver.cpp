@@ -1,26 +1,11 @@
 #include "explore/litmus_driver.h"
 
 #include <algorithm>
-#include <exception>
 
 #include "model/litmus_library.h"
 #include "util/check.h"
-#include "util/hash.h"
 
 namespace pmc::explore {
-
-namespace {
-
-bool contains_poll(const model::LitmusTest& test) {
-  for (const auto& th : test.threads) {
-    for (const auto& op : th.ops) {
-      if (op.kind == model::LitmusOp::Kind::kLoadUntil) return true;
-    }
-  }
-  return false;
-}
-
-}  // namespace
 
 bool annotatable(const model::LitmusTest& test) {
   using Kind = model::LitmusOp::Kind;
@@ -63,132 +48,6 @@ std::vector<model::LitmusTest> annotatable_tests() {
   return out;
 }
 
-LitmusCheck::LitmusCheck(model::LitmusTest test, rt::Target target,
-                         rt::FaultInjection faults)
-    : test_(std::move(test)), target_(target), faults_(faults) {
-  PMC_CHECK_MSG(annotatable(test_),
-                test_.name << " is not annotation-disciplined; the back-ends "
-                              "only define behavior for §V-A programs");
-  PMC_CHECK_MSG(rt::is_sim(target_), "exploration drives simulated targets");
-  has_poll_ = contains_poll(test_);
-  // The in-order simulated cores issue in program order, so the
-  // program-order enumeration is the exact end-to-end oracle.
-  allowed_ = model::explore(test_).outcomes;
-  PMC_CHECK_MSG(!allowed_.empty(), test_.name << " has no completed path");
-}
-
-RunOutcome LitmusCheck::run(ReplayPolicy& policy) const {
-  using Kind = model::LitmusOp::Kind;
-  RunOutcome out;
-  try {
-    rt::ProgramOptions opts;
-    opts.target = target_;
-    opts.cores = static_cast<int>(test_.threads.size());
-    opts.machine = sim::MachineConfig::ml605(opts.cores);
-    opts.machine.lm_bytes = 32 * 1024;
-    opts.machine.sdram_bytes = 256 * 1024;
-    opts.machine.max_cycles = UINT64_C(50'000'000);
-    opts.lock_capacity = 16;
-    opts.validate = true;
-    opts.faults = faults_;
-    opts.policy.dsm_eager_release = has_poll_;
-    opts.schedule_policy = &policy;
-    rt::Program prog(opts);
-
-    std::vector<rt::ObjId> objs;
-    for (int v = 0; v < test_.num_locs; ++v) {
-      const uint32_t init =
-          v < static_cast<int>(test_.initial.size())
-              ? static_cast<uint32_t>(test_.initial[static_cast<size_t>(v)])
-              : 0;
-      objs.push_back(prog.create_typed<uint32_t>(
-          init, rt::Placement::kReplicated, "v" + std::to_string(v)));
-    }
-    std::vector<uint64_t> regs(static_cast<size_t>(test_.num_regs), 0);
-
-    prog.run([&](rt::Env& env) {
-      const auto& ops =
-          test_.threads[static_cast<size_t>(env.id())].ops;
-      std::vector<model::LocId> open;
-      auto is_open = [&](model::LocId v) {
-        return std::find(open.begin(), open.end(), v) != open.end();
-      };
-      for (const auto& op : ops) {
-        const rt::ObjId obj =
-            op.loc >= 0 ? objs[static_cast<size_t>(op.loc)] : -1;
-        switch (op.kind) {
-          case Kind::kAcquire:
-            env.entry_x(obj);
-            open.push_back(op.loc);
-            break;
-          case Kind::kRelease:
-            env.exit_x(obj);
-            open.pop_back();
-            break;
-          case Kind::kStore:
-            env.st<uint32_t>(obj, 0, static_cast<uint32_t>(op.value));
-            break;
-          case Kind::kLoad: {
-            uint32_t v;
-            if (is_open(op.loc)) {
-              v = env.ld<uint32_t>(obj);
-            } else {
-              env.entry_ro(obj);
-              v = env.ld<uint32_t>(obj);
-              env.exit_ro(obj);
-            }
-            if (op.reg >= 0) regs[static_cast<size_t>(op.reg)] = v;
-            break;
-          }
-          case Kind::kLoadUntil: {
-            uint32_t v;
-            do {
-              env.entry_ro(obj);
-              v = env.ld<uint32_t>(obj);
-              env.exit_ro(obj);
-            } while (v != static_cast<uint32_t>(op.value));
-            break;
-          }
-          case Kind::kFence:
-            env.fence();
-            break;
-        }
-      }
-    });
-
-    uint64_t h = util::kFnvOffset;
-    for (const model::TraceEvent& e : prog.trace()) {
-      h = util::hash_combine(h, static_cast<uint64_t>(e.kind));
-      h = util::hash_combine(h, static_cast<uint64_t>(e.proc));
-      h = util::hash_combine(h, static_cast<uint64_t>(e.loc));
-      h = util::hash_combine(h, e.value);
-    }
-    for (const uint64_t r : regs) h = util::hash_combine(h, r);
-    out.trace_hash = h;
-
-    if (!prog.validator()->ok()) {
-      out.ok = false;
-      out.message = "Definition 12 violation: " +
-                    prog.validator()->first_violation();
-      return out;
-    }
-    if (allowed_.find(regs) == allowed_.end()) {
-      out.ok = false;
-      out.message = "outcome {";
-      for (size_t i = 0; i < regs.size(); ++i) {
-        if (i) out.message += ',';
-        out.message += std::to_string(regs[i]);
-      }
-      out.message += "} is not reachable in the model";
-      return out;
-    }
-  } catch (const std::exception& e) {
-    out.ok = false;
-    out.message = e.what();
-  }
-  return out;
-}
-
 bool has_seeded_fault(rt::Target target) {
   return target == rt::Target::kSWCC || target == rt::Target::kDSM ||
          target == rt::Target::kSPM;
@@ -215,9 +74,9 @@ rt::FaultInjection all_seeded_faults() {
   return f;
 }
 
-LitmusCheck seeded_bug_check(rt::Target target) {
-  return LitmusCheck(model::litmus::fig4_exclusive(), target,
-                     seeded_fault(target));
+LitmusTarget seeded_bug_check(rt::Target target) {
+  return LitmusTarget(model::litmus::fig4_exclusive(), target,
+                      seeded_fault(target));
 }
 
 }  // namespace pmc::explore

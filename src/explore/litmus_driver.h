@@ -1,14 +1,8 @@
-// Runs model-level litmus tests as annotated Env programs on the Table II
-// back-ends, one scheduler interleaving at a time, with a two-part oracle:
-//
-//  1. the recorded object-granularity trace must satisfy the Definition 12
-//     validator (the formal model as a per-schedule checker), and
-//  2. the final litmus registers must be inside the set of outcomes the
-//     model itself reaches for the test in program-order issue mode (the
-//     litmus enumerator as an end-to-end oracle).
-//
-// Together with the Explorer this turns the single-trace validation of
-// tests/runtime/ into a model checker over interleavings (DESIGN.md §6).
+// The litmus workload of the checking stack: which model-level tests can
+// run on the §V-A runtime at all, and the seeded protocol faults the
+// self-test modes inject. The target that actually executes a litmus test
+// under the dual oracle is LitmusTarget (explore/check.h); this header is
+// the thin litmus-specific layer on top of it (DESIGN.md §6/§9).
 //
 // Only annotation-disciplined tests can run on the runtime (every store
 // inside an exclusive section of its location, poll loops outside sections);
@@ -16,11 +10,9 @@
 // word-sized object, which takes no lock — a plain read, as in the model.
 #pragma once
 
-#include <memory>
-#include <set>
 #include <vector>
 
-#include "explore/explorer.h"
+#include "explore/check.h"
 #include "model/litmus.h"
 #include "runtime/program.h"
 
@@ -34,38 +26,6 @@ bool annotatable(const model::LitmusTest& test);
 
 /// The annotatable subset of model::litmus::all_tests().
 std::vector<model::LitmusTest> annotatable_tests();
-
-/// One (litmus test, back-end) model-checking target. Computes the allowed
-/// outcome set once; run() executes a single schedule on a fresh Program.
-class LitmusCheck {
- public:
-  LitmusCheck(model::LitmusTest test, rt::Target target,
-              rt::FaultInjection faults = {});
-
-  const model::LitmusTest& test() const { return test_; }
-  rt::Target target() const { return target_; }
-  size_t allowed_outcomes() const { return allowed_.size(); }
-  /// DSM runs with eager release iff the test polls: a lazy-release replica
-  /// is never refreshed without an acquire, so an unsynchronized poll loop
-  /// would spin forever (the "slow reads" the paper permits, §IV-D).
-  bool dsm_eager() const { return has_poll_; }
-
-  /// Executes one schedule; exceptions (watchdog, discipline violations)
-  /// are reported as failing outcomes, not propagated.
-  RunOutcome run(ReplayPolicy& policy) const;
-
-  /// Adapter for Explorer.
-  ScheduleRunner runner() const {
-    return [this](ReplayPolicy& p) { return run(p); };
-  }
-
- private:
-  model::LitmusTest test_;
-  rt::Target target_;
-  rt::FaultInjection faults_;
-  bool has_poll_ = false;
-  std::set<model::Outcome> allowed_;
-};
 
 /// True when `target` has a seedable protocol fault (all back-ends with
 /// coherence actions to omit; the no-CC baseline has none).
@@ -81,7 +41,7 @@ rt::FaultInjection all_seeded_faults();
 /// the same lock) with seeded_fault(target) injected. Under the default
 /// min-time schedule the reader wins the lock first and the missing flush is
 /// never observed; only a reordered schedule (writer first) exposes the
-/// stale read — which the explorer must find.
-LitmusCheck seeded_bug_check(rt::Target target);
+/// stale read — which the session must find.
+LitmusTarget seeded_bug_check(rt::Target target);
 
 }  // namespace pmc::explore

@@ -28,8 +28,9 @@ class ParallelExplorer {
  public:
   /// `runner` must be safe to invoke concurrently from several threads: each
   /// invocation has to build its whole world (Machine, Program, policy)
-  /// afresh and share nothing mutable — which LitmusCheck::run and
-  /// DiffCheck runners satisfy by construction. `jobs` < 1 is clamped to 1.
+  /// afresh and share nothing mutable — which every CheckTarget::run
+  /// (LitmusTarget, GenProgramTarget, the apps targets; explore/check.h)
+  /// satisfies by construction. `jobs` < 1 is clamped to 1.
   ParallelExplorer(ScheduleRunner runner, int jobs);
 
   int jobs() const { return jobs_; }

@@ -8,6 +8,7 @@
 #include <gtest/gtest-spi.h>
 #include <gtest/gtest.h>
 
+#include "explore/check.h"
 #include "explore/litmus_driver.h"
 #include "runtime/program.h"
 
@@ -151,18 +152,18 @@ TEST(DiffFuzz, SeededFaultIsFoundMinimizedAndReplayable) {
   // CLI regenerates from the seed): it must fail there, fully applied.
   const DecisionString repro_schedule = parse_decision_string(
       f.repro.substr(replay_at + std::string("--replay=").size()));
-  ParallelExplorer orig_ex(dc.runner(f.target), 2);
+  const CheckSession session(cfg, /*jobs=*/2);
+  const auto original = dc.target(f.target);
   bool applied = false;
-  EXPECT_FALSE(orig_ex.replay(repro_schedule, cfg.horizon, &applied).ok);
+  EXPECT_FALSE(session.replay(*original, repro_schedule, &applied).ok);
   EXPECT_TRUE(applied);
 
   // The minimized program got smaller and the minimized schedule still
   // reproduces the exact failure on it.
   EXPECT_LT(f.program.ops(), prog.ops());
-  const DiffCheck min_dc(f.program, all_faults());
-  ParallelExplorer ex(min_dc.runner(f.target), 2);
+  const GenProgramTarget minimized(f.program, f.target, all_faults());
   applied = false;
-  const RunOutcome out = ex.replay(f.schedule, cfg.horizon, &applied);
+  const RunOutcome out = session.replay(minimized, f.schedule, &applied);
   EXPECT_TRUE(applied);
   EXPECT_FALSE(out.ok);
   EXPECT_EQ(out.message, f.message);

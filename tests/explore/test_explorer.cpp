@@ -1,12 +1,12 @@
-// Explorer enumeration, pruning accounting, back-end model checking, and
-// seeded-bug discovery.
+// Session-driven enumeration, pruning accounting, back-end model checking,
+// and seeded-bug discovery (the sequential engine).
 //
 // The closed-form counting tests pin the enumeration exactly: for a 2-core
 // litmus program every decision step below the horizon has exactly two
 // runnable cores (one alternative), so the number of schedules with at most
-// k preemptions in the first H steps is sum_{j<=k} C(H, j). The explorer's
+// k preemptions in the first H steps is sum_{j<=k} C(H, j). The session's
 // explored (pruning off) — or explored + pruned (k = 1) — must match it.
-#include "explore/explorer.h"
+#include "explore/check.h"
 
 #include <gtest/gtest.h>
 
@@ -32,15 +32,14 @@ TEST(Annotatable, FiltersTheLitmusLibrary) {
 
 // -- Closed-form enumeration (2 cores, 2 objects: fig5_mp_annotated) --------
 
-TEST(Explorer, ClosedFormCountWithoutPruning) {
-  const LitmusCheck check(model::litmus::fig5_mp_annotated(),
-                          rt::Target::kNoCC);
-  Explorer ex(check.runner());
+TEST(CheckSession, ClosedFormCountWithoutPruning) {
+  const LitmusTarget target(model::litmus::fig5_mp_annotated(),
+                            rt::Target::kNoCC);
   ExploreConfig cfg;
   cfg.preemption_bound = 2;
   cfg.horizon = 10;
   cfg.prune_delay = false;
-  const auto rep = ex.explore(cfg);
+  const auto rep = CheckSession(cfg).explore(target);
   // C(10,0) + C(10,1) + C(10,2) = 1 + 10 + 45.
   EXPECT_EQ(rep.explored, 56u);
   EXPECT_EQ(rep.pruned, 0u);
@@ -72,68 +71,65 @@ RunOutcome run_compute_heavy(ReplayPolicy& policy) {
   return out;
 }
 
-TEST(Explorer, ClosedFormCountWithPruning) {
-  Explorer ex(run_compute_heavy);
+TEST(CheckSession, ClosedFormCountWithPruning) {
+  const FnTarget target("compute-heavy", run_compute_heavy);
   ExploreConfig cfg;
   cfg.preemption_bound = 1;  // depth 1: pruned schedules have no children
   cfg.horizon = 10;
   cfg.prune_delay = true;
-  const auto rep = ex.explore(cfg);
+  const auto rep = CheckSession(cfg).explore(target);
   // Every enumerated schedule is either run or pruned: C(10,0) + C(10,1).
   EXPECT_EQ(rep.explored + rep.pruned, 11u);
   EXPECT_GT(rep.pruned, 0u) << "back-to-back computes must prune";
   EXPECT_EQ(rep.failing, 0u);
 }
 
-TEST(Explorer, MemoryOpStallSegmentsAreNotPureDelay) {
+TEST(CheckSession, MemoryOpStallSegmentsAreNotPureDelay) {
   // Regression for the PR 2 gap: the mid-operation stall segment of an
   // uncached store contains the posted write, so preempting it is a real
   // reordering — it must not be delay-pruned. With pruning on and off the
   // litmus space is therefore the same size.
-  const LitmusCheck check(model::litmus::fig5_mp_annotated(),
-                          rt::Target::kNoCC);
-  Explorer ex(check.runner());
+  const LitmusTarget target(model::litmus::fig5_mp_annotated(),
+                            rt::Target::kNoCC);
   ExploreConfig cfg;
   cfg.preemption_bound = 1;
   cfg.horizon = 10;
   cfg.prune_delay = true;
-  const auto pruned_on = ex.explore(cfg);
+  const auto pruned_on = CheckSession(cfg).explore(target);
   cfg.prune_delay = false;
-  const auto pruned_off = ex.explore(cfg);
+  const auto pruned_off = CheckSession(cfg).explore(target);
   EXPECT_EQ(pruned_on.explored, pruned_off.explored);
   EXPECT_EQ(pruned_on.pruned, 0u);
 }
 
-TEST(Explorer, ThreeCoreClosedFormCount) {
+TEST(CheckSession, ThreeCoreClosedFormCount) {
   // wrc_locked has 3 threads: two alternatives per step below the horizon.
-  const LitmusCheck check(model::litmus::wrc_locked(), rt::Target::kNoCC);
-  Explorer ex(check.runner());
+  const LitmusTarget target(model::litmus::wrc_locked(), rt::Target::kNoCC);
   ExploreConfig cfg;
   cfg.preemption_bound = 1;
   cfg.horizon = 8;
   cfg.prune_delay = false;
-  const auto rep = ex.explore(cfg);
+  const auto rep = CheckSession(cfg).explore(target);
   EXPECT_EQ(rep.explored, 1u + 2u * 8u);
 }
 
-TEST(Explorer, TruncatedRunReportsLexLeastAmongExplored) {
+TEST(CheckSession, TruncatedRunReportsLexLeastAmongExplored) {
   // `max_schedules` cuts the space short, but the reported failing schedule
   // must still be the lexicographic minimum among what *was* explored — not
   // whatever the DFS happened to hit first (ISSUE 4 satellite).
-  LitmusCheck check = seeded_bug_check(rt::Target::kSWCC);
-  Explorer ex(check.runner());
+  const LitmusTarget target = seeded_bug_check(rt::Target::kSWCC);
   ExploreConfig cfg;
   cfg.preemption_bound = 2;
   cfg.horizon = 16;
   cfg.collect_failing = true;
-  const auto full = ex.explore(cfg);
+  const auto full = CheckSession(cfg).explore(target);
   ASSERT_FALSE(full.truncated);
   ASSERT_GT(full.failing, 0u);
   // Truncate right after the temporally first failure: later (possibly
   // lex-smaller) failures are cut off, so the report must be the minimum of
   // the explored prefix, not of the full space.
   cfg.max_schedules = full.schedules_to_first_failure;
-  const auto rep = ex.explore(cfg);
+  const auto rep = CheckSession(cfg).explore(target);
   ASSERT_TRUE(rep.truncated);
   EXPECT_EQ(rep.explored, full.schedules_to_first_failure);
   ASSERT_GT(rep.failing, 0u);
@@ -145,31 +141,32 @@ TEST(Explorer, TruncatedRunReportsLexLeastAmongExplored) {
   }
 }
 
-TEST(Explorer, MaxSchedulesTruncates) {
-  const LitmusCheck check(model::litmus::fig5_mp_annotated(),
-                          rt::Target::kNoCC);
-  Explorer ex(check.runner());
+TEST(CheckSession, MaxSchedulesTruncates) {
+  const LitmusTarget target(model::litmus::fig5_mp_annotated(),
+                            rt::Target::kNoCC);
   ExploreConfig cfg;
   cfg.preemption_bound = 2;
   cfg.horizon = 10;
   cfg.prune_delay = false;
   cfg.max_schedules = 7;
-  const auto rep = ex.explore(cfg);
+  const auto rep = CheckSession(cfg).explore(target);
   EXPECT_TRUE(rep.truncated);
   EXPECT_EQ(rep.explored, 7u);
 }
 
-TEST(Explorer, ReplayReportsUnappliedOverrides) {
+TEST(CheckSession, ReplayReportsUnappliedOverrides) {
   // A stale decision string (step beyond the run, or wrong program) must
   // not masquerade as a verdict about the requested schedule.
-  const LitmusCheck check(model::litmus::fig5_mp_annotated(),
-                          rt::Target::kNoCC);
-  Explorer ex(check.runner());
+  const LitmusTarget target(model::litmus::fig5_mp_annotated(),
+                            rt::Target::kNoCC);
+  ExploreConfig cfg;
+  cfg.horizon = 16;
+  const CheckSession session(cfg);
   bool applied = false;
-  const auto out = ex.replay({}, 16, &applied);
+  const auto out = session.replay(target, {}, &applied);
   EXPECT_TRUE(out.ok);
   EXPECT_TRUE(applied);
-  ex.replay({{99'999'999, 1}}, 16, &applied);
+  session.replay(target, {{99'999'999, 1}}, &applied);
   EXPECT_FALSE(applied);
 }
 
@@ -178,13 +175,13 @@ TEST(Explorer, ReplayReportsUnappliedOverrides) {
 class BackendSweep : public ::testing::TestWithParam<rt::Target> {};
 
 TEST_P(BackendSweep, EveryExploredScheduleIsModelValid) {
+  ExploreConfig cfg;
+  cfg.preemption_bound = 1;
+  cfg.horizon = 10;
+  const CheckSession session(cfg);
   for (const auto& test : annotatable_tests()) {
-    const LitmusCheck check(test, GetParam());
-    Explorer ex(check.runner());
-    ExploreConfig cfg;
-    cfg.preemption_bound = 1;
-    cfg.horizon = 10;
-    const auto rep = ex.explore(cfg);
+    const LitmusTarget target(test, GetParam());
+    const auto rep = session.explore(target);
     EXPECT_EQ(rep.failing, 0u)
         << test.name << " on " << rt::to_string(GetParam()) << ": schedule \""
         << to_string(rep.first_failing)
@@ -194,13 +191,15 @@ TEST_P(BackendSweep, EveryExploredScheduleIsModelValid) {
 }
 
 TEST_P(BackendSweep, ExplorationReachesDistinctTraces) {
-  const LitmusCheck check(model::litmus::fig5_mp_annotated(), GetParam());
-  Explorer ex(check.runner());
+  // fig4_exclusive races a reader and a writer for one lock: both orders
+  // are reachable within these bounds and observably different (the reader
+  // sees 0 or 42), so the happens-before quotient must count >= 2 classes.
+  const LitmusTarget target(model::litmus::fig4_exclusive(), GetParam());
   ExploreConfig cfg;
   cfg.preemption_bound = 1;
   cfg.horizon = 12;
   cfg.prune_delay = false;
-  const auto rep = ex.explore(cfg);
+  const auto rep = CheckSession(cfg).explore(target);
   EXPECT_GT(rep.distinct_traces, 1u)
       << "preemptions should produce observably different interleavings";
 }
@@ -216,26 +215,29 @@ INSTANTIATE_TEST_SUITE_P(SimTargets, BackendSweep,
 class SeededBug : public ::testing::TestWithParam<rt::Target> {};
 
 TEST_P(SeededBug, HiddenUnderDefaultScheduleFoundByExploration) {
-  LitmusCheck check = seeded_bug_check(GetParam());
-  Explorer ex(check.runner());
+  const LitmusTarget target = seeded_bug_check(GetParam());
   ExploreConfig cfg;
   cfg.preemption_bound = 2;
   cfg.horizon = 16;
+  const CheckSession session(cfg);
 
   // The fault is schedule-dependent: the default min-time schedule gives the
   // reader the lock first and sees nothing wrong.
-  EXPECT_TRUE(ex.replay({}, cfg.horizon).ok);
+  EXPECT_TRUE(session.replay(target, {}).ok);
 
-  const auto rep = ex.explore(cfg);
-  ASSERT_GT(rep.failing, 0u) << "explorer must find the seeded fault";
+  const CheckReport rep = session.check(target);
+  ASSERT_GT(rep.failing, 0u) << "session must find the seeded fault";
+  EXPECT_FALSE(rep.ok);
 
-  // The failing schedule minimizes and replays deterministically.
-  const auto minimal = ex.minimize(rep.first_failing, cfg.horizon);
-  ASSERT_FALSE(minimal.empty());
-  EXPECT_LE(minimal.size(), rep.first_failing.size());
-  const auto again = ex.replay(minimal, cfg.horizon);
+  // The failing schedule minimizes and replays deterministically. A litmus
+  // target is not shrinkable, so the minimized schedule is the repro one.
+  ASSERT_FALSE(rep.minimized_schedule.empty());
+  EXPECT_LE(rep.minimized_schedule.size(), rep.first_failing.size());
+  EXPECT_EQ(to_string(rep.minimized_schedule), to_string(rep.repro_schedule));
+  EXPECT_EQ(rep.minimized_target, nullptr);
+  const auto again = session.replay(target, rep.minimized_schedule);
   EXPECT_FALSE(again.ok);
-  EXPECT_EQ(again.message, ex.replay(minimal, cfg.horizon).message);
+  EXPECT_EQ(again.message, rep.minimized_message);
 }
 
 INSTANTIATE_TEST_SUITE_P(FaultableTargets, SeededBug,

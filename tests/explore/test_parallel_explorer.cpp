@@ -1,8 +1,9 @@
-// ParallelExplorer: totals and the canonical (lexicographically least)
-// failing schedule must be independent of the worker count, minimization
-// must be identical at any job count, and the parallel engine must agree
-// with the sequential Explorer on the same bounded space.
-#include "explore/parallel_explorer.h"
+// Engine parity through the session API: totals and the canonical
+// (lexicographically least) failing schedule must be independent of the
+// worker count, minimization must be identical at any job count, and the
+// parallel engine must agree with the sequential one on the same bounded
+// space — the CheckSession determinism contract (DESIGN.md §7/§9).
+#include "explore/check.h"
 
 #include <gtest/gtest.h>
 
@@ -11,6 +12,14 @@
 
 namespace pmc::explore {
 namespace {
+
+CheckSession session_for(const ExploreConfig& cfg, int jobs, Engine engine) {
+  SessionOptions opts;
+  opts.explore = cfg;
+  opts.jobs = jobs;
+  opts.engine = engine;
+  return CheckSession(opts);
+}
 
 TEST(LexLess, OrdersByStepThenChoiceThenLength) {
   const DecisionString empty;
@@ -26,19 +35,25 @@ TEST(LexLess, OrdersByStepThenChoiceThenLength) {
   EXPECT_FALSE(lex_less(a, a));
 }
 
-TEST(ParallelExplorer, MatchesSequentialTotalsOnCleanSweep) {
-  const LitmusCheck check(model::litmus::fig5_mp_annotated(),
-                          rt::Target::kNoCC);
+TEST(CheckSession, EngineSelectionFollowsJobs) {
+  ExploreConfig cfg;
+  EXPECT_FALSE(CheckSession(cfg, 1).parallel_engine());
+  EXPECT_TRUE(CheckSession(cfg, 2).parallel_engine());
+  EXPECT_FALSE(session_for(cfg, 8, Engine::kSequential).parallel_engine());
+  EXPECT_TRUE(session_for(cfg, 1, Engine::kParallel).parallel_engine());
+}
+
+TEST(ParallelEngine, MatchesSequentialTotalsOnCleanSweep) {
+  const LitmusTarget target(model::litmus::fig5_mp_annotated(),
+                            rt::Target::kNoCC);
   ExploreConfig cfg;
   cfg.preemption_bound = 2;
   cfg.horizon = 10;
   cfg.prune_delay = false;
-  Explorer seq(check.runner());
-  const auto s = seq.explore(cfg);
+  const auto s = session_for(cfg, 1, Engine::kSequential).explore(target);
   ASSERT_EQ(s.explored, 56u);  // Σ C(10, j), j ≤ 2 — the closed form
   for (int jobs : {1, 2, 8}) {
-    ParallelExplorer par(check.runner(), jobs);
-    const auto p = par.explore(cfg);
+    const auto p = session_for(cfg, jobs, Engine::kParallel).explore(target);
     EXPECT_EQ(p.explored, s.explored) << "jobs=" << jobs;
     EXPECT_EQ(p.pruned, s.pruned) << "jobs=" << jobs;
     EXPECT_EQ(p.distinct_traces, s.distinct_traces) << "jobs=" << jobs;
@@ -47,128 +62,88 @@ TEST(ParallelExplorer, MatchesSequentialTotalsOnCleanSweep) {
   }
 }
 
-TEST(ParallelExplorer, PruningAccountingMatchesSequential) {
-  const LitmusCheck check(model::litmus::fig5_mp_annotated(),
-                          rt::Target::kNoCC);
+TEST(ParallelEngine, PruningAccountingMatchesSequential) {
+  const LitmusTarget target(model::litmus::fig5_mp_annotated(),
+                            rt::Target::kNoCC);
   ExploreConfig cfg;
   cfg.preemption_bound = 1;  // depth 1: explored + pruned is the closed form
   cfg.horizon = 10;
   cfg.prune_delay = true;
-  Explorer seq(check.runner());
-  const auto s = seq.explore(cfg);
+  const auto s = session_for(cfg, 1, Engine::kSequential).explore(target);
   EXPECT_EQ(s.explored + s.pruned, 11u);
   for (int jobs : {2, 8}) {
-    ParallelExplorer par(check.runner(), jobs);
-    const auto p = par.explore(cfg);
+    const auto p = session_for(cfg, jobs, Engine::kParallel).explore(target);
     EXPECT_EQ(p.explored, s.explored) << "jobs=" << jobs;
     EXPECT_EQ(p.pruned, s.pruned) << "jobs=" << jobs;
   }
 }
 
-TEST(ParallelExplorer, TruncationCapsTheExploredCount) {
-  const LitmusCheck check(model::litmus::fig5_mp_annotated(),
-                          rt::Target::kNoCC);
+TEST(ParallelEngine, TruncationCapsTheExploredCount) {
+  const LitmusTarget target(model::litmus::fig5_mp_annotated(),
+                            rt::Target::kNoCC);
   ExploreConfig cfg;
   cfg.preemption_bound = 2;
   cfg.horizon = 10;
   cfg.prune_delay = false;
   cfg.max_schedules = 7;
-  ParallelExplorer par(check.runner(), 4);
-  const auto p = par.explore(cfg);
+  const auto p = session_for(cfg, 4, Engine::kParallel).explore(target);
   EXPECT_TRUE(p.truncated);
   EXPECT_EQ(p.explored, 7u);
 }
 
-// -- Seeded-bug determinism (ISSUE satellite) -------------------------------
+// -- Whole-report determinism (the CheckSession contract) --------------------
 
-struct SeededResult {
-  uint64_t explored = 0;
-  uint64_t pruned = 0;
-  uint64_t failing = 0;
-  std::string first_failing;
-  std::string minimized;
-  std::string message;
-};
-
-SeededResult run_seeded(rt::Target t, int jobs) {
-  LitmusCheck check = seeded_bug_check(t);
+TEST(CheckReport, SeededBugReportIsIdenticalAtAnyJobCount) {
+  const LitmusTarget target = seeded_bug_check(rt::Target::kDSM);
   ExploreConfig cfg;
   cfg.preemption_bound = 2;
   cfg.horizon = 16;
-  ParallelExplorer ex(check.runner(), jobs);
-  const auto rep = ex.explore(cfg);
-  SeededResult r;
-  r.explored = rep.explored;
-  r.pruned = rep.pruned;
-  r.failing = rep.failing;
-  r.first_failing = to_string(rep.first_failing);
-  const auto minimal = ex.minimize(rep.first_failing, cfg.horizon);
-  r.minimized = to_string(minimal);
-  r.message = ex.replay(minimal, cfg.horizon).message;
-  return r;
-}
-
-TEST(ParallelExplorer, SeededBugReportIsIdenticalAtAnyJobCount) {
-  const SeededResult ref = run_seeded(rt::Target::kDSM, 1);
+  const CheckReport ref =
+      session_for(cfg, 1, Engine::kParallel).check(target);
   ASSERT_GT(ref.failing, 0u);
-  ASSERT_FALSE(ref.minimized.empty());
-  ASSERT_FALSE(ref.message.empty());
+  ASSERT_FALSE(ref.minimized_schedule.empty());
+  ASSERT_FALSE(ref.minimized_message.empty());
   for (int jobs : {2, 8}) {
-    const SeededResult r = run_seeded(rt::Target::kDSM, jobs);
-    EXPECT_EQ(r.explored, ref.explored) << "jobs=" << jobs;
-    EXPECT_EQ(r.pruned, ref.pruned) << "jobs=" << jobs;
-    EXPECT_EQ(r.failing, ref.failing) << "jobs=" << jobs;
-    EXPECT_EQ(r.first_failing, ref.first_failing) << "jobs=" << jobs;
-    EXPECT_EQ(r.minimized, ref.minimized) << "jobs=" << jobs;
-    EXPECT_EQ(r.message, ref.message) << "jobs=" << jobs;
+    const CheckReport rep =
+        session_for(cfg, jobs, Engine::kParallel).check(target);
+    EXPECT_EQ(rep.to_text(), ref.to_text()) << "jobs=" << jobs;
   }
 }
 
-TEST(ParallelExplorer, SequentialAndParallelReportsAreByteIdentical) {
-  // ISSUE 4 satellite: both engines canonicalize failures to the
-  // lexicographic minimum, so the whole report — counts, failing schedule,
-  // message, minimization — is byte-identical between Explorer and
-  // ParallelExplorer at jobs ∈ {1, 2, 8} on the same space.
-  LitmusCheck check = seeded_bug_check(rt::Target::kSWCC);
+TEST(CheckReport, SequentialAndParallelReportsAreByteIdentical) {
+  // Both engines canonicalize failures to the lexicographic minimum and
+  // share the minimization pipeline, so the whole rendered report — counts,
+  // failing schedule, message, minimization — is byte-identical between the
+  // sequential and the parallel engine at jobs ∈ {1, 2, 8}.
+  const LitmusTarget target = seeded_bug_check(rt::Target::kSWCC);
   ExploreConfig cfg;
   cfg.preemption_bound = 2;
   cfg.horizon = 16;
-  Explorer seq(check.runner());
-  const auto s = seq.explore(cfg);
+  const CheckSession seq = session_for(cfg, 1, Engine::kSequential);
+  const CheckReport s = seq.check(target);
   ASSERT_GT(s.failing, 0u);
-  const auto s_min = seq.minimize(s.first_failing, cfg.horizon);
   for (int jobs : {1, 2, 8}) {
-    ParallelExplorer par(check.runner(), jobs);
-    const auto p = par.explore(cfg);
-    EXPECT_EQ(p.explored, s.explored) << "jobs=" << jobs;
-    EXPECT_EQ(p.pruned, s.pruned) << "jobs=" << jobs;
-    EXPECT_EQ(p.dpor_pruned, s.dpor_pruned) << "jobs=" << jobs;
-    EXPECT_EQ(p.failing, s.failing) << "jobs=" << jobs;
-    EXPECT_EQ(to_string(p.first_failing), to_string(s.first_failing))
-        << "jobs=" << jobs;
-    EXPECT_EQ(p.first_failing_message, s.first_failing_message)
-        << "jobs=" << jobs;
-    EXPECT_EQ(to_string(par.minimize(p.first_failing, cfg.horizon)),
-              to_string(s_min))
-        << "jobs=" << jobs;
+    const CheckReport p =
+        session_for(cfg, jobs, Engine::kParallel).check(target);
+    EXPECT_EQ(p.to_text(), s.to_text()) << "jobs=" << jobs;
   }
   // And the canonical failure really fails.
   bool applied = false;
-  EXPECT_FALSE(seq.replay(s.first_failing, cfg.horizon, &applied).ok);
+  EXPECT_FALSE(seq.replay(target, s.first_failing, &applied).ok);
   EXPECT_TRUE(applied);
 }
 
-TEST(ParallelExplorer, MinimizeAgreesWithSequentialMinimize) {
-  LitmusCheck check = seeded_bug_check(rt::Target::kSPM);
+TEST(ParallelEngine, MinimizeAgreesWithSequentialMinimize) {
+  const LitmusTarget target = seeded_bug_check(rt::Target::kSPM);
   ExploreConfig cfg;
   cfg.preemption_bound = 2;
   cfg.horizon = 16;
-  ParallelExplorer par(check.runner(), 4);
-  const auto rep = par.explore(cfg);
+  const CheckSession par = session_for(cfg, 4, Engine::kParallel);
+  const auto rep = par.explore(target);
   ASSERT_GT(rep.failing, 0u);
-  Explorer seq(check.runner());
-  EXPECT_EQ(to_string(par.minimize(rep.first_failing, cfg.horizon)),
-            to_string(seq.minimize(rep.first_failing, cfg.horizon)));
+  const CheckSession seq = session_for(cfg, 1, Engine::kSequential);
+  EXPECT_EQ(to_string(par.minimize(target, rep.first_failing)),
+            to_string(seq.minimize(target, rep.first_failing)));
 }
 
 }  // namespace

@@ -2,13 +2,14 @@
 // exclusion of both lock managers and the ordering guarantee of the
 // sense-reversing barrier must hold on every explored interleaving — raw on
 // the machine (no runtime back-end in the way) and at the Env level on all
-// four Table II back-ends.
+// four Table II back-ends. Everything goes through the CheckSession front
+// door; raw runners ride along as ScheduleRunner lambdas (DESIGN.md §9).
 #include <gtest/gtest.h>
 
 #include <memory>
 
-#include "explore/diff_check.h"
-#include "explore/parallel_explorer.h"
+#include "explore/check.h"
+#include "explore/program_gen.h"
 #include "sim/machine.h"
 #include "sync/barrier.h"
 #include "sync/locks.h"
@@ -134,13 +135,11 @@ class LockKind : public ::testing::TestWithParam<bool> {};
 
 TEST_P(LockKind, MutualExclusionHoldsOnEveryExploredSchedule) {
   const bool dist = GetParam();
-  ParallelExplorer ex(
-      [dist](ReplayPolicy& p) {
-        return run_lock_once(dist, /*locked=*/true, /*cores=*/2,
-                             /*rounds=*/2, p);
-      },
-      2);
-  const auto rep = ex.explore(sync_cfg());
+  const CheckSession session(sync_cfg(), /*jobs=*/2);
+  const auto rep = session.explore([dist](ReplayPolicy& p) {
+    return run_lock_once(dist, /*locked=*/true, /*cores=*/2,
+                         /*rounds=*/2, p);
+  });
   EXPECT_EQ(rep.failing, 0u)
       << "schedule \"" << to_string(rep.first_failing)
       << "\": " << rep.first_failing_message;
@@ -152,15 +151,13 @@ TEST_P(LockKind, OracleHasTeethWithoutTheLock) {
   // Drop the lock and the very same oracle must catch a lost update on some
   // (often every) interleaving — the explorer is not vacuously green.
   const bool dist = GetParam();
-  ParallelExplorer ex(
-      [dist](ReplayPolicy& p) {
-        return run_lock_once(dist, /*locked=*/false, /*cores=*/2,
-                             /*rounds=*/2, p);
-      },
-      2);
   ExploreConfig cfg = sync_cfg();
   cfg.horizon = 20;
-  const auto rep = ex.explore(cfg);
+  const CheckSession session(cfg, /*jobs=*/2);
+  const auto rep = session.explore([dist](ReplayPolicy& p) {
+    return run_lock_once(dist, /*locked=*/false, /*cores=*/2,
+                         /*rounds=*/2, p);
+  });
   EXPECT_GT(rep.failing, 0u)
       << "no explored schedule lost an update on the unlocked counter";
 }
@@ -172,10 +169,9 @@ INSTANTIATE_TEST_SUITE_P(Managers, LockKind, ::testing::Bool(),
                          });
 
 TEST(BarrierExplore, AllArrivedBeforeAnyoneLeavesOnEverySchedule) {
-  ParallelExplorer ex(
-      [](ReplayPolicy& p) { return run_barrier_once(3, /*rounds=*/2, p); },
-      2);
-  const auto rep = ex.explore(sync_cfg());
+  const CheckSession session(sync_cfg(), /*jobs=*/2);
+  const auto rep = session.explore(
+      [](ReplayPolicy& p) { return run_barrier_once(3, /*rounds=*/2, p); });
   EXPECT_EQ(rep.failing, 0u)
       << "schedule \"" << to_string(rep.first_failing)
       << "\": " << rep.first_failing_message;
@@ -210,12 +206,12 @@ TEST_P(BackendSync, EntryExitMutualExclusionOnEverySchedule) {
   // cores × rounds exclusive increments of one object: the closed-form
   // oracle (== cores·rounds) fails on any schedule where the back-end's
   // entry_x/exit_x (lock + Table II data movement) lets an update slip.
-  const DiffCheck dc(mutex_program(/*cores=*/2, /*rounds=*/3));
-  ParallelExplorer ex(dc.runner(GetParam()), 2);
+  const GenProgramTarget target(mutex_program(/*cores=*/2, /*rounds=*/3),
+                                GetParam());
   ExploreConfig cfg;
   cfg.preemption_bound = 1;
   cfg.horizon = 12;
-  const auto rep = ex.explore(cfg);
+  const auto rep = CheckSession(cfg, /*jobs=*/2).explore(target);
   EXPECT_EQ(rep.failing, 0u)
       << rt::to_string(GetParam()) << ": schedule \""
       << to_string(rep.first_failing) << "\": " << rep.first_failing_message;
@@ -289,12 +285,12 @@ RunOutcome run_env_barrier_once(rt::Target t, int cores,
 
 TEST_P(BackendSync, BarrierMakesPreBarrierWritesVisibleOnEverySchedule) {
   const rt::Target t = GetParam();
-  ParallelExplorer ex(
-      [t](ReplayPolicy& p) { return run_env_barrier_once(t, 2, p); }, 2);
   ExploreConfig cfg;
   cfg.preemption_bound = 1;
   cfg.horizon = 12;
-  const auto rep = ex.explore(cfg);
+  const CheckSession session(cfg, /*jobs=*/2);
+  const auto rep = session.explore(
+      [t](ReplayPolicy& p) { return run_env_barrier_once(t, 2, p); });
   EXPECT_EQ(rep.failing, 0u)
       << rt::to_string(t) << ": schedule \"" << to_string(rep.first_failing)
       << "\": " << rep.first_failing_message;
