@@ -5,8 +5,11 @@
 // on every simulated back-end under a fixed preemption bound and horizon,
 // reporting schedules/second and the pruning ratio, plus how many schedules
 // the seeded-bug mode needs before the injected missing-flush fault is
-// found. Every schedule is a full program re-execution (stateless model
-// checking), so schedules/sec tracks the whole sim+runtime+validator stack.
+// found. Under --engine-state=replay every schedule is a full program
+// re-execution, so schedules/sec tracks the whole sim+runtime+validator
+// stack; under the default snapshot engine schedules fork from machine
+// snapshots (DESIGN.md §10) and the stateful section below reports the
+// speedup that buys at a deep horizon.
 // The scaling section re-runs the fig4_exclusive sweep (all four back-ends)
 // at --jobs ∈ {1, 2, 4, …} up to --jobs, checking that the totals stay
 // bit-identical while the wall clock drops. The DPOR section measures the
@@ -15,7 +18,9 @@
 // The apps section measures the apps-layer workload (MFifo + TaskCounter on
 // every back-end, reduced search) as `apps_schedules_per_sec`.
 //
-//   bench_explore [--preemptions=N] [--horizon=H] [--jobs=N] [--json[=PATH]]
+//   bench_explore [--preemptions=N] [--horizon=H] [--jobs=N]
+//                 [--engine-state=replay|snapshot] [--json[=PATH]]
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -23,6 +28,7 @@
 #include "explore/check.h"
 #include "explore/litmus_driver.h"
 #include "model/litmus_library.h"
+#include "sim/scheduler.h"
 
 using namespace pmc;
 
@@ -42,15 +48,30 @@ int main(int argc, char** argv) {
   cfg.horizon =
       static_cast<uint64_t>(bench::flag_int(argc, argv, "horizon", 20));
 
+  explore::SessionOptions sopts;
+  sopts.explore = cfg;
+  if (const char* es = bench::flag_str(argc, argv, "engine-state", nullptr)) {
+    const auto state = explore::engine_state_from_string(es);
+    if (!state) {
+      std::fprintf(stderr,
+                   "unknown --engine-state '%s' (want replay|snapshot)\n", es);
+      return 2;
+    }
+    sopts.engine_state = *state;
+  }
+
   bench::JsonReport json("explore");
   json.add("preemptions", cfg.preemption_bound);
   json.add("horizon", cfg.horizon);
+  json.add("engine_state",
+           std::string(explore::to_string(sopts.engine_state)));
 
   std::printf("schedule exploration throughput (fig5_mp_annotated, "
-              "preemptions<=%d, horizon=%llu)\n\n",
+              "preemptions<=%d, horizon=%llu, engine-state=%s)\n\n",
               cfg.preemption_bound,
-              static_cast<unsigned long long>(cfg.horizon));
-  const explore::CheckSession session(cfg);
+              static_cast<unsigned long long>(cfg.horizon),
+              explore::to_string(sopts.engine_state));
+  const explore::CheckSession session(sopts);
   util::Table table;
   table.add_row({"back-end", "explored", "pruned", "prune", "sched/s"});
   uint64_t total_explored = 0;
@@ -108,11 +129,10 @@ int main(int argc, char** argv) {
   int measured_jobs = 1;  // the curve doubles, so record what actually ran
   for (int jobs = 1; jobs <= max_jobs; jobs *= 2) {
     measured_jobs = jobs;
-    explore::SessionOptions sopts;
-    sopts.explore = cfg;
-    sopts.jobs = jobs;
-    sopts.engine = explore::Engine::kParallel;
-    const explore::CheckSession scaled(sopts);
+    explore::SessionOptions popts = sopts;
+    popts.jobs = jobs;
+    popts.engine = explore::Engine::kParallel;
+    const explore::CheckSession scaled(popts);
     uint64_t explored = 0;
     const auto t0 = std::chrono::steady_clock::now();
     for (rt::Target t : rt::sim_targets()) {
@@ -165,9 +185,9 @@ int main(int argc, char** argv) {
   const explore::DporMode modes[2] = {explore::DporMode::kOff,
                                       explore::DporMode::kSleepSet};
   for (int i = 0; i < 2; ++i) {
-    explore::ExploreConfig dcfg = cfg;
-    dcfg.dpor = modes[i];
-    const explore::CheckSession dpor_session(dcfg);
+    explore::SessionOptions dopts = sopts;
+    dopts.explore.dpor = modes[i];
+    const explore::CheckSession dpor_session(dopts);
     for (rt::Target t : rt::sim_targets()) {
       for (const auto& test : explore::annotatable_tests()) {
         const explore::LitmusTarget target(test, t);
@@ -214,6 +234,87 @@ int main(int argc, char** argv) {
                : static_cast<double>(dpor_explored[0]) /
                      static_cast<double>(dpor_explored[1]));
 
+  // Stateful exploration: replay vs snapshot engine over the annotatable
+  // suite at a deep horizon (snapshots amortize best when the pre-branch
+  // prefix being skipped is long — DESIGN.md §10). Both engines walk the
+  // identical schedule tree, so equal explored totals double as a cheap
+  // soundness check; only the wall clock may differ.
+  {
+    explore::ExploreConfig scfg = cfg;
+    scfg.horizon = std::max<uint64_t>(cfg.horizon, 24);
+    // DPOR off: the reduction shrinks the tree to a handful of schedules
+    // per target, leaving nothing for snapshots to amortize over — the
+    // speedup is a per-schedule-cost property, so measure it on the full
+    // bounded tree.
+    scfg.dpor = explore::DporMode::kOff;
+    std::printf("stateful exploration (annotatable suite, all back-ends, "
+                "horizon=%llu, dpor=off)\n\n",
+                static_cast<unsigned long long>(scfg.horizon));
+    if (!sim::Scheduler::fibers_supported()) {
+      std::printf("note: fibers unavailable in this build — the snapshot "
+                  "engine falls back to replay, expect ~1.0x\n\n");
+    }
+    const explore::EngineState states[2] = {explore::EngineState::kReplay,
+                                            explore::EngineState::kSnapshot};
+    double rates[2] = {0, 0};
+    uint64_t totals[2] = {0, 0};
+    uint64_t pool_hits = 0;
+    uint64_t snapshots_taken = 0;
+    // Target construction enumerates the model-level allowed outcomes —
+    // engine-independent oracle work that would dilute both rates equally;
+    // build the targets once, outside the timed region.
+    std::vector<explore::LitmusTarget> suite_targets;
+    for (rt::Target t : rt::sim_targets()) {
+      for (const auto& test : explore::annotatable_tests()) {
+        suite_targets.emplace_back(test, t);
+      }
+    }
+    util::Table stateful;
+    stateful.add_row({"engine", "explored", "sched/s", "snapshots", "hits"});
+    for (int i = 0; i < 2; ++i) {
+      explore::SessionOptions eopts;
+      eopts.explore = scfg;
+      eopts.engine_state = states[i];
+      const explore::CheckSession engine_session(eopts);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (const explore::LitmusTarget& target : suite_targets) {
+        const auto rep = engine_session.explore(target);
+        if (rep.failing != 0) {
+          std::fprintf(stderr, "!! %s engine=%s: %llu model-invalid "
+                       "schedule(s)\n",
+                       target.name().c_str(), explore::to_string(states[i]),
+                       static_cast<unsigned long long>(rep.failing));
+          return 1;
+        }
+        totals[i] += rep.explored;
+        if (i == 1) {
+          pool_hits += rep.snapshot_hits;
+          snapshots_taken += rep.snapshots_taken;
+        }
+      }
+      const double secs = seconds_since(t0);
+      rates[i] = secs > 0 ? static_cast<double>(totals[i]) / secs : 0.0;
+      stateful.add_row({explore::to_string(states[i]),
+                        bench::fmt_u64(totals[i]),
+                        bench::fmt_u64(static_cast<uint64_t>(rates[i])),
+                        bench::fmt_u64(i == 1 ? snapshots_taken : 0),
+                        bench::fmt_u64(i == 1 ? pool_hits : 0)});
+    }
+    if (totals[0] != totals[1]) {
+      std::fprintf(stderr,
+                   "!! engines explored different totals (%llu vs %llu) — "
+                   "the snapshot engine diverged from replay\n",
+                   static_cast<unsigned long long>(totals[0]),
+                   static_cast<unsigned long long>(totals[1]));
+      return 1;
+    }
+    std::printf("%s\n", stateful.render().c_str());
+    json.add("stateful_schedules_per_sec", rates[1]);
+    json.add("stateful_speedup", rates[0] > 0 ? rates[1] / rates[0] : 0.0);
+    json.add("snapshot_pool_hits", pool_hits);
+    json.add("snapshots_taken", snapshots_taken);
+  }
+
   // Apps-layer workload (ROADMAP): MFifo + TaskCounter on every back-end
   // through the session, reduced search. App schedules re-execute a whole
   // kernel (locks, polls, payload copies), so this rate is the end-to-end
@@ -223,6 +324,7 @@ int main(int argc, char** argv) {
     aopts.explore.preemption_bound = 1;
     aopts.explore.horizon = 14;
     aopts.explore.dpor = explore::DporMode::kSleepSet;
+    aopts.engine_state = sopts.engine_state;
     const explore::CheckSession apps_session(aopts);
     std::printf("apps-layer model checking (mfifo + taskcounter, "
                 "dpor=sleepset)\n\n");

@@ -13,6 +13,7 @@
 //   explore_litmus --backend=dsm --test=fig4_exclusive --replay=3:1,4:1
 //   explore_litmus --app=mfifo --backend=all --dpor=sleepset
 //   explore_litmus --app=all --seed-bug --dpor=sleepset
+//   explore_litmus --engine-state=replay --backend=swcc  # stateless cross-check
 //   explore_litmus --fuzz=8 --jobs=2 --json
 //   explore_litmus --fuzz-seed=3 --backend=swcc --replay=2:1
 //   explore_litmus --outcomes          # model-level reachable-outcome table
@@ -75,6 +76,22 @@ explore::DporMode parse_dpor(int argc, char** argv) {
   }
   return flag_set(argc, argv, "dpor") ? explore::DporMode::kSleepSet
                                       : explore::DporMode::kOff;
+}
+
+/// --engine-state=replay|snapshot selects how schedules execute: full
+/// re-execution from a fresh program (replay) or forking from machine
+/// snapshots (snapshot, the default — DESIGN.md §10). Reports are
+/// byte-identical either way; only the wall clock differs.
+explore::EngineState parse_engine_state(int argc, char** argv) {
+  const char* arg = flag_str(argc, argv, "engine-state", nullptr);
+  if (arg == nullptr) return explore::SessionOptions{}.engine_state;
+  const auto state = explore::engine_state_from_string(arg);
+  if (!state) {
+    std::fprintf(stderr, "unknown --engine-state '%s' (want replay|snapshot)\n",
+                 arg);
+    std::exit(2);
+  }
+  return *state;
 }
 
 /// Shape for --fuzz/--fuzz-seed: canonical per-seed shape, with optional
@@ -239,8 +256,10 @@ int run_apps(const std::vector<explore::AppKind>& kinds,
 
 int run_fuzz(uint64_t base_seed, uint64_t count, bool seed_bug,
              const std::vector<rt::Target>& backends,
-             const explore::ExploreConfig& cfg, int jobs, int argc,
-             char** argv, bench::JsonReport& json) {
+             const explore::SessionOptions& sopts, int argc, char** argv,
+             bench::JsonReport& json) {
+  const explore::ExploreConfig& cfg = sopts.explore;
+  const int jobs = sopts.jobs;
   const rt::FaultInjection faults =
       seed_bug ? explore::all_seeded_faults() : rt::FaultInjection{};
   std::printf("differential fuzzing: %llu program(s) from seed %llu, "
@@ -260,7 +279,7 @@ int run_fuzz(uint64_t base_seed, uint64_t count, bool seed_bug,
     const explore::GenProgram prog =
         explore::generate_program(fuzz_shape(s, argc, argv));
     const explore::DiffCheck dc(prog, faults);
-    const explore::DiffReport rep = dc.check(cfg, jobs, backends);
+    const explore::DiffReport rep = dc.check(sopts, backends);
     total_explored += rep.explored;
     total_pruned += rep.pruned;
     table.add_row({std::to_string(s), std::to_string(prog.shape.cores),
@@ -391,6 +410,12 @@ int main(int argc, char** argv) {
   cfg.prune_delay = !flag_set(argc, argv, "no-prune");
   cfg.dpor = parse_dpor(argc, argv);
   sopts.jobs = static_cast<int>(flag_int(argc, argv, "jobs", 1));
+  sopts.engine_state = parse_engine_state(argc, argv);
+  sopts.snapshot_stride = static_cast<uint64_t>(flag_int(
+      argc, argv, "snapshot-stride",
+      static_cast<int64_t>(sopts.snapshot_stride)));
+  sopts.snapshot_pool = static_cast<size_t>(flag_int(
+      argc, argv, "snapshot-pool", static_cast<int64_t>(sopts.snapshot_pool)));
   const int jobs = sopts.jobs;
   const auto backends = parse_backends(flag_str(argc, argv, "backend", nullptr));
   const char* test_filter = flag_str(argc, argv, "test", nullptr);
@@ -402,6 +427,8 @@ int main(int argc, char** argv) {
   bench::JsonReport json("explore_litmus");
   json.add("jobs", jobs);
   json.add("dpor", std::string(explore::to_string(cfg.dpor)));
+  json.add("engine_state",
+           std::string(explore::to_string(sopts.engine_state)));
 
   // -- Apps-layer mode --------------------------------------------------------
   if (app != nullptr) {
@@ -440,18 +467,19 @@ int main(int argc, char** argv) {
   }
   if (fuzz_count > 0 || fuzz_seed >= 0) {
     // Fuzz defaults trade horizon for program count; explicit flags win.
-    explore::ExploreConfig fcfg = cfg;
-    fcfg.preemption_bound =
+    explore::SessionOptions fopts = sopts;
+    fopts.explore.preemption_bound =
         static_cast<int>(flag_int(argc, argv, "preemptions", 1));
-    fcfg.horizon = static_cast<uint64_t>(flag_int(argc, argv, "horizon", 10));
+    fopts.explore.horizon =
+        static_cast<uint64_t>(flag_int(argc, argv, "horizon", 10));
     const uint64_t base =
         fuzz_seed >= 0 ? static_cast<uint64_t>(fuzz_seed) : 0;
     const uint64_t count =
         fuzz_count > 0 ? static_cast<uint64_t>(fuzz_count) : 1;
-    json.add("preemptions", fcfg.preemption_bound);
-    json.add("horizon", fcfg.horizon);
+    json.add("preemptions", fopts.explore.preemption_bound);
+    json.add("horizon", fopts.explore.horizon);
     const int rc = run_fuzz(base, count, flag_set(argc, argv, "seed-bug"),
-                            backends, fcfg, jobs, argc, argv, json);
+                            backends, fopts, argc, argv, json);
     return json.maybe_write(argc, argv) ? rc : 1;
   }
 

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <exception>
+#include <mutex>
 #include <unordered_map>
 
 #include "apps/mfifo.h"
 #include "apps/task_queue.h"
 #include "explore/litmus_driver.h"
 #include "explore/parallel_explorer.h"
+#include "explore/stateful.h"
 #include "util/check.h"
 #include "util/hash.h"
 
@@ -102,6 +104,29 @@ uint64_t hb_trace_hash(const std::vector<model::TraceEvent>& trace) {
   return util::hash_combine(util::kFnvOffset, sum);
 }
 
+// -- Stateful decomposition --------------------------------------------------
+
+RunOutcome run_spec_once(const StatefulSpec& spec, ReplayPolicy& policy) {
+  RunOutcome out;
+  try {
+    rt::ProgramOptions opts = spec.opts;
+    opts.schedule_policy = &policy;
+    rt::Program prog(opts);
+    spec.setup(prog);
+    prog.run(spec.body);
+    spec.judge(prog, out);
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.message = e.what();
+  }
+  return out;
+}
+
+StatefulSpec CheckTarget::make_spec() const {
+  PMC_CHECK_MSG(false, name() << " is not stateful_capable");
+  return {};
+}
+
 // -- LitmusTarget ------------------------------------------------------------
 
 namespace {
@@ -136,108 +161,126 @@ std::string LitmusTarget::name() const {
 }
 
 RunOutcome LitmusTarget::run(ReplayPolicy& policy) const {
-  using Kind = model::LitmusOp::Kind;
-  RunOutcome out;
-  try {
-    rt::ProgramOptions opts;
-    opts.target = target_;
-    opts.cores = static_cast<int>(test_.threads.size());
-    opts.machine = sim::MachineConfig::ml605(opts.cores);
-    opts.machine.lm_bytes = 32 * 1024;
-    opts.machine.sdram_bytes = 256 * 1024;
-    opts.machine.max_cycles = UINT64_C(50'000'000);
-    opts.lock_capacity = 16;
-    opts.validate = true;
-    opts.faults = faults_;
-    opts.policy.dsm_eager_release = has_poll_;
-    opts.schedule_policy = &policy;
-    rt::Program prog(opts);
+  return run_spec_once(make_spec(), policy);
+}
 
+StatefulSpec LitmusTarget::make_spec() const {
+  using Kind = model::LitmusOp::Kind;
+  StatefulSpec spec;
+  spec.opts.target = target_;
+  spec.opts.cores = static_cast<int>(test_.threads.size());
+  spec.opts.machine = sim::MachineConfig::ml605(spec.opts.cores);
+  spec.opts.machine.lm_bytes = 32 * 1024;
+  spec.opts.machine.sdram_bytes = 256 * 1024;
+  spec.opts.machine.max_cycles = UINT64_C(50'000'000);
+  spec.opts.lock_capacity = 16;
+  spec.opts.validate = true;
+  spec.opts.faults = faults_;
+  spec.opts.policy.dsm_eager_release = has_poll_;
+
+  // Run-mutable oracle state lives on the heap, shared by the phase
+  // lambdas: a run()-frame local would be gone by the first resume.
+  struct State {
     std::vector<rt::ObjId> objs;
+    std::vector<uint64_t> regs;
+  };
+  auto st = std::make_shared<State>();
+
+  spec.setup = [this, st](rt::Program& prog) {
+    st->objs.clear();  // idempotent: the executor may rebuild the Program
     for (int v = 0; v < test_.num_locs; ++v) {
       const uint32_t init =
           v < static_cast<int>(test_.initial.size())
               ? static_cast<uint32_t>(test_.initial[static_cast<size_t>(v)])
               : 0;
-      objs.push_back(prog.create_typed<uint32_t>(
+      st->objs.push_back(prog.create_typed<uint32_t>(
           init, rt::Placement::kReplicated, "v" + std::to_string(v)));
     }
-    std::vector<uint64_t> regs(static_cast<size_t>(test_.num_regs), 0);
+    st->regs.assign(static_cast<size_t>(test_.num_regs), 0);
+    if (prog.machine()->snapshots_enabled() && !st->regs.empty()) {
+      prog.machine()->register_state(st->regs.data(),
+                                     st->regs.size() * sizeof(uint64_t));
+    }
+  };
 
-    prog.run([&](rt::Env& env) {
-      const auto& ops = test_.threads[static_cast<size_t>(env.id())].ops;
-      std::vector<model::LocId> open;
-      auto is_open = [&](model::LocId v) {
-        return std::find(open.begin(), open.end(), v) != open.end();
-      };
-      for (const auto& op : ops) {
-        const rt::ObjId obj =
-            op.loc >= 0 ? objs[static_cast<size_t>(op.loc)] : -1;
-        switch (op.kind) {
-          case Kind::kAcquire:
-            env.entry_x(obj);
-            open.push_back(op.loc);
-            break;
-          case Kind::kRelease:
-            env.exit_x(obj);
-            open.pop_back();
-            break;
-          case Kind::kStore:
-            env.st<uint32_t>(obj, 0, static_cast<uint32_t>(op.value));
-            break;
-          case Kind::kLoad: {
-            uint32_t v;
-            if (is_open(op.loc)) {
-              v = env.ld<uint32_t>(obj);
-            } else {
-              env.entry_ro(obj);
-              v = env.ld<uint32_t>(obj);
-              env.exit_ro(obj);
-            }
-            if (op.reg >= 0) regs[static_cast<size_t>(op.reg)] = v;
-            break;
-          }
-          case Kind::kLoadUntil: {
-            uint32_t v;
-            do {
-              env.entry_ro(obj);
-              v = env.ld<uint32_t>(obj);
-              env.exit_ro(obj);
-            } while (v != static_cast<uint32_t>(op.value));
-            break;
-          }
-          case Kind::kFence:
-            env.fence();
-            break;
-        }
+  spec.body = [this, st](rt::Env& env) {
+    const auto& ops = test_.threads[static_cast<size_t>(env.id())].ops;
+    // This frame lives on a checkpointable fiber stack: locals alive across
+    // runtime calls must be trivially copyable (SimEnv bounds open-section
+    // nesting to kMaxOpen before anything could be pushed past it).
+    model::LocId open[rt::SimEnv::kMaxOpen];
+    int num_open = 0;
+    auto is_open = [&](model::LocId v) {
+      for (int i = 0; i < num_open; ++i) {
+        if (open[i] == v) return true;
       }
-    });
+      return false;
+    };
+    for (const auto& op : ops) {
+      const rt::ObjId obj =
+          op.loc >= 0 ? st->objs[static_cast<size_t>(op.loc)] : -1;
+      switch (op.kind) {
+        case Kind::kAcquire:
+          env.entry_x(obj);
+          open[num_open++] = op.loc;
+          break;
+        case Kind::kRelease:
+          env.exit_x(obj);
+          --num_open;
+          break;
+        case Kind::kStore:
+          env.st<uint32_t>(obj, 0, static_cast<uint32_t>(op.value));
+          break;
+        case Kind::kLoad: {
+          uint32_t v;
+          if (is_open(op.loc)) {
+            v = env.ld<uint32_t>(obj);
+          } else {
+            env.entry_ro(obj);
+            v = env.ld<uint32_t>(obj);
+            env.exit_ro(obj);
+          }
+          if (op.reg >= 0) st->regs[static_cast<size_t>(op.reg)] = v;
+          break;
+        }
+        case Kind::kLoadUntil: {
+          uint32_t v;
+          do {
+            env.entry_ro(obj);
+            v = env.ld<uint32_t>(obj);
+            env.exit_ro(obj);
+          } while (v != static_cast<uint32_t>(op.value));
+          break;
+        }
+        case Kind::kFence:
+          env.fence();
+          break;
+      }
+    }
+  };
 
+  spec.judge = [this, st](rt::Program& prog, RunOutcome& out) {
     uint64_t h = hb_trace_hash(prog.trace());
-    for (const uint64_t r : regs) h = util::hash_combine(h, r);
+    for (const uint64_t r : st->regs) h = util::hash_combine(h, r);
     out.trace_hash = h;
 
     if (!prog.validator()->ok()) {
       out.ok = false;
       out.message = "Definition 12 violation: " +
                     prog.validator()->first_violation();
-      return out;
+      return;
     }
-    if (allowed_.find(regs) == allowed_.end()) {
+    if (allowed_.find(st->regs) == allowed_.end()) {
       out.ok = false;
       out.message = "outcome {";
-      for (size_t i = 0; i < regs.size(); ++i) {
+      for (size_t i = 0; i < st->regs.size(); ++i) {
         if (i) out.message += ',';
-        out.message += std::to_string(regs[i]);
+        out.message += std::to_string(st->regs[i]);
       }
       out.message += "} is not reachable in the model";
-      return out;
     }
-  } catch (const std::exception& e) {
-    out.ok = false;
-    out.message = e.what();
-  }
-  return out;
+  };
+  return spec;
 }
 
 // -- GenProgramTarget --------------------------------------------------------
@@ -257,32 +300,44 @@ std::string GenProgramTarget::name() const {
 }
 
 RunOutcome GenProgramTarget::run(ReplayPolicy& policy) const {
-  RunOutcome out;
-  try {
-    rt::ProgramOptions opts;
-    opts.target = target_;
-    opts.cores = prog_.shape.cores;
-    opts.machine = sim::MachineConfig::ml605(opts.cores);
-    opts.machine.lm_bytes = 32 * 1024;
-    opts.machine.sdram_bytes = 512 * 1024;
-    opts.machine.max_cycles = UINT64_C(100'000'000);
-    opts.lock_capacity = 64;
-    opts.validate = true;
-    opts.faults = faults_;
-    opts.schedule_policy = &policy;
-    rt::Program p(opts);
+  return run_spec_once(make_spec(), policy);
+}
 
+StatefulSpec GenProgramTarget::make_spec() const {
+  StatefulSpec spec;
+  spec.opts.target = target_;
+  spec.opts.cores = prog_.shape.cores;
+  spec.opts.machine = sim::MachineConfig::ml605(spec.opts.cores);
+  spec.opts.machine.lm_bytes = 32 * 1024;
+  spec.opts.machine.sdram_bytes = 512 * 1024;
+  spec.opts.machine.max_cycles = UINT64_C(100'000'000);
+  spec.opts.lock_capacity = 64;
+  spec.opts.validate = true;
+  spec.opts.faults = faults_;
+
+  struct State {
     std::vector<rt::ObjId> objs;
-    for (int i = 0; i < prog_.shape.objects; ++i) {
-      objs.push_back(p.create_typed<uint32_t>(GenProgram::initial_value(i),
-                                              rt::Placement::kReplicated,
-                                              "fuzz" + std::to_string(i)));
-    }
-    p.run([&](rt::Env& env) { run_ops(prog_, env, objs); });
+  };
+  auto st = std::make_shared<State>();
 
+  spec.setup = [this, st](rt::Program& p) {
+    st->objs.clear();  // idempotent: the executor may rebuild the Program
+    for (int i = 0; i < prog_.shape.objects; ++i) {
+      st->objs.push_back(p.create_typed<uint32_t>(
+          GenProgram::initial_value(i), rt::Placement::kReplicated,
+          "fuzz" + std::to_string(i)));
+    }
+    // The objs list is the only host-side state; run_ops never mutates it,
+    // so there is nothing to register with the snapshot contract.
+  };
+
+  spec.body = [this, st](rt::Env& env) { run_ops(prog_, env, st->objs); };
+
+  spec.judge = [this, st](rt::Program& p, RunOutcome& out) {
     uint64_t h = hb_trace_hash(p.trace());
     for (int i = 0; i < prog_.shape.objects; ++i) {
-      h = util::hash_combine(h, p.result<uint32_t>(objs[static_cast<size_t>(i)]));
+      h = util::hash_combine(h,
+                             p.result<uint32_t>(st->objs[static_cast<size_t>(i)]));
     }
     out.trace_hash = h;
 
@@ -290,10 +345,10 @@ RunOutcome GenProgramTarget::run(ReplayPolicy& policy) const {
       out.ok = false;
       out.message =
           "Definition 12 violation: " + p.validator()->first_violation();
-      return out;
+      return;
     }
     for (int i = 0; i < prog_.shape.objects; ++i) {
-      const uint32_t got = p.result<uint32_t>(objs[static_cast<size_t>(i)]);
+      const uint32_t got = p.result<uint32_t>(st->objs[static_cast<size_t>(i)]);
       const uint32_t want = prog_.expected_final(i);
       if (got != want) {
         out.ok = false;
@@ -301,14 +356,11 @@ RunOutcome GenProgramTarget::run(ReplayPolicy& policy) const {
                       std::string(rt::to_string(target_)) + ": object x" +
                       std::to_string(i) + " is " + std::to_string(got) +
                       ", every back-end must reach " + std::to_string(want);
-        return out;
+        return;
       }
     }
-  } catch (const std::exception& e) {
-    out.ok = false;
-    out.message = e.what();
-  }
-  return out;
+  };
+  return spec;
 }
 
 size_t GenProgramTarget::shrink_count() const { return prog_.ops(); }
@@ -376,37 +428,62 @@ std::string MFifoTarget::name() const {
 }
 
 RunOutcome MFifoTarget::run(ReplayPolicy& policy) const {
-  RunOutcome out;
-  try {
-    rt::ProgramOptions opts =
-        app_options(target_, 1 + shape_.readers, faults_, &policy);
-    // push() and pop() both poll pointers; like every polling litmus test,
-    // DSM must release eagerly or the unsynchronized poll spins forever.
-    opts.policy.dsm_eager_release = true;
-    rt::Program prog(opts);
-    apps::MFifo fifo(prog, /*elem_bytes=*/4, shape_.depth, shape_.readers);
-    std::vector<std::vector<uint32_t>> got(
-        static_cast<size_t>(shape_.readers));
-    prog.run([&](rt::Env& env) {
-      if (env.id() == 0) {
-        for (uint32_t i = 0; i < shape_.items; ++i) {
-          const uint32_t v = 100u + i;
-          fifo.push(env, &v);
-        }
-      } else {
-        const int me = env.id() - 1;
-        auto& mine = got[static_cast<size_t>(me)];
-        for (uint32_t i = 0; i < shape_.items; ++i) {
-          uint32_t v = 0;
-          fifo.pop(env, me, &v);
-          mine.push_back(v);
-        }
-      }
-    });
+  return run_spec_once(make_spec(), policy);
+}
 
+StatefulSpec MFifoTarget::make_spec() const {
+  StatefulSpec spec;
+  spec.opts = app_options(target_, 1 + shape_.readers, faults_,
+                          /*policy=*/nullptr);
+  // push() and pop() both poll pointers; like every polling litmus test,
+  // DSM must release eagerly or the unsynchronized poll spins forever.
+  spec.opts.policy.dsm_eager_release = true;
+
+  struct State {
+    std::optional<apps::MFifo> fifo;
+    // Flat readers × items element log plus per-reader counts: the body
+    // mutates these mid-run, so they join the snapshot contract — which
+    // requires fixed, registrable storage, not ragged push_back vectors.
+    std::vector<uint32_t> got;
+    std::vector<uint32_t> counts;
+  };
+  auto st = std::make_shared<State>();
+
+  spec.setup = [this, st](rt::Program& prog) {
+    st->fifo.emplace(prog, /*elem_bytes=*/4, shape_.depth, shape_.readers);
+    st->got.assign(static_cast<size_t>(shape_.readers) * shape_.items, 0);
+    st->counts.assign(static_cast<size_t>(shape_.readers), 0);
+    if (prog.machine()->snapshots_enabled()) {
+      prog.machine()->register_state(st->got.data(),
+                                     st->got.size() * sizeof(uint32_t));
+      prog.machine()->register_state(st->counts.data(),
+                                     st->counts.size() * sizeof(uint32_t));
+    }
+  };
+
+  spec.body = [this, st](rt::Env& env) {
+    if (env.id() == 0) {
+      for (uint32_t i = 0; i < shape_.items; ++i) {
+        const uint32_t v = 100u + i;
+        st->fifo->push(env, &v);
+      }
+    } else {
+      const size_t me = static_cast<size_t>(env.id() - 1);
+      for (uint32_t i = 0; i < shape_.items; ++i) {
+        uint32_t v = 0;
+        st->fifo->pop(env, env.id() - 1, &v);
+        st->got[me * shape_.items + st->counts[me]++] = v;
+      }
+    }
+  };
+
+  spec.judge = [this, st](rt::Program& prog, RunOutcome& out) {
     uint64_t h = hb_trace_hash(prog.trace());
-    for (const auto& r : got) {
-      for (const uint32_t v : r) h = util::hash_combine(h, v);
+    for (int r = 0; r < shape_.readers; ++r) {
+      const size_t base = static_cast<size_t>(r) * shape_.items;
+      for (uint32_t i = 0; i < st->counts[static_cast<size_t>(r)]; ++i) {
+        h = util::hash_combine(h, st->got[base + i]);
+      }
     }
     out.trace_hash = h;
 
@@ -414,29 +491,28 @@ RunOutcome MFifoTarget::run(ReplayPolicy& policy) const {
       out.ok = false;
       out.message = "Definition 12 violation: " +
                     prog.validator()->first_violation();
-      return out;
+      return;
     }
     // Broadcast delivery: every reader received every element, in push
     // order (a single writer makes the global slot order the push order).
+    // A completed run pops exactly `items` elements per reader.
     for (int r = 0; r < shape_.readers; ++r) {
-      const auto& mine = got[static_cast<size_t>(r)];
+      const size_t base = static_cast<size_t>(r) * shape_.items;
       for (uint32_t i = 0; i < shape_.items; ++i) {
-        if (mine[i] != 100u + i) {
+        if (st->got[base + i] != 100u + i) {
           out.ok = false;
           out.message = "broadcast violation on " +
                         std::string(rt::to_string(target_)) + ": reader " +
-                        std::to_string(r) + " got " + std::to_string(mine[i]) +
-                        " as element " + std::to_string(i) + ", expected " +
+                        std::to_string(r) + " got " +
+                        std::to_string(st->got[base + i]) + " as element " +
+                        std::to_string(i) + ", expected " +
                         std::to_string(100u + i);
-          return out;
+          return;
         }
       }
     }
-  } catch (const std::exception& e) {
-    out.ok = false;
-    out.message = e.what();
-  }
-  return out;
+  };
+  return spec;
 }
 
 TaskCounterTarget::TaskCounterTarget(rt::Target target, TaskCounterShape shape,
@@ -453,29 +529,60 @@ std::string TaskCounterTarget::name() const {
 }
 
 RunOutcome TaskCounterTarget::run(ReplayPolicy& policy) const {
-  using Chunk = apps::TaskCounter::Chunk;
-  RunOutcome out;
-  try {
-    rt::ProgramOptions opts =
-        app_options(target_, shape_.cores, faults_, &policy);
-    rt::Program prog(opts);
-    apps::TaskCounter counter;
-    counter.create(prog);
-    std::vector<std::vector<Chunk>> got(static_cast<size_t>(shape_.cores));
-    prog.run([&](rt::Env& env) {
-      auto& mine = got[static_cast<size_t>(env.id())];
-      for (;;) {
-        const Chunk c = counter.grab(env, shape_.total, shape_.chunk);
-        if (c.empty()) break;
-        mine.push_back(c);
-      }
-    });
+  return run_spec_once(make_spec(), policy);
+}
 
+StatefulSpec TaskCounterTarget::make_spec() const {
+  using Chunk = apps::TaskCounter::Chunk;
+  StatefulSpec spec;
+  spec.opts = app_options(target_, shape_.cores, faults_, /*policy=*/nullptr);
+
+  // The chunk log joins the snapshot contract (the body fills it mid-run),
+  // so it must be fixed-size. A correct execution grabs at most `total`
+  // non-empty chunks per core; a fault-injected counter can briefly regress
+  // and hand out more, so leave slack — past it the run is reported as a
+  // failing outcome rather than silently dropping chunks.
+  const uint32_t cap = shape_.total + 16;
+
+  struct State {
+    apps::TaskCounter counter;
+    std::vector<Chunk> chunks;     // flat cores × cap grab log
+    std::vector<uint32_t> counts;  // per-core chunks grabbed
+  };
+  auto st = std::make_shared<State>();
+
+  spec.setup = [this, st, cap](rt::Program& prog) {
+    st->counter.create(prog);
+    st->chunks.assign(static_cast<size_t>(shape_.cores) * cap, Chunk{});
+    st->counts.assign(static_cast<size_t>(shape_.cores), 0);
+    if (prog.machine()->snapshots_enabled()) {
+      prog.machine()->register_state(st->chunks.data(),
+                                     st->chunks.size() * sizeof(Chunk));
+      prog.machine()->register_state(st->counts.data(),
+                                     st->counts.size() * sizeof(uint32_t));
+    }
+  };
+
+  spec.body = [this, st, cap](rt::Env& env) {
+    const size_t me = static_cast<size_t>(env.id());
+    for (;;) {
+      const Chunk c = st->counter.grab(env, shape_.total, shape_.chunk);
+      if (c.empty()) break;
+      PMC_CHECK_MSG(st->counts[me] < cap,
+                    "task counter ran away: core "
+                        << env.id() << " grabbed more than " << cap
+                        << " chunks of [0," << shape_.total << ")");
+      st->chunks[me * cap + st->counts[me]++] = c;
+    }
+  };
+
+  spec.judge = [this, st, cap](rt::Program& prog, RunOutcome& out) {
     uint64_t h = hb_trace_hash(prog.trace());
-    for (const auto& core : got) {
-      for (const Chunk& c : core) {
-        h = util::hash_combine(h, c.begin);
-        h = util::hash_combine(h, c.end);
+    for (int core = 0; core < shape_.cores; ++core) {
+      const size_t base = static_cast<size_t>(core) * cap;
+      for (uint32_t i = 0; i < st->counts[static_cast<size_t>(core)]; ++i) {
+        h = util::hash_combine(h, st->chunks[base + i].begin);
+        h = util::hash_combine(h, st->chunks[base + i].end);
       }
     }
     out.trace_hash = h;
@@ -484,13 +591,16 @@ RunOutcome TaskCounterTarget::run(ReplayPolicy& policy) const {
       out.ok = false;
       out.message = "Definition 12 violation: " +
                     prog.validator()->first_violation();
-      return out;
+      return;
     }
     // Exact chunk partition: the grabbed chunks tile [0, total) with no
     // gap, no overlap, and no chunk larger than the grab size.
     std::vector<Chunk> all;
-    for (const auto& core : got) {
-      all.insert(all.end(), core.begin(), core.end());
+    for (int core = 0; core < shape_.cores; ++core) {
+      const size_t base = static_cast<size_t>(core) * cap;
+      for (uint32_t i = 0; i < st->counts[static_cast<size_t>(core)]; ++i) {
+        all.push_back(st->chunks[base + i]);
+      }
     }
     std::sort(all.begin(), all.end(), [](const Chunk& a, const Chunk& b) {
       return a.begin < b.begin || (a.begin == b.begin && a.end < b.end);
@@ -505,7 +615,7 @@ RunOutcome TaskCounterTarget::run(ReplayPolicy& policy) const {
                       std::to_string(c.begin) + "," + std::to_string(c.end) +
                       ") does not extend [0," + std::to_string(next) +
                       ") exactly";
-        return out;
+        return;
       }
       next = c.end;
     }
@@ -515,13 +625,9 @@ RunOutcome TaskCounterTarget::run(ReplayPolicy& policy) const {
                     std::string(rt::to_string(target_)) + ": chunks cover [0," +
                     std::to_string(next) + ") of [0," +
                     std::to_string(shape_.total) + ")";
-      return out;
     }
-  } catch (const std::exception& e) {
-    out.ok = false;
-    out.message = e.what();
-  }
-  return out;
+  };
+  return spec;
 }
 
 const char* to_string(AppKind kind) {
@@ -557,6 +663,20 @@ std::unique_ptr<CheckTarget> make_app_target(AppKind kind, rt::Target target,
 
 // -- CheckSession ------------------------------------------------------------
 
+const char* to_string(EngineState s) {
+  switch (s) {
+    case EngineState::kReplay: return "replay";
+    case EngineState::kSnapshot: return "snapshot";
+  }
+  return "?";
+}
+
+std::optional<EngineState> engine_state_from_string(std::string_view text) {
+  if (text == "replay") return EngineState::kReplay;
+  if (text == "snapshot") return EngineState::kSnapshot;
+  return std::nullopt;
+}
+
 CheckSession::CheckSession(SessionOptions opts) : opts_(std::move(opts)) {
   PMC_CHECK(opts_.explore.preemption_bound >= 0);
   if (opts_.jobs < 1) opts_.jobs = 1;
@@ -571,8 +691,57 @@ bool CheckSession::parallel_engine() const {
   return false;
 }
 
+bool CheckSession::stateful(const CheckTarget& target) const {
+  return opts_.engine_state == EngineState::kSnapshot &&
+         target.stateful_capable() && sim::Scheduler::fibers_supported();
+}
+
+namespace {
+
+StatefulOptions stateful_options(const SessionOptions& opts) {
+  StatefulOptions s;
+  s.checkpoint_stride = opts.snapshot_stride;
+  s.horizon = opts.explore.horizon;
+  s.pool_capacity = opts.snapshot_pool;
+  return s;
+}
+
+void merge_stats(ExploreReport& rep, const StatefulStats& stats) {
+  rep.snapshots_taken += stats.snapshots_taken;
+  rep.snapshot_hits += stats.pool_hits;
+  rep.snapshot_misses += stats.pool_misses;
+}
+
+}  // namespace
+
 ExploreReport CheckSession::explore(const CheckTarget& target) const {
-  return explore(target.runner());
+  if (!stateful(target)) return explore(target.runner());
+  const StatefulOptions sopts = stateful_options(opts_);
+  if (parallel_engine()) {
+    // One executor per worker: each owns a private Program and pool, so the
+    // runners share nothing mutable — same contract as stateless runners.
+    std::mutex mu;
+    std::vector<std::shared_ptr<StatefulExecutor>> execs;
+    ParallelExplorer ex(
+        [&]() {
+          auto e =
+              std::make_shared<StatefulExecutor>(target.make_spec(), sopts);
+          {
+            std::lock_guard<std::mutex> lk(mu);
+            execs.push_back(e);
+          }
+          return ScheduleRunner([e](ReplayPolicy& p) { return e->run(p); });
+        },
+        opts_.jobs);
+    ExploreReport rep = ex.explore(opts_.explore);
+    for (const auto& e : execs) merge_stats(rep, e->stats());
+    return rep;
+  }
+  StatefulExecutor exec(target.make_spec(), sopts);
+  Explorer ex(exec.runner());
+  ExploreReport rep = ex.explore(opts_.explore);
+  merge_stats(rep, exec.stats());
+  return rep;
 }
 
 ExploreReport CheckSession::explore(const ScheduleRunner& runner) const {
@@ -587,6 +756,13 @@ ExploreReport CheckSession::explore(const ScheduleRunner& runner) const {
 RunOutcome CheckSession::replay(const CheckTarget& target,
                                 const DecisionString& schedule,
                                 bool* fully_applied) const {
+  if (stateful(target)) {
+    // Replay is one run — a fresh executor costs the same as a stateless
+    // replay, and repeated replays (minimize) go through minimize() below.
+    StatefulExecutor exec(target.make_spec(), stateful_options(opts_));
+    Explorer ex(exec.runner());
+    return ex.replay(schedule, opts_.explore.horizon, fully_applied);
+  }
   return replay(target.runner(), schedule, fully_applied);
 }
 
@@ -600,6 +776,21 @@ RunOutcome CheckSession::replay(const ScheduleRunner& runner,
 
 DecisionString CheckSession::minimize(const CheckTarget& target,
                                       DecisionString failing) const {
+  if (stateful(target)) {
+    if (parallel_engine()) {
+      ParallelExplorer ex(
+          [&target, sopts = stateful_options(opts_)]() {
+            auto e =
+                std::make_shared<StatefulExecutor>(target.make_spec(), sopts);
+            return ScheduleRunner([e](ReplayPolicy& p) { return e->run(p); });
+          },
+          opts_.jobs);
+      return ex.minimize(std::move(failing), opts_.explore.horizon);
+    }
+    StatefulExecutor exec(target.make_spec(), stateful_options(opts_));
+    Explorer ex(exec.runner());
+    return ex.minimize(std::move(failing), opts_.explore.horizon);
+  }
   return minimize(target.runner(), std::move(failing));
 }
 

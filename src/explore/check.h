@@ -49,6 +49,39 @@ namespace pmc::explore {
 /// iteration count of a spin loop — pure timing — does not split classes.
 uint64_t hb_trace_hash(const std::vector<model::TraceEvent>& trace);
 
+/// The stateful decomposition of one CheckTarget run (DESIGN.md §10): the
+/// snapshot engine builds the Program once, runs `body` under checkpointing
+/// fibers, and re-judges after every restore/resume — so the three phases
+/// that a classic run() interleaves must come apart cleanly.
+///
+/// Fiber-safety contract: `body` executes on checkpointable fiber stacks
+/// whose bytes are memcpy'd on snapshot/restore, so it must keep only
+/// trivially-copyable locals alive across runtime calls and reach all
+/// run-mutable buffers through the heap-held state that make_spec()
+/// allocated (never through captured run()-frame locals — those frames are
+/// gone by the first resume). `setup` must register every such buffer the
+/// body mutates with the machine's snapshot contract when snapshots are
+/// enabled, or restored runs would resume against torn oracle state.
+struct StatefulSpec {
+  /// Program configuration; `schedule_policy` is filled in per run.
+  rt::ProgramOptions opts;
+  /// Creates the shared objects / app structures and registers run-mutable
+  /// host-side buffers. Called once per Program, before run.
+  std::function<void(rt::Program&)> setup;
+  /// The per-core workload; same contract as Program::run's body.
+  std::function<void(rt::Env&)> body;
+  /// Judges one completed run (trace hash + oracle verdict). Called after
+  /// every completed run or resume; must be repeatable.
+  std::function<void(rt::Program&, RunOutcome&)> judge;
+};
+
+/// Executes one schedule of `spec` the stateless way: fresh Program, full
+/// run, judge — converting exceptions into failing outcomes. This is the
+/// replay engine's (and every stateful_capable target's run()'s) execution
+/// path, so both engines run literally the same code and differ only in how
+/// the machine state at a decision point is reproduced.
+RunOutcome run_spec_once(const StatefulSpec& spec, ReplayPolicy& policy);
+
 /// One checkable unit: builds a fresh program for its back-end on every
 /// run() call and judges the run with its own oracle. run() must be safe to
 /// invoke concurrently from several threads (share nothing mutable — build
@@ -68,6 +101,16 @@ class CheckTarget {
   ScheduleRunner runner() const {
     return [this](ReplayPolicy& p) { return run(p); };
   }
+
+  // -- Stateful exploration (optional) ---------------------------------------
+  /// True when make_spec() is implemented, i.e. the target's run decomposes
+  /// into the StatefulSpec phases and its body honors the fiber-safety
+  /// contract. The snapshot engine silently falls back to replay otherwise.
+  virtual bool stateful_capable() const { return false; }
+  /// The stateful decomposition of run(); only valid when stateful_capable().
+  /// Every call allocates fresh oracle state, so concurrent executors built
+  /// from separate specs share nothing mutable.
+  virtual StatefulSpec make_spec() const;
 
   // -- Failure minimization (optional) ---------------------------------------
   /// Number of single-step reductions of this target (0: not shrinkable).
@@ -115,6 +158,8 @@ class LitmusTarget final : public CheckTarget {
 
   std::string name() const override;
   RunOutcome run(ReplayPolicy& policy) const override;
+  bool stateful_capable() const override { return true; }
+  StatefulSpec make_spec() const override;
 
  private:
   model::LitmusTest test_;
@@ -137,6 +182,8 @@ class GenProgramTarget final : public CheckTarget {
 
   std::string name() const override;
   RunOutcome run(ReplayPolicy& policy) const override;
+  bool stateful_capable() const override { return true; }
+  StatefulSpec make_spec() const override;
   size_t shrink_count() const override;
   std::unique_ptr<CheckTarget> shrink(size_t i) const override;
   std::string describe() const override { return to_string(prog_); }
@@ -167,6 +214,8 @@ class MFifoTarget final : public CheckTarget {
                        rt::FaultInjection faults = {});
   std::string name() const override;
   RunOutcome run(ReplayPolicy& policy) const override;
+  bool stateful_capable() const override { return true; }
+  StatefulSpec make_spec() const override;
 
  private:
   rt::Target target_;
@@ -191,6 +240,8 @@ class TaskCounterTarget final : public CheckTarget {
                              rt::FaultInjection faults = {});
   std::string name() const override;
   RunOutcome run(ReplayPolicy& policy) const override;
+  bool stateful_capable() const override { return true; }
+  StatefulSpec make_spec() const override;
 
  private:
   rt::Target target_;
@@ -215,10 +266,34 @@ std::unique_ptr<CheckTarget> make_app_target(AppKind kind, rt::Target target,
 /// engine for jobs <= 1 and the work-stealing parallel one otherwise.
 enum class Engine { kAuto, kSequential, kParallel };
 
+/// How the machine state at each explored decision point is reproduced.
+/// kReplay re-executes the whole decision prefix from a fresh Program
+/// (stateless, CHESS-style); kSnapshot checkpoints the live machine at
+/// branch points and forks restored continuations (stateful, DESIGN.md
+/// §10). The schedule tree — and therefore every CheckReport field — is
+/// identical either way; kSnapshot only changes how fast a schedule runs.
+/// kSnapshot silently falls back to replay for targets that are not
+/// stateful_capable() or on builds without fiber support.
+enum class EngineState { kReplay, kSnapshot };
+
+const char* to_string(EngineState s);
+/// "replay" | "snapshot"; nullopt on anything else.
+std::optional<EngineState> engine_state_from_string(std::string_view text);
+
 struct SessionOptions {
   ExploreConfig explore;
   int jobs = 1;
   Engine engine = Engine::kAuto;
+  EngineState engine_state = EngineState::kSnapshot;
+  /// Snapshot engine: checkpoint every `snapshot_stride`-th decision step
+  /// below the horizon, keeping at most `snapshot_pool` non-root snapshots
+  /// (LRU-evicted; the root snapshot is pinned — restoring it replaces the
+  /// stateless engine's from-scratch re-execution). Stride 8 is the
+  /// measured sweet spot on the litmus suite: snapshots are ~10× the cost
+  /// of resuming one, so checkpointing every decision step spends more on
+  /// captures than the restored prefixes save.
+  uint64_t snapshot_stride = 8;
+  size_t snapshot_pool = 128;
 };
 
 /// Canonical result of CheckSession::check. Deliberately excludes the
@@ -268,6 +343,10 @@ class CheckSession {
   const SessionOptions& options() const { return opts_; }
   /// True when this session runs the parallel work-stealing engine.
   bool parallel_engine() const;
+  /// True when this session drives `target` through the snapshot engine
+  /// (engine_state == kSnapshot, target is stateful_capable, and the build
+  /// supports fibers); false means the stateless replay path.
+  bool stateful(const CheckTarget& target) const;
 
   /// The full pipeline: explore the bounded space; on failure canonicalize
   /// (lexicographic minimum), shrink the target program-then-schedule where

@@ -17,7 +17,12 @@ std::unique_ptr<CheckTarget> DiffCheck::target(rt::Target t) const {
 
 DiffReport DiffCheck::check(const ExploreConfig& cfg, int jobs,
                             const std::vector<rt::Target>& targets) const {
-  const CheckSession session(cfg, jobs);
+  return check(SessionOptions{cfg, jobs, Engine::kAuto}, targets);
+}
+
+DiffReport DiffCheck::check(const SessionOptions& opts,
+                            const std::vector<rt::Target>& targets) const {
+  const CheckSession session(opts);
   DiffReport rep;
   for (rt::Target t : targets) {
     const GenProgramTarget gt(prog_, t, faults_);

@@ -68,6 +68,12 @@ class DiffCheck {
                    const std::vector<rt::Target>& targets =
                        rt::sim_targets()) const;
 
+  /// Same, but with the full session configuration — callers that pick the
+  /// execution engine (SessionOptions::engine_state) land here.
+  DiffReport check(const SessionOptions& opts,
+                   const std::vector<rt::Target>& targets =
+                       rt::sim_targets()) const;
+
  private:
   GenProgram prog_;
   rt::FaultInjection faults_;

@@ -101,6 +101,14 @@ struct ExploreReport {
   /// Every failing decision string, sorted by lex_less (only when
   /// ExploreConfig::collect_failing; empty otherwise).
   std::vector<DecisionString> failing_schedules;
+  /// Snapshot-engine observability (all zero under the replay engine):
+  /// checkpoints captured, schedules forked from a mid-run snapshot, and
+  /// schedules that fell back to the pinned root snapshot or a fresh run.
+  /// Deliberately excluded from CheckReport::to_text — reports stay
+  /// byte-identical across engines.
+  uint64_t snapshots_taken = 0;
+  uint64_t snapshot_hits = 0;
+  uint64_t snapshot_misses = 0;
 };
 
 /// One sleeping alternative: core `core`'s pending segment (footprint `fp`)

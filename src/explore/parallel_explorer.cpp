@@ -15,7 +15,11 @@
 namespace pmc::explore {
 
 ParallelExplorer::ParallelExplorer(ScheduleRunner runner, int jobs)
-    : runner_(std::move(runner)), jobs_(jobs < 1 ? 1 : jobs) {}
+    : factory_([runner = std::move(runner)]() { return runner; }),
+      jobs_(jobs < 1 ? 1 : jobs) {}
+
+ParallelExplorer::ParallelExplorer(RunnerFactory factory, int jobs)
+    : factory_(std::move(factory)), jobs_(jobs < 1 ? 1 : jobs) {}
 
 namespace {
 
@@ -70,6 +74,7 @@ ExploreReport ParallelExplorer::explore(const ExploreConfig& cfg) {
     Shard& own = shards[static_cast<size_t>(self)];
     auto& local_traces = traces[static_cast<size_t>(self)];
     auto& local_fails = fails[static_cast<size_t>(self)];
+    const ScheduleRunner runner = factory_();
     while (in_flight.load() != 0) {
       std::optional<FrontierNode> task;
       {
@@ -103,7 +108,7 @@ ExploreReport ParallelExplorer::explore(const ExploreConfig& cfg) {
       }
       ReplayPolicy policy(task->prefix, cfg.horizon,
                           /*record_footprints=*/cfg.dpor != DporMode::kOff);
-      const RunOutcome out = runner_(policy);
+      const RunOutcome out = runner(policy);
       const uint64_t done = explored.fetch_add(1) + 1;
       local_traces.insert(out.trace_hash);
       uint64_t prev = max_points.load();
@@ -173,7 +178,8 @@ RunOutcome ParallelExplorer::replay(const DecisionString& schedule,
                                     uint64_t horizon, bool* fully_applied) {
   // Replays only consume the verdict, never the DPOR recording.
   ReplayPolicy policy(schedule, horizon, /*record_footprints=*/false);
-  RunOutcome out = runner_(policy);
+  const ScheduleRunner runner = factory_();
+  RunOutcome out = runner(policy);
   if (fully_applied != nullptr) {
     *fully_applied = policy.unused_overrides() == 0;
   }
@@ -190,11 +196,14 @@ DecisionString ParallelExplorer::minimize(DecisionString failing,
     std::vector<uint8_t> still_fails(n, 0);
     std::atomic<size_t> next{0};
     auto eval = [&] {
+      // One runner per evaluator thread: stateful runners are not shareable.
+      const ScheduleRunner runner = factory_();
       for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
         DecisionString shorter = failing;
         shorter.erase(shorter.begin() + static_cast<ptrdiff_t>(i));
-        bool applied = false;
-        if (!replay(shorter, horizon, &applied).ok && applied) {
+        ReplayPolicy policy(shorter, horizon, /*record_footprints=*/false);
+        const RunOutcome out = runner(policy);
+        if (!out.ok && policy.unused_overrides() == 0) {
           still_fails[i] = 1;
         }
       }

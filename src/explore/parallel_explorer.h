@@ -33,6 +33,17 @@ class ParallelExplorer {
   /// satisfies by construction. `jobs` < 1 is clamped to 1.
   ParallelExplorer(ScheduleRunner runner, int jobs);
 
+  /// Builds one runner per thread that needs one. Stateful runners
+  /// (StatefulExecutor, explore/stateful.h) keep a live Program and a
+  /// snapshot pool between invocations, so they cannot be shared across
+  /// workers: the factory gives every worker thread — and every minimize
+  /// round's evaluator — a private instance. The factory itself must be
+  /// thread-safe; the runners it returns need not be. A runner may own its
+  /// executor (e.g. via a captured shared_ptr) — it is dropped when the
+  /// thread finishes.
+  using RunnerFactory = std::function<ScheduleRunner()>;
+  ParallelExplorer(RunnerFactory factory, int jobs);
+
   int jobs() const { return jobs_; }
 
   /// Explores the same bounded space as Explorer::explore, over `jobs`
@@ -56,7 +67,7 @@ class ParallelExplorer {
   DecisionString minimize(DecisionString failing, uint64_t horizon);
 
  private:
-  ScheduleRunner runner_;
+  RunnerFactory factory_;
   int jobs_;
 };
 

@@ -53,4 +53,18 @@ int ReplayPolicy::pick(const sim::YieldPoint& yp,
   return choice;
 }
 
+void ReplayPolicy::seed(const Recording& r) {
+  PMC_CHECK_MSG(steps_ == 0, "seed() on a policy that already ran");
+  steps_ = r.steps;
+  cand_count_ = r.cand_count;
+  observable_ = r.observable;
+  cand_cores_ = r.cand_cores;
+  chosen_ = r.chosen;
+  seg_fp_ = r.seg_fp;
+  next_ = 0;
+  while (next_ < overrides_.size() && overrides_[next_].step < steps_) {
+    ++next_;
+  }
+}
+
 }  // namespace pmc::explore

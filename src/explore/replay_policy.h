@@ -75,6 +75,32 @@ class ReplayPolicy final : public sim::SchedulePolicy {
   /// Overrides that never matched a decision step (stale replay string).
   size_t unused_overrides() const { return overrides_.size() - next_; }
 
+  // -- Snapshot-engine support (DESIGN.md §10) -------------------------------
+
+  /// Everything pick() has recorded so far. The policy's mutable state lives
+  /// *outside* the machine, so checkpointing engines must capture it at the
+  /// same decision step as the Machine snapshot and seed() the next policy
+  /// with it — otherwise a resumed run loses the candidate/footprint log of
+  /// the shared prefix.
+  struct Recording {
+    uint64_t steps = 0;
+    std::vector<int> cand_count;
+    std::vector<uint8_t> observable;
+    std::vector<std::vector<int>> cand_cores;
+    std::vector<int> chosen;
+    std::vector<sim::Footprint> seg_fp;
+  };
+  /// Captured pre-pick: call while decision `steps` has not executed yet
+  /// (e.g. from CheckpointHook::on_checkpoint).
+  Recording export_recording() const {
+    return {steps_, cand_count_, observable_, cand_cores_, chosen_, seg_fp_};
+  }
+  /// Seeds a fresh policy with a prefix recording before its run resumes
+  /// mid-schedule. Overrides with step < recording.steps are skipped — those
+  /// decisions already happened inside the restored machine state.
+  void seed(const Recording& r);
+  const DecisionString& overrides() const { return overrides_; }
+
  private:
   DecisionString overrides_;
   uint64_t horizon_;

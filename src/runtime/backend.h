@@ -45,6 +45,11 @@ class Backend {
 
   /// Host-side readback of an object's final payload after the run.
   virtual void read_final(ObjId id, void* out, size_t n) = 0;
+
+  /// Registers the back-end's mutable host-side state (staging buffers,
+  /// per-core cursors) with the machine's snapshot contract (DESIGN.md §10).
+  /// Called after ObjectSpace::freeze and before the run, snapshot mode only.
+  virtual void register_state(sim::Machine& m) { (void)m; }
 };
 
 enum class BackendKind : uint8_t { kNoCC, kSWCC, kDSM, kSPM };

@@ -38,16 +38,15 @@ class DsmBackend final : public BackendBase {
       if (prev != -1 && prev != core.id() && !faults_.dsm_skip_transfer) {
         // Ownership transfer: the previous owner's replica is pushed into
         // ours over the NoC; we stall until it arrived.
-        std::vector<uint8_t> bytes(used_span(d));
+        const size_t len = used_span(d);
+        uint8_t* bytes = scratch(core.id(), len);
         sim::MemModule& src = m_.local_mem(prev);
-        src.read(core.now(), objs_.replica_addr(prev, d.id), bytes.data(),
-                 bytes.size());
+        src.read(core.now(), objs_.replica_addr(prev, d.id), bytes, len);
         const uint64_t arrival =
             m_.noc().deliver(core.now(), prev, core.id(),
-                             m_.local_mem(core.id()), bytes.size());
+                             m_.local_mem(core.id()), len);
         m_.local_mem(core.id()).post_write(
-            arrival, objs_.replica_addr(core.id(), d.id), bytes.data(),
-            bytes.size());
+            arrival, objs_.replica_addr(core.id(), d.id), bytes, len);
         core.wait_until(arrival, sim::Core::StallBucket::kSharedRead);
       }
     } else if (needs_ro_lock(d)) {
@@ -74,14 +73,15 @@ class DsmBackend final : public BackendBase {
   void flush(sim::Core& core, Section& s) override {
     const ObjDesc& d = *s.desc;
     // Read our replica (timed), then broadcast it.
-    std::vector<uint8_t> bytes(used_span(d));
-    core.read_block(objs_.replica_addr(core.id(), d.id), bytes.data(),
-                    bytes.size(), sim::MemClass::kSharedData);
+    const size_t len = used_span(d);
+    uint8_t* bytes = scratch(core.id(), len);
+    core.read_block(objs_.replica_addr(core.id(), d.id), bytes, len,
+                    sim::MemClass::kSharedData);
     uint64_t last_arrival = 0;
     for (int t = 0; t < m_.num_cores(); ++t) {
       if (t == core.id()) continue;
-      const uint64_t arrival = core.remote_write(
-          t, objs_.replica_addr(t, d.id), bytes.data(), bytes.size());
+      const uint64_t arrival =
+          core.remote_write(t, objs_.replica_addr(t, d.id), bytes, len);
       last_arrival = std::max(last_arrival, arrival);
     }
     // Wait for our own broadcast: later flushes (under the next lock owner)

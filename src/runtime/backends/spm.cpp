@@ -38,11 +38,10 @@ class SpmBackend final : public BackendBase {
       s.locked = true;
     }
     // DMA the master copy into the scratch-pad.
-    std::vector<uint8_t> bytes(used_span(d));
-    core.dma_read(d.sdram_addr, bytes.data(), bytes.size(),
-                  sim::MemClass::kSharedData);
-    m_.local_mem(core.id()).write(core.now(), s.data_addr, bytes.data(),
-                                  bytes.size());
+    const size_t len = used_span(d);
+    uint8_t* bytes = scratch(core.id(), len);
+    core.dma_read(d.sdram_addr, bytes, len, sim::MemClass::kSharedData);
+    m_.local_mem(core.id()).write(core.now(), s.data_addr, bytes, len);
     if (s.locked) {
       locks_.release(core, d.lock);
       // The lock protected only the copy; the section itself is read-only.
@@ -74,15 +73,20 @@ class SpmBackend final : public BackendBase {
     read_final_sdram(id, out, n);
   }
 
+  void register_state(sim::Machine& m) override {
+    BackendBase::register_state(m);
+    // The scratch allocator's per-core stack pointers move with the run.
+    m.register_state(cursor_.data(), cursor_.size() * sizeof(uint32_t));
+  }
+
  private:
   void copy_back(sim::Core& core, Section& s) {
     const ObjDesc& d = *s.desc;
-    std::vector<uint8_t> bytes(used_span(d));
-    core.read_block(s.data_addr, bytes.data(), bytes.size(),
-                    sim::MemClass::kLocal);
-    const uint64_t arrival = core.dma_write(d.sdram_addr, bytes.data(),
-                                            bytes.size(),
-                                            sim::MemClass::kSharedData);
+    const size_t len = used_span(d);
+    uint8_t* bytes = scratch(core.id(), len);
+    core.read_block(s.data_addr, bytes, len, sim::MemClass::kLocal);
+    const uint64_t arrival =
+        core.dma_write(d.sdram_addr, bytes, len, sim::MemClass::kSharedData);
     core.wait_until(arrival, sim::Core::StallBucket::kWrite);
   }
 

@@ -78,6 +78,15 @@ class ObjectSpace {
   /// Monotonic per-object version counter (host side, single-runner safe).
   uint32_t next_version(ObjId id) { return ++versions_[id]; }
 
+  /// Registers the host-side version counters with the machine's snapshot
+  /// contract (DESIGN.md §10). Call after freeze() — the storage is final.
+  void register_state() {
+    if (!versions_.empty()) {
+      m_.register_state(versions_.data(),
+                        versions_.size() * sizeof(uint32_t));
+    }
+  }
+
  private:
   sim::Machine& m_;
   sync::LockManager& locks_;

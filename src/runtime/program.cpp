@@ -130,18 +130,73 @@ void Program::run(const std::function<void(Env&)>& body) {
     if (error) std::rethrow_exception(error);
     return;
   }
+  run_sim(body);
+}
+
+void Program::run_sim(const std::function<void(Env&)>& body) {
   objs_->freeze();
-  machine_->run([&](sim::Core& core) {
+  // Held as a member: in snapshot mode restored fibers re-enter the body
+  // after this frame (and the caller's `body`) are gone.
+  body_ = body;
+  if (machine_->snapshots_enabled()) {
+    // All host-side mutable state coupled to the run joins the snapshot
+    // contract now — storage is final once the layout is frozen, and the
+    // root snapshot fires at the first scheduling decision inside run().
+    objs_->register_state();
+    locks_->register_state(*machine_);
+    barrier_->register_state(*machine_);
+    backend_->register_state(*machine_);
+  }
+  machine_->run([this](sim::Core& core) {
     SimEnv env(rt_, core);
-    body(env);
+    body_(env);
     env.finish();
   });
-  if (opts_.validate) {
-    validator_ = std::make_unique<model::TraceValidator>(
-        opts_.cores, objs_->count(),
-        std::vector<uint64_t>(static_cast<size_t>(objs_->count()), 0));
-    validator_->on_events(rt_.trace);
-  }
+  revalidate();
+}
+
+void Program::revalidate() {
+  if (!opts_.validate) return;
+  validator_ = std::make_unique<model::TraceValidator>(
+      opts_.cores, objs_->count(),
+      std::vector<uint64_t>(static_cast<size_t>(objs_->count()), 0));
+  validator_->on_events(rt_.trace);
+}
+
+void Program::enable_snapshots() {
+  PMC_CHECK_MSG(machine_ != nullptr,
+                "snapshot mode requires a simulated target");
+  machine_->enable_snapshots();
+}
+
+void Program::set_checkpoint_hook(sim::CheckpointHook* hook) {
+  PMC_CHECK(machine_ != nullptr);
+  machine_->set_checkpoint_hook(hook);
+}
+
+void Program::set_schedule_policy(sim::SchedulePolicy* policy) {
+  PMC_CHECK(machine_ != nullptr);
+  machine_->set_schedule_policy(policy);
+}
+
+Program::Snapshot Program::snapshot() const {
+  PMC_CHECK(machine_ != nullptr);
+  Snapshot s;
+  s.m = machine_->snapshot();
+  s.trace = rt_.trace;
+  return s;
+}
+
+void Program::restore(const Snapshot& s) {
+  PMC_CHECK(machine_ != nullptr);
+  machine_->restore(s.m);
+  rt_.trace = s.trace;
+}
+
+void Program::resume() {
+  PMC_CHECK(machine_ != nullptr);
+  machine_->resume();
+  revalidate();
 }
 
 void Program::read_object(ObjId id, void* out, size_t n) {

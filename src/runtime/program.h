@@ -81,6 +81,28 @@ class Program {
   /// Runs body(env) on every core/thread.
   void run(const std::function<void(Env&)>& body);
 
+  // -- Stateful exploration (snapshot engine, DESIGN.md §10) -----------------
+
+  /// Switches the machine to checkpointable (fiber) execution. Must precede
+  /// start(); sim targets only, requires sim::Scheduler::fibers_supported().
+  void enable_snapshots();
+  /// Checkpoint callback, forwarded to the scheduler.
+  void set_checkpoint_hook(sim::CheckpointHook* hook);
+  /// Swaps the scheduling policy between restore()/resume() cycles.
+  void set_schedule_policy(sim::SchedulePolicy* policy);
+
+  /// Deep copy of one mid-run (or completed) program state: the whole
+  /// machine plus the runtime-held model trace.
+  struct Snapshot {
+    sim::Machine::Snapshot m;
+    std::vector<model::TraceEvent> trace;
+  };
+  Snapshot snapshot() const;
+  void restore(const Snapshot& s);
+  /// Continues a restored machine to completion (rethrows the body's
+  /// exception like run()), then revalidates the trace.
+  void resume();
+
   /// Reads an object's final payload after run().
   void read_object(ObjId id, void* out, size_t n);
   template <typename T>
@@ -112,7 +134,11 @@ class Program {
   std::unique_ptr<model::TraceValidator> validator_;
   // Host target:
   std::unique_ptr<HostSpace> host_;
+  std::function<void(Env&)> body_;  // persists for restored-fiber re-entry
   bool ran_ = false;
+
+  void run_sim(const std::function<void(Env&)>& body);
+  void revalidate();
 };
 
 }  // namespace pmc::rt

@@ -5,8 +5,8 @@
 namespace pmc::rt {
 
 Section* SimEnv::find(ObjId obj) {
-  for (auto& s : open_) {
-    if (s.obj == obj) return &s;
+  for (int i = 0; i < num_open_; ++i) {
+    if (open_[i].obj == obj) return &open_[i];
   }
   return nullptr;
 }
@@ -15,6 +15,9 @@ void SimEnv::enter(ObjId obj, bool exclusive) {
   PMC_CHECK_MSG(find(obj) == nullptr,
                 "core " << id() << " double-enters "
                         << rt_.objs->desc(obj).name);
+  PMC_CHECK_MSG(num_open_ < kMaxOpen,
+                "core " << id() << " nests more than " << kMaxOpen
+                        << " open sections");
   Section s;
   s.obj = obj;
   s.desc = &rt_.objs->desc(obj);
@@ -32,7 +35,7 @@ void SimEnv::enter(ObjId obj, bool exclusive) {
         core_.load_u32(s.data_addr + s.desc->version_off, s.cls);
     rt_.trace.push_back(model::TraceEvent::read(id(), obj, ver));
   }
-  open_.push_back(s);
+  open_[num_open_++] = s;
 }
 
 void SimEnv::publish_version(Section& s) {
@@ -43,10 +46,10 @@ void SimEnv::publish_version(Section& s) {
 }
 
 void SimEnv::exit(ObjId obj, bool exclusive) {
-  PMC_CHECK_MSG(!open_.empty() && open_.back().obj == obj,
+  PMC_CHECK_MSG(num_open_ > 0 && open_[num_open_ - 1].obj == obj,
                 "core " << id() << " exits " << rt_.objs->desc(obj).name
                         << " out of LIFO order");
-  Section& s = open_.back();
+  Section& s = open_[num_open_ - 1];
   PMC_CHECK_MSG(s.exclusive == exclusive,
                 "exit kind does not match entry kind for " << s.desc->name);
   if (s.exclusive && s.dirty) publish_version(s);
@@ -54,7 +57,7 @@ void SimEnv::exit(ObjId obj, bool exclusive) {
   if (rt_.validate && s.exclusive) {
     rt_.trace.push_back(model::TraceEvent::release(id(), obj));
   }
-  open_.pop_back();
+  open_[--num_open_] = Section{};
 }
 
 void SimEnv::fence() {
@@ -92,8 +95,8 @@ void SimEnv::write(ObjId obj, uint32_t off, const void* data, size_t n) {
 }
 
 void SimEnv::finish() const {
-  PMC_CHECK_MSG(open_.empty(), "core " << id() << " finished with "
-                                       << open_.size() << " open section(s)");
+  PMC_CHECK_MSG(num_open_ == 0, "core " << id() << " finished with "
+                                        << num_open_ << " open section(s)");
 }
 
 }  // namespace pmc::rt

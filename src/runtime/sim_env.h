@@ -1,6 +1,7 @@
 // Env implementation over the simulated SoC.
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "model/trace.h"
@@ -25,6 +26,13 @@ struct SimRuntime {
 
 class SimEnv final : public Env {
  public:
+  /// Deepest open-section nesting one core may hold. A fixed bound, not a
+  /// growable stack: SimEnv lives on a (possibly fiber) stack, and a
+  /// heap-owning member would break Machine::restore's stack-byte copy
+  /// (DESIGN.md §10). Workload bodies that mirror the open-section stack in
+  /// their own locals can size them with this same bound.
+  static constexpr int kMaxOpen = 8;
+
   SimEnv(SimRuntime& rt, sim::Core& core) : rt_(rt), core_(core) {}
 
   int id() const override { return core_.id(); }
@@ -58,7 +66,10 @@ class SimEnv final : public Env {
 
   SimRuntime& rt_;
   sim::Core& core_;
-  std::vector<Section> open_;  // LIFO stack of open sections
+  /// LIFO stack of open sections (see kMaxOpen for why it is a fixed inline
+  /// array; Section itself is trivially copyable).
+  std::array<Section, kMaxOpen> open_{};
+  int num_open_ = 0;
 };
 
 }  // namespace pmc::rt

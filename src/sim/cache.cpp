@@ -87,6 +87,7 @@ uint8_t* Cache::install(Addr line_addr, Victim* victim) {
   best->valid = true;
   best->is_dirty = false;
   best->lru = ++tick_;
+  ever_used_ = true;
   return data_of(best);
 }
 
@@ -121,6 +122,38 @@ size_t Cache::dirty_lines() const {
   size_t n = 0;
   for (const Line& l : lines_) n += l.valid && l.is_dirty;
   return n;
+}
+
+Cache::Snapshot Cache::snapshot() const {
+  Snapshot s;
+  s.tick = tick_;
+  for (size_t i = 0; i < lines_.size(); ++i) {
+    const Line& l = lines_[i];
+    if (!l.valid) continue;
+    s.line_idx.push_back(static_cast<uint32_t>(i));
+    s.lines.push_back({l.tag, l.is_dirty, l.lru});
+    const uint8_t* d = data_.data() + i * cfg_.line_bytes;
+    s.bytes.insert(s.bytes.end(), d, d + cfg_.line_bytes);
+  }
+  return s;
+}
+
+void Cache::restore(const Snapshot& s) {
+  tick_ = s.tick;
+  for (Line& l : lines_) {
+    l.valid = false;
+    l.is_dirty = false;
+  }
+  for (size_t i = 0; i < s.line_idx.size(); ++i) {
+    Line& l = lines_[s.line_idx[i]];
+    l.tag = s.lines[i].tag;
+    l.valid = true;
+    l.is_dirty = s.lines[i].is_dirty;
+    l.lru = s.lines[i].lru;
+    std::memcpy(data_.data() + static_cast<size_t>(s.line_idx[i]) *
+                                   cfg_.line_bytes,
+                s.bytes.data() + i * cfg_.line_bytes, cfg_.line_bytes);
+  }
 }
 
 }  // namespace pmc::sim

@@ -55,6 +55,26 @@ class Cache {
   size_t valid_lines() const;
   size_t dirty_lines() const;
 
+  /// True once any line was ever installed. Machine snapshots skip caches
+  /// that never held a line (non-cached back-ends leave them cold).
+  bool ever_used() const { return ever_used_; }
+
+  /// Deep copy of cache state: only valid lines carry bytes (data under an
+  /// invalid line is unreadable by construction).
+  struct Snapshot {
+    uint64_t tick = 0;
+    std::vector<uint32_t> line_idx;  // indices into lines_
+    struct Line {
+      Addr tag = 0;
+      bool is_dirty = false;
+      uint64_t lru = 0;
+    };
+    std::vector<Line> lines;     // parallel to line_idx
+    std::vector<uint8_t> bytes;  // line_idx.size() * line_bytes
+  };
+  Snapshot snapshot() const;
+  void restore(const Snapshot& s);
+
  private:
   struct Line {
     Addr tag = 0;  // line-aligned address
@@ -73,6 +93,7 @@ class Cache {
   std::vector<Line> lines_;
   std::vector<uint8_t> data_;
   uint64_t tick_ = 0;
+  bool ever_used_ = false;
 };
 
 }  // namespace pmc::sim

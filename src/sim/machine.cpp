@@ -82,11 +82,136 @@ void Machine::peek(Addr a, void* out, size_t n) {
 void Machine::run(const std::function<void(Core&)>& body) {
   PMC_CHECK_MSG(!ran_, "a Machine instance runs once");
   ran_ = true;
-  sched_.run([this, &body](int id) {
+  // Held as a member: in snapshot mode restored fibers re-enter the body
+  // long after this frame has returned.
+  body_ = body;
+  sched_.run([this](int id) {
     Core core(*this, id);
-    body(core);
+    body_(core);
     stats_[id].cycles_total = sched_.now(id);
   });
+}
+
+void Machine::register_state(void* p, size_t n) {
+  PMC_CHECK(p != nullptr && n > 0);
+  regions_.push_back({p, n});
+}
+
+Machine::Snapshot Machine::snapshot() const {
+  Snapshot s;
+  s.sched = sched_.snapshot();
+  s.caches.reserve(cores_.size());
+  s.core_acc.reserve(cores_.size());
+  for (const auto& c : cores_) {
+    // Cold caches (non-cached back-ends never install a line) snapshot as
+    // empty and restore as a no-op.
+    s.caches.push_back(c->dcache.ever_used() ? c->dcache.snapshot()
+                                             : Cache::Snapshot{});
+    s.core_acc.push_back({c->imiss_acc, c->priv_acc});
+  }
+  s.stats = stats_;
+  s.sdram = sdram_.snapshot();
+  s.lms.reserve(lms_.size());
+  for (const auto& lm : lms_) s.lms.push_back(lm->snapshot());
+  s.noc = noc_.snapshot();
+  s.regions.reserve(regions_.size());
+  for (const auto& [p, n] : regions_) {
+    const uint8_t* b = static_cast<const uint8_t*>(p);
+    s.regions.emplace_back(b, b + n);
+  }
+  return s;
+}
+
+void Machine::restore(const Snapshot& s) {
+  PMC_CHECK_MSG(s.regions.size() == regions_.size(),
+                "snapshot predates register_state() calls ("
+                    << s.regions.size() << " regions captured, "
+                    << regions_.size() << " registered)");
+  sched_.restore(s.sched);
+  for (size_t i = 0; i < cores_.size(); ++i) {
+    CoreState& c = *cores_[i];
+    if (c.dcache.ever_used()) c.dcache.restore(s.caches[i]);
+    c.imiss_acc = s.core_acc[i].first;
+    c.priv_acc = s.core_acc[i].second;
+  }
+  stats_ = s.stats;
+  sdram_.restore(s.sdram);
+  for (size_t i = 0; i < lms_.size(); ++i) lms_[i]->restore(s.lms[i]);
+  noc_.restore(s.noc);
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    PMC_CHECK(s.regions[i].size() == regions_[i].second);
+    std::memcpy(regions_[i].first, s.regions[i].data(), s.regions[i].size());
+  }
+}
+
+uint64_t Machine::digest(const Snapshot& s) {
+  uint64_t h = util::kFnvOffset;
+  const auto mix = [&h](uint64_t v) { h = util::hash_combine(h, v); };
+  const auto mix_bytes = [&h](const void* p, size_t n) {
+    h = util::hash_combine(h,
+                           util::fnv1a(static_cast<const uint8_t*>(p), n));
+  };
+  mix(s.sched.step);
+  mix(s.sched.frontier);
+  mix(static_cast<uint64_t>(s.sched.current));
+  mix(static_cast<uint64_t>(s.sched.resume_core + 1));
+  for (const auto& sl : s.sched.slots) {
+    mix(sl.time);
+    mix(sl.done);
+    mix(sl.observable);
+    mix(sl.fp.is_wildcard());
+    for (const auto& a : sl.fp.accesses()) {
+      mix(a.addr);
+      mix(a.len);
+      mix(static_cast<uint64_t>(a.kind));
+      mix(a.sync);
+    }
+  }
+  for (const auto& f : s.sched.fibers) {
+    // The saved ucontext holds host pointers (fpregs, uc_link); the register
+    // file that matters is implied by the stack slice + resume offsets.
+    mix(f.stack_off);
+    mix_bytes(f.stack.data(), f.stack.size());
+  }
+  for (const auto& c : s.caches) {
+    mix(c.tick);
+    mix_bytes(c.line_idx.data(), c.line_idx.size() * sizeof(uint32_t));
+    for (const auto& l : c.lines) {
+      mix(l.tag);
+      mix(l.is_dirty);
+      mix(l.lru);
+    }
+    mix_bytes(c.bytes.data(), c.bytes.size());
+  }
+  for (const auto& [im, pv] : s.core_acc) {
+    mix(im);
+    mix(pv);
+  }
+  // CoreStats is all-uint64_t (no padding), so raw bytes are deterministic.
+  mix_bytes(s.stats.data(), s.stats.size() * sizeof(CoreStats));
+  const auto mix_mem = [&](const MemModule::Snapshot& m) {
+    mix_bytes(m.pages.data(), m.pages.size() * sizeof(uint32_t));
+    mix_bytes(m.page_bytes.data(), m.page_bytes.size());
+    mix(m.next_seq);
+    mix(m.port_free);
+    auto q = m.pending;  // priority_queue: drain a copy in deterministic order
+    while (!q.empty()) {
+      const auto& p = q.top();
+      mix(p.arrival);
+      mix(p.seq);
+      mix(p.addr);
+      mix_bytes(p.data.data(), p.data.size());
+      q.pop();
+    }
+  };
+  mix_mem(s.sdram);
+  for (const auto& m : s.lms) mix_mem(m);
+  mix_bytes(s.noc.channel_last_arrival.data(),
+            s.noc.channel_last_arrival.size() * sizeof(uint64_t));
+  mix(s.noc.packets);
+  mix(s.noc.bytes);
+  for (const auto& r : s.regions) mix_bytes(r.data(), r.size());
+  return h;
 }
 
 CoreStats Machine::stats_sum() const {
@@ -156,7 +281,8 @@ void Core::idle(uint64_t cycles) {
 
 void Core::cached_access(Addr a, void* rd_out, const void* wr_data, size_t n) {
   auto& s = m_.stats_[id_];
-  auto& cache = m_.cores_[id_]->dcache;
+  auto& cs = *m_.cores_[id_];
+  auto& cache = cs.dcache;
   const auto& t = m_.cfg_.timing;
   const uint32_t lb = cache.line_bytes();
   size_t done = 0;
@@ -170,7 +296,10 @@ void Core::cached_access(Addr a, void* rd_out, const void* wr_data, size_t n) {
       charge(t.cache_hit, 0, &CoreStats::stall_shared_read);
     } else {
       s.dcache_misses++;
-      Cache::Victim victim;
+      // Per-core scratch, not a local: heap-owning objects may not live on a
+      // fiber stack across the charge() yields below (see CoreState).
+      Cache::Victim& victim = cs.victim_scratch;
+      victim.dirty = false;
       data = cache.install(line, &victim);
       uint64_t pre_stall = 0;
       if (victim.dirty) {
@@ -420,7 +549,9 @@ uint64_t Core::cache_wbinval(Addr a, size_t n) {
       cache.line_base(a + static_cast<Addr>(n) - 1) + lb - fp_base);
   m_.sched_.note_access(id_, fp_base, fp_len, AccessKind::kWrite,
                         /*sync=*/false);
-  std::vector<uint8_t> dirty;
+  // Per-core scratch: a vector local would sit on the fiber stack across the
+  // charge() yields in the loop (see CoreState::wb_scratch).
+  std::vector<uint8_t>& dirty = m_.cores_[id_]->wb_scratch;
   uint64_t last_arrival = 0;
   for (Addr line = cache.line_base(a); line < a + n; line += lb) {
     uint64_t stall = t.cache_op_per_line;

@@ -146,15 +146,60 @@ class Machine {
   const MachineConfig& config() const { return cfg_; }
   int num_cores() const { return cfg_.num_cores; }
 
-  /// Runs body(core) on every core. A Machine instance runs once.
+  /// Runs body(core) on every core. A Machine instance runs once —
+  /// except in snapshot mode, where restore() + resume() re-run suffixes.
   void run(const std::function<void(Core&)>& body);
 
   /// Installs a scheduling-decision override (see sim/scheduler.h); must be
-  /// called before run(). Used by the schedule-exploration engine
+  /// called before run() (in snapshot mode: may be swapped between
+  /// restore()/resume() cycles). Used by the schedule-exploration engine
   /// (src/explore/) to model-check interleavings. Not owned.
   void set_schedule_policy(SchedulePolicy* policy) {
     sched_.set_policy(policy);
   }
+
+  // -- Checkpointing (DESIGN.md §10) ----------------------------------------
+
+  /// Switches the scheduler to fiber execution so snapshot()/restore()/
+  /// resume() work. Must be called before run(); requires
+  /// Scheduler::fibers_supported().
+  void enable_snapshots() { sched_.set_fiber_mode(true); }
+  bool snapshots_enabled() const { return sched_.fiber_mode(); }
+
+  /// Checkpoint callback, forwarded to the scheduler (fiber mode only).
+  void set_checkpoint_hook(CheckpointHook* hook) {
+    sched_.set_checkpoint_hook(hook);
+  }
+
+  /// Declares `n` bytes at `p` as machine-coupled mutable state (runtime
+  /// back-end metadata, lock bookkeeping, oracle buffers): snapshots copy
+  /// the bytes, restore() writes them back. All registrations must precede
+  /// the first snapshot; `p` must stay valid and fixed for the Machine's
+  /// lifetime.
+  void register_state(void* p, size_t n);
+
+  /// Deep copy of every piece of mutable simulator state. Restorable only
+  /// into the same Machine instance (fiber stacks are address-dependent).
+  struct Snapshot {
+    Scheduler::Snapshot sched;
+    std::vector<Cache::Snapshot> caches;                  // per core
+    std::vector<std::pair<uint64_t, uint64_t>> core_acc;  // imiss, priv
+    std::vector<CoreStats> stats;
+    MemModule::Snapshot sdram;
+    std::vector<MemModule::Snapshot> lms;
+    Noc::Snapshot noc;
+    std::vector<std::vector<uint8_t>> regions;  // registered-state bytes
+  };
+  Snapshot snapshot() const;
+  void restore(const Snapshot& s);
+  /// Continues a restored (mid-run) machine to completion; rethrows like
+  /// run(). The body passed to the original run() is reused.
+  void resume() { sched_.resume(); }
+
+  /// Order-insensitive fingerprint of a snapshot's deterministic content
+  /// (stack bytes, memory pages, stats, clocks; not host pointers), for
+  /// snapshot-idempotence checks.
+  static uint64_t digest(const Snapshot& s);
 
   MemModule& sdram() { return sdram_; }
   MemModule& local_mem(int tile) { return *lms_[tile]; }
@@ -179,6 +224,12 @@ class Machine {
     Cache dcache;
     uint64_t imiss_acc = 0;
     uint64_t priv_acc = 0;
+    // Heap-owning scratch for Core methods. Locals like these may not live
+    // on the (fiber) stack across a scheduler yield: restore() memcpys stack
+    // bytes, which would resurrect stale heap pointers. Content is dead at
+    // every yield, so the buffers themselves need no snapshotting.
+    Cache::Victim victim_scratch;
+    std::vector<uint8_t> wb_scratch;
     explicit CoreState(const CacheConfig& c) : dcache(c) {}
   };
   MemModule& module_for(Addr a, size_t n);
@@ -190,6 +241,8 @@ class Machine {
   Noc noc_;
   std::vector<CoreStats> stats_;
   std::vector<std::unique_ptr<CoreState>> cores_;
+  std::vector<std::pair<void*, size_t>> regions_;
+  std::function<void(Core&)> body_;  // persists for restored-fiber re-entry
   bool ran_ = false;
 };
 

@@ -11,6 +11,19 @@ namespace pmc::sim {
 MemModule::MemModule(std::string name, Addr base, size_t size)
     : name_(std::move(name)), base_(base), store_(size, 0) {
   PMC_CHECK(size > 0);
+  touched_.assign((size + kPageBytes - 1) / kPageBytes, 0);
+}
+
+void MemModule::mark_write(Addr a, size_t n) {
+  const uint32_t first = (a - base_) / kPageBytes;
+  const uint32_t last =
+      (a - base_ + static_cast<Addr>(n == 0 ? 0 : n - 1)) / kPageBytes;
+  for (uint32_t p = first; p <= last; ++p) {
+    if (!touched_[p]) {
+      touched_[p] = 1;
+      touched_list_.push_back(p);
+    }
+  }
 }
 
 uint8_t* MemModule::at(Addr a, size_t n) {
@@ -24,6 +37,7 @@ void MemModule::apply_pending(uint64_t t) {
   while (!pending_.empty() && pending_.top().arrival <= t) {
     const Pending& p = pending_.top();
     std::memcpy(at(p.addr, p.data.size()), p.data.data(), p.data.size());
+    mark_write(p.addr, p.data.size());
     pending_.pop();
   }
 }
@@ -36,6 +50,7 @@ void MemModule::read(uint64_t t, Addr a, void* out, size_t n) {
 void MemModule::write(uint64_t t, Addr a, const void* data, size_t n) {
   apply_pending(t);
   std::memcpy(at(a, n), data, n);
+  mark_write(a, n);
 }
 
 void MemModule::post_write(uint64_t arrival, Addr a, const void* data,
@@ -55,6 +70,7 @@ uint32_t MemModule::atomic_swap_u32(uint64_t t, Addr a, uint32_t value) {
   uint32_t old;
   std::memcpy(&old, at(a, 4), 4);
   std::memcpy(at(a, 4), &value, 4);
+  mark_write(a, 4);
   return old;
 }
 
@@ -64,6 +80,7 @@ uint32_t MemModule::atomic_add_u32(uint64_t t, Addr a, uint32_t delta) {
   std::memcpy(&old, at(a, 4), 4);
   const uint32_t neu = old + delta;
   std::memcpy(at(a, 4), &neu, 4);
+  mark_write(a, 4);
   return old;
 }
 
@@ -72,7 +89,10 @@ uint32_t MemModule::atomic_cas_u32(uint64_t t, Addr a, uint32_t expected,
   apply_pending(t);
   uint32_t old;
   std::memcpy(&old, at(a, 4), 4);
-  if (old == expected) std::memcpy(at(a, 4), &desired, 4);
+  if (old == expected) {
+    std::memcpy(at(a, 4), &desired, 4);
+    mark_write(a, 4);
+  }
   return old;
 }
 
@@ -86,6 +106,45 @@ void MemModule::drain_all() { apply_pending(UINT64_MAX); }
 
 uint64_t MemModule::content_hash() const {
   return util::fnv1a(store_.data(), store_.size());
+}
+
+MemModule::Snapshot MemModule::snapshot() const {
+  Snapshot s;
+  s.pages = touched_list_;
+  s.page_bytes.resize(s.pages.size() * kPageBytes);
+  for (size_t i = 0; i < s.pages.size(); ++i) {
+    const size_t off = static_cast<size_t>(s.pages[i]) * kPageBytes;
+    const size_t n = std::min<size_t>(kPageBytes, store_.size() - off);
+    std::memcpy(s.page_bytes.data() + i * kPageBytes, store_.data() + off, n);
+  }
+  s.pending = pending_;
+  s.next_seq = next_seq_;
+  s.port_free = port_free_;
+  return s;
+}
+
+void MemModule::restore(const Snapshot& s) {
+  // Zero-then-apply: the current dirty set may differ from the snapshot's
+  // (other DFS branches ran since), so first return every currently-dirty
+  // page to its initial all-zero state, then lay down the saved pages.
+  for (const uint32_t p : touched_list_) {
+    const size_t off = static_cast<size_t>(p) * kPageBytes;
+    std::memset(store_.data() + off,
+                0, std::min<size_t>(kPageBytes, store_.size() - off));
+    touched_[p] = 0;
+  }
+  touched_list_.clear();
+  for (size_t i = 0; i < s.pages.size(); ++i) {
+    const uint32_t p = s.pages[i];
+    const size_t off = static_cast<size_t>(p) * kPageBytes;
+    const size_t n = std::min<size_t>(kPageBytes, store_.size() - off);
+    std::memcpy(store_.data() + off, s.page_bytes.data() + i * kPageBytes, n);
+    touched_[p] = 1;
+    touched_list_.push_back(p);
+  }
+  pending_ = s.pending;
+  next_seq_ = s.next_seq;
+  port_free_ = s.port_free;
 }
 
 }  // namespace pmc::sim

@@ -54,6 +54,11 @@ class MemModule {
   /// FNV-1a hash of the entire storage (determinism checks).
   uint64_t content_hash() const;
 
+  /// Checkpoint granule for snapshot(): contents are saved per 256-byte
+  /// page, and only pages some write ever dirtied — the store starts
+  /// all-zero, so untouched pages need no bytes.
+  static constexpr uint32_t kPageBytes = 256;
+
  private:
   struct Pending {
     uint64_t arrival;
@@ -64,17 +69,40 @@ class MemModule {
       return arrival != o.arrival ? arrival > o.arrival : seq > o.seq;
     }
   };
+  using PendingQueue =
+      std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>;
 
+ public:
+  /// Deep copy of module state: dirtied page contents, the in-flight write
+  /// queue, and port/sequence clocks (DESIGN.md §10).
+  struct Snapshot {
+    std::vector<uint32_t> pages;      // dirtied page indices, first-touch order
+    std::vector<uint8_t> page_bytes;  // pages.size() * kPageBytes, same order
+    PendingQueue pending;
+    uint64_t next_seq = 0;
+    uint64_t port_free = 0;
+  };
+  Snapshot snapshot() const;
+  /// Restores to the snapshot from *any* later state of this module: pages
+  /// dirtied since (even on another explored branch) are re-zeroed first,
+  /// then the saved pages are applied.
+  void restore(const Snapshot& s);
+
+ private:
   void apply_pending(uint64_t t);
   uint8_t* at(Addr a, size_t n);
+  /// Marks [a, a+n) dirty for snapshotting. Every mutation funnels through
+  /// here — including lazily-applied posted writes at their apply time.
+  void mark_write(Addr a, size_t n);
 
   std::string name_;
   Addr base_;
   std::vector<uint8_t> store_;
-  std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
-      pending_;
+  PendingQueue pending_;
   uint64_t next_seq_ = 0;
   uint64_t port_free_ = 0;
+  std::vector<uint8_t> touched_;        // one flag per page
+  std::vector<uint32_t> touched_list_;  // set pages, first-touch order
 };
 
 }  // namespace pmc::sim

@@ -34,6 +34,19 @@ class Noc {
   uint64_t packets_sent() const { return packets_; }
   uint64_t bytes_sent() const { return bytes_; }
 
+  /// Deep copy of interconnect state: per-channel FIFO clocks + counters.
+  struct Snapshot {
+    std::vector<uint64_t> channel_last_arrival;
+    uint64_t packets = 0;
+    uint64_t bytes = 0;
+  };
+  Snapshot snapshot() const { return {channel_last_arrival_, packets_, bytes_}; }
+  void restore(const Snapshot& s) {
+    channel_last_arrival_ = s.channel_last_arrival;
+    packets_ = s.packets;
+    bytes_ = s.bytes;
+  }
+
  private:
   int index(int src, int dst) const { return src * num_tiles_ + dst; }
 

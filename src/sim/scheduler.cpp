@@ -1,16 +1,78 @@
 #include "sim/scheduler.h"
 
 #include <algorithm>
+#include <cstring>
 #include <thread>
 
 #include "util/check.h"
 
+// Fiber mode needs working swapcontext. Thread/AddressSanitizer instrument
+// stack switches poorly (false positives and shadow-stack corruption), so
+// both builds fall back to thread mode and stateless exploration.
+#if defined(__linux__)
+#define PMC_FIBERS_AVAILABLE 1
+#endif
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#undef PMC_FIBERS_AVAILABLE
+#endif
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#undef PMC_FIBERS_AVAILABLE
+#endif
+#endif
+
 namespace pmc::sim {
+
+namespace {
+
+/// 256 KiB per core: simulated bodies are shallow (app kernel -> runtime ->
+/// machine -> scheduler), but validator/backend frames plus libc leave
+/// headroom. Snapshots copy only the used slice, so the size is cheap.
+constexpr size_t kFiberStackBytes = 256 * 1024;
+
+/// x86_64 System V leaks up to 128 bytes of live data below the stack
+/// pointer (the red zone); the saved slice starts below it.
+constexpr size_t kStackSliceMargin = 128;
+
+/// A fiber's first entry has no argument channel (makecontext varargs casts
+/// trip -Wcast-function-type), so the entry trampoline finds its scheduler
+/// here. Safe across concurrent Machines: every fiber of a scheduler runs on
+/// the host thread that called run()/resume().
+thread_local Scheduler* tl_fiber_sched = nullptr;
+
+/// Stack pointer of a saved context, for used-slice snapshotting; 0 means
+/// unknown (whole stack is copied instead).
+uintptr_t saved_sp(const FiberContext& ctx) {
+#if defined(PMC_FIBERS_AVAILABLE) && defined(__x86_64__)
+  return static_cast<uintptr_t>(ctx.uc_mcontext.gregs[REG_RSP]);
+#elif defined(PMC_FIBERS_AVAILABLE) && defined(__aarch64__)
+  return static_cast<uintptr_t>(ctx.uc_mcontext.sp);
+#else
+  (void)ctx;
+  return 0;
+#endif
+}
+
+}  // namespace
 
 Scheduler::Scheduler(int num_cores, uint64_t max_cycles)
     : max_cycles_(max_cycles) {
   PMC_CHECK(num_cores >= 1);
   slots_.resize(static_cast<size_t>(num_cores));
+}
+
+bool Scheduler::fibers_supported() {
+#if defined(PMC_FIBERS_AVAILABLE)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void Scheduler::set_fiber_mode(bool on) {
+  PMC_CHECK_MSG(!on || fibers_supported(),
+                "fiber mode is unsupported on this platform/build");
+  fiber_mode_ = on;
 }
 
 int Scheduler::pick_next_locked() const {
@@ -57,6 +119,10 @@ int Scheduler::consult_policy_locked(int yielding) {
 }
 
 void Scheduler::advance(int core, uint64_t delta) {
+  if (fiber_mode_) {
+    advance_fiber(core, delta);
+    return;
+  }
   std::unique_lock<std::mutex> lk(mu_);
   PMC_CHECK_MSG(current_ == core, "advance() from a core that is not running");
   Slot& me = slots_[core];
@@ -94,6 +160,11 @@ void Scheduler::thread_main(int core, const std::function<void(int)>& body) {
 }
 
 void Scheduler::run(const std::function<void(int)>& body) {
+  if (fiber_mode_) {
+    body_ = body;
+    run_fibers();
+    return;
+  }
   for (auto& s : slots_) {
     s.time = 0;
     s.done = false;
@@ -119,6 +190,240 @@ void Scheduler::run(const std::function<void(int)>& body) {
   // Threads self-schedule: the chosen core sees current_ == id and starts.
   for (auto& t : threads) t.join();
   if (error_) std::rethrow_exception(error_);
+}
+
+// ---------------------------------------------------------------------------
+// Fiber mode (DESIGN.md §10)
+// ---------------------------------------------------------------------------
+
+bool Scheduler::all_done() const {
+  for (const Slot& s : slots_) {
+    if (!s.done) return false;
+  }
+  return true;
+}
+
+void Scheduler::fiber_entry() {
+  Scheduler* sched = tl_fiber_sched;
+  // A fiber is only ever entered when it is the current core, so its own id
+  // is exactly current_ at first dispatch.
+  sched->fiber_main(sched->current_);
+}
+
+void Scheduler::init_fibers() {
+#if defined(PMC_FIBERS_AVAILABLE)
+  if (fibers_.empty()) {
+    fibers_.resize(slots_.size());
+    for (Fiber& f : fibers_) {
+      f.stack = std::make_unique<uint8_t[]>(kFiberStackBytes);
+    }
+  }
+  for (Fiber& f : fibers_) {
+    PMC_CHECK(getcontext(&f.ctx) == 0);
+    f.ctx.uc_stack.ss_sp = f.stack.get();
+    f.ctx.uc_stack.ss_size = kFiberStackBytes;
+    f.ctx.uc_link = nullptr;  // fibers exit by explicit handoff, never return
+    makecontext(&f.ctx, &Scheduler::fiber_entry, 0);
+  }
+#endif
+}
+
+void Scheduler::maybe_checkpoint_yield(int core) {
+#if defined(PMC_FIBERS_AVAILABLE)
+  if (hook_ == nullptr) return;
+  int runnable = 0;
+  for (const Slot& s : slots_) runnable += s.done ? 0 : 1;
+  if (!hook_->wants_checkpoint(step_, runnable)) return;
+  resume_core_ = core;
+  swapcontext(&fibers_[static_cast<size_t>(core)].ctx, &main_ctx_);
+  // Restored snapshots re-enter here — after the wants_checkpoint() test —
+  // so the checkpoint that produced them is never re-offered.
+  resume_core_ = -1;
+#else
+  (void)core;
+#endif
+}
+
+void Scheduler::advance_fiber(int core, uint64_t delta) {
+#if defined(PMC_FIBERS_AVAILABLE)
+  PMC_CHECK_MSG(current_ == core, "advance() from a core that is not running");
+  Slot& me = slots_[core];
+  me.time += delta;
+  PMC_CHECK_MSG(me.time < max_cycles_,
+                "simulation watchdog: core " << core << " passed "
+                    << max_cycles_ << " cycles (deadlock?)");
+  maybe_checkpoint_yield(core);
+  const int next =
+      policy_ != nullptr ? consult_policy_locked(core) : pick_next_locked();
+  if (next == core || next == -1) return;
+  current_ = next;
+  swapcontext(&fibers_[static_cast<size_t>(core)].ctx,
+              &fibers_[static_cast<size_t>(next)].ctx);
+#else
+  (void)core;
+  (void)delta;
+#endif
+}
+
+void Scheduler::fiber_main(int core) {
+#if defined(PMC_FIBERS_AVAILABLE)
+  try {
+    body_(core);
+  } catch (...) {
+    if (!error_) error_ = std::current_exception();
+  }
+  slots_[core].done = true;
+  // A core's completion is a decision point exactly as in thread mode; it is
+  // also a checkpointable one (children of an explored schedule may branch
+  // here). Unlike thread mode the consult is guarded: a policy throw must
+  // not escape a fiber with no frame to unwind into.
+  maybe_checkpoint_yield(core);
+  int next = -1;
+  if (policy_ != nullptr) {
+    try {
+      next = consult_policy_locked(core);
+    } catch (...) {
+      if (!error_) error_ = std::current_exception();
+      next = pick_next_locked();
+    }
+  } else {
+    next = pick_next_locked();
+  }
+  if (next == -1) {
+    swapcontext(&fibers_[static_cast<size_t>(core)].ctx, &main_ctx_);
+  } else {
+    current_ = next;
+    swapcontext(&fibers_[static_cast<size_t>(core)].ctx,
+                &fibers_[static_cast<size_t>(next)].ctx);
+  }
+  // Unreachable: a done fiber is never re-dispatched, and restore()
+  // overwrites its context wholesale.
+#else
+  (void)core;
+#endif
+}
+
+void Scheduler::drive() {
+#if defined(PMC_FIBERS_AVAILABLE)
+  for (;;) {
+    swapcontext(&main_ctx_, &fibers_[static_cast<size_t>(current_)].ctx);
+    if (all_done()) break;
+    // A live fiber parked for a checkpoint: snapshot on this (main) context,
+    // then hand control straight back to it.
+    hook_->on_checkpoint(step_);
+  }
+  if (error_) std::rethrow_exception(error_);
+#endif
+}
+
+void Scheduler::run_fibers() {
+#if defined(PMC_FIBERS_AVAILABLE)
+  for (auto& s : slots_) {
+    s.time = 0;
+    s.done = false;
+    s.observable = false;
+    s.fp.clear();
+  }
+  error_ = nullptr;
+  step_ = 0;
+  frontier_ = 0;
+  resume_core_ = -1;
+  init_fibers();
+  tl_fiber_sched = this;
+  // The pre-dispatch checkpoint (the root of a stateful search) runs on the
+  // main context directly; there is no fiber to park yet.
+  if (hook_ != nullptr && hook_->wants_checkpoint(0, num_cores())) {
+    hook_->on_checkpoint(0);
+  }
+  current_ = 0;
+  if (policy_ != nullptr) {
+    current_ = consult_policy_locked(/*yielding=*/-1);
+    PMC_CHECK(current_ != -1);
+  }
+  drive();
+#else
+  PMC_CHECK_MSG(false, "fiber mode is unsupported on this platform/build");
+#endif
+}
+
+void Scheduler::resume() {
+#if defined(PMC_FIBERS_AVAILABLE)
+  PMC_CHECK_MSG(fiber_mode_ && !fibers_.empty(),
+                "resume() needs a prior fiber-mode run()");
+  tl_fiber_sched = this;
+  if (resume_core_ == -1) {
+    // Pre-dispatch snapshot: redo the initial consult (the hook is not
+    // re-offered — the restored pool already holds this checkpoint).
+    current_ = 0;
+    if (policy_ != nullptr) {
+      current_ = consult_policy_locked(/*yielding=*/-1);
+      PMC_CHECK(current_ != -1);
+    }
+  }
+  drive();
+#else
+  PMC_CHECK_MSG(false, "fiber mode is unsupported on this platform/build");
+#endif
+}
+
+Scheduler::Snapshot Scheduler::snapshot() const {
+  PMC_CHECK_MSG(fiber_mode_ && !fibers_.empty(),
+                "snapshot() needs a fiber-mode run");
+  Snapshot s;
+  s.slots.reserve(slots_.size());
+  for (const Slot& sl : slots_) {
+    s.slots.push_back({sl.time, sl.done, sl.observable, sl.fp});
+  }
+  s.step = step_;
+  s.frontier = frontier_;
+  s.current = current_;
+  s.resume_core = resume_core_;
+  s.error = error_;
+  s.fibers.reserve(fibers_.size());
+  for (const Fiber& f : fibers_) {
+    Snapshot::FiberImage img;
+    img.ctx = f.ctx;
+    const uintptr_t base = reinterpret_cast<uintptr_t>(f.stack.get());
+    const uintptr_t top = base + kFiberStackBytes;
+    uintptr_t sp = saved_sp(f.ctx);
+    if (sp <= base + kStackSliceMargin || sp > top) {
+      sp = base;  // unknown/degenerate SP: keep the whole stack (always safe)
+    } else {
+      sp -= kStackSliceMargin;
+    }
+    img.stack_off = static_cast<size_t>(sp - base);
+    img.stack.assign(f.stack.get() + img.stack_off,
+                     f.stack.get() + kFiberStackBytes);
+    s.fibers.push_back(std::move(img));
+  }
+  return s;
+}
+
+void Scheduler::restore(const Snapshot& s) {
+  PMC_CHECK_MSG(fiber_mode_ && !fibers_.empty() &&
+                    s.slots.size() == slots_.size() &&
+                    s.fibers.size() == fibers_.size(),
+                "snapshot does not fit this scheduler");
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    Slot& sl = slots_[i];
+    sl.time = s.slots[i].time;
+    sl.done = s.slots[i].done;
+    sl.observable = s.slots[i].observable;
+    sl.fp = s.slots[i].fp;
+  }
+  step_ = s.step;
+  frontier_ = s.frontier;
+  current_ = s.current;
+  resume_core_ = s.resume_core;
+  error_ = s.error;
+  for (size_t i = 0; i < fibers_.size(); ++i) {
+    Fiber& f = fibers_[i];
+    // Same-object restore keeps the glibc uc_mcontext.fpregs self-pointer
+    // (into this very ucontext_t) and the uc_stack base valid.
+    f.ctx = s.fibers[i].ctx;
+    std::memcpy(f.stack.get() + s.fibers[i].stack_off, s.fibers[i].stack.data(),
+                s.fibers[i].stack.size());
+  }
 }
 
 }  // namespace pmc::sim

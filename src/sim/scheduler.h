@@ -28,12 +28,23 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <vector>
+
+#if defined(__linux__)
+#include <ucontext.h>
+#endif
 
 #include "sim/footprint.h"
 
 namespace pmc::sim {
+
+#if defined(__linux__)
+using FiberContext = ::ucontext_t;
+#else
+struct FiberContext {};  // fiber mode unsupported off Linux; never entered
+#endif
 
 /// One runnable core at a decision point.
 struct ScheduleCandidate {
@@ -79,6 +90,21 @@ class SchedulePolicy {
   virtual bool wants_footprints() const { return false; }
 };
 
+/// Checkpoint callback for fiber-mode runs (DESIGN.md §10). Before each
+/// scheduling decision the scheduler asks wants_checkpoint(); when it returns
+/// true the running fiber parks and on_checkpoint() runs on the host (main)
+/// context, where Machine::snapshot() is safe to call — no simulated core is
+/// mid-call on its own stack frame below the yield. Both callbacks must not
+/// mutate simulator state, or byte-equality with checkpoint-free runs breaks.
+class CheckpointHook {
+ public:
+  virtual ~CheckpointHook() = default;
+  /// Called on the running fiber just before decision `step` (cheap).
+  virtual bool wants_checkpoint(uint64_t step, int runnable_cores) = 0;
+  /// Called on the main context; `step` is the decision about to be taken.
+  virtual void on_checkpoint(uint64_t step) = 0;
+};
+
 class Scheduler {
  public:
   /// max_cycles: watchdog — a core advancing past this throws (deadlocked
@@ -96,8 +122,57 @@ class Scheduler {
 
   /// Runs body(core_id) on one host thread per core under min-time
   /// scheduling; returns when all cores finish. Rethrows the first exception
-  /// any core raised.
+  /// any core raised. In fiber mode (set_fiber_mode) every core is a ucontext
+  /// fiber on the calling thread instead, with identical decision semantics.
   void run(const std::function<void(int)>& body);
+
+  /// True when this build/platform can run cores as ucontext fibers (Linux,
+  /// no Thread/AddressSanitizer — swapcontext confuses both). Callers fall
+  /// back to thread mode (and stateless exploration) when false.
+  static bool fibers_supported();
+
+  /// Selects fiber execution for subsequent run()s. Required for snapshot /
+  /// restore / resume; must be set before the first run().
+  void set_fiber_mode(bool on);
+  bool fiber_mode() const { return fiber_mode_; }
+
+  /// Installs the checkpoint callback (nullptr disables). Fiber mode only;
+  /// not owned. May be swapped between run()/resume() calls.
+  void set_checkpoint_hook(CheckpointHook* hook) { hook_ = hook; }
+
+  /// Deep copy of all scheduler-owned mutable state, including each fiber's
+  /// machine context and the used slice of its stack. Restorable only into
+  /// the *same* Scheduler (fiber stacks and the glibc ucontext FPU-state
+  /// self-pointer are address-dependent). Callable from
+  /// CheckpointHook::on_checkpoint, i.e. from the main context.
+  struct Snapshot {
+    struct SlotState {
+      uint64_t time = 0;
+      bool done = false;
+      bool observable = false;
+      Footprint fp;
+    };
+    struct FiberImage {
+      FiberContext ctx{};
+      size_t stack_off = 0;        // offset of the saved slice in the stack
+      std::vector<uint8_t> stack;  // [stack_off, stack_off + stack.size())
+    };
+    std::vector<SlotState> slots;
+    std::vector<FiberImage> fibers;
+    uint64_t step = 0;
+    uint64_t frontier = 0;
+    int current = 0;
+    int resume_core = -1;  // fiber parked at the checkpoint; -1 = pre-dispatch
+    std::exception_ptr error;
+  };
+  Snapshot snapshot() const;
+  void restore(const Snapshot& s);
+
+  /// Continues a restored run to completion (fiber mode only): re-enters the
+  /// checkpointed fiber — or redoes the initial dispatch for a pre-dispatch
+  /// snapshot — and drives until every core is done. Rethrows like run().
+  /// The checkpoint that produced the snapshot is not re-offered to the hook.
+  void resume();
 
   /// Local clock of `core`. Only meaningful from that core's own thread.
   uint64_t now(int core) const { return slots_[core].time; }
@@ -146,11 +221,30 @@ class Scheduler {
     std::condition_variable cv;
   };
 
+  struct Fiber {
+    FiberContext ctx{};
+    std::unique_ptr<uint8_t[]> stack;
+  };
+
   int pick_next_locked() const;
   /// Consults the policy, warps the chosen core's clock to the frontier and
   /// advances the frontier; returns the chosen core or -1 when all done.
+  /// (In fiber mode there is no lock — one host thread runs everything.)
   int consult_policy_locked(int yielding);
   void thread_main(int core, const std::function<void(int)>& body);
+
+  // Fiber-mode internals. Control flow mirrors thread mode exactly: the
+  // decision is consulted *on* the yielding fiber and handoffs are direct
+  // fiber-to-fiber swaps; the main context is entered only for checkpoints
+  // and at run end, so checkpointing cannot perturb decision order.
+  void run_fibers();
+  void init_fibers();
+  void drive();
+  void advance_fiber(int core, uint64_t delta);
+  void maybe_checkpoint_yield(int core);
+  void fiber_main(int core);
+  bool all_done() const;
+  static void fiber_entry();  // makecontext target; dispatches via a TLS ptr
 
   mutable std::mutex mu_;
   std::deque<Slot> slots_;
@@ -161,6 +255,13 @@ class Scheduler {
   bool record_fp_ = false;  // policy_->wants_footprints(), cached
   uint64_t step_ = 0;      // decision counter (policy runs only)
   uint64_t frontier_ = 0;  // latest dispatch time (policy runs only)
+
+  bool fiber_mode_ = false;
+  std::vector<Fiber> fibers_;  // allocated on the first fiber-mode run()
+  FiberContext main_ctx_{};
+  CheckpointHook* hook_ = nullptr;
+  int resume_core_ = -1;  // fiber parked at the live checkpoint, -1 otherwise
+  std::function<void(int)> body_;  // persists across restore()/resume()
 };
 
 }  // namespace pmc::sim

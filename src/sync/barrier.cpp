@@ -38,4 +38,9 @@ void Barrier::wait(sim::Core& core) {
   }
 }
 
+void Barrier::register_state(sim::Machine& m) {
+  m.register_state(epoch_.data(), epoch_.size() * sizeof(uint32_t));
+  m.register_state(&rounds_, sizeof(rounds_));
+}
+
 }  // namespace pmc::sync

@@ -21,6 +21,10 @@ class Barrier {
 
   uint64_t rounds() const { return rounds_; }
 
+  /// Registers host-side mutable state (per-core epochs, round counter)
+  /// with the machine's snapshot contract (DESIGN.md §10).
+  void register_state(sim::Machine& m);
+
  private:
   sim::Machine& m_;
   sim::Addr count_;

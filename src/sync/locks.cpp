@@ -143,4 +143,21 @@ void DistLockManager::release(sim::Core& core, int lock) {
   ++handoffs_;
 }
 
+void SpinLockManager::register_state(sim::Machine& m) {
+  if (num_locks_ == 0) return;
+  m.register_state(prev_holder_.data(), prev_holder_.size() * sizeof(int));
+  m.register_state(last_owner_.data(), last_owner_.size() * sizeof(int));
+  m.register_state(current_holder_.data(),
+                   current_holder_.size() * sizeof(int));
+}
+
+void DistLockManager::register_state(sim::Machine& m) {
+  m.register_state(&handoffs_, sizeof(handoffs_));
+  if (num_locks_ == 0) return;
+  m.register_state(prev_holder_.data(), prev_holder_.size() * sizeof(int));
+  m.register_state(last_owner_.data(), last_owner_.size() * sizeof(int));
+  m.register_state(current_holder_.data(),
+                   current_holder_.size() * sizeof(int));
+}
+
 }  // namespace pmc::sync

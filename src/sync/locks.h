@@ -47,6 +47,11 @@ class LockManager {
   virtual int previous_holder(int lock) const = 0;
   /// The most recent owner of the lock (or -1 if never acquired).
   virtual int last_owner(int lock) const = 0;
+
+  /// Registers all host-side mutable bookkeeping (holder history, handoff
+  /// counters) with the machine's snapshot contract (DESIGN.md §10). Call
+  /// after the last create() — vector storage must be final.
+  virtual void register_state(sim::Machine& m) = 0;
 };
 
 /// Naive remote test-and-set lock.
@@ -60,6 +65,7 @@ class SpinLockManager final : public LockManager {
   void release(sim::Core& core, int lock) override;
   int previous_holder(int lock) const override { return prev_holder_[lock]; }
   int last_owner(int lock) const override { return last_owner_[lock]; }
+  void register_state(sim::Machine& m) override;
 
  private:
   sim::Addr word(int lock) const;
@@ -87,6 +93,7 @@ class DistLockManager final : public LockManager {
   void release(sim::Core& core, int lock) override;
   int previous_holder(int lock) const override { return prev_holder_[lock]; }
   int last_owner(int lock) const override { return last_owner_[lock]; }
+  void register_state(sim::Machine& m) override;
 
   uint64_t handoffs() const { return handoffs_; }
 
