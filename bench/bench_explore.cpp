@@ -28,6 +28,7 @@
 #include "explore/check.h"
 #include "explore/litmus_driver.h"
 #include "model/litmus_library.h"
+#include "obs/trace.h"
 #include "sim/scheduler.h"
 
 using namespace pmc;
@@ -127,6 +128,7 @@ int main(int argc, char** argv) {
   double best_rate = 0;
   uint64_t scaling_explored = 0;
   int measured_jobs = 1;  // the curve doubles, so record what actually ran
+  std::vector<uint64_t> last_steals;  // per-worker, from the widest run
   for (int jobs = 1; jobs <= max_jobs; jobs *= 2) {
     measured_jobs = jobs;
     explore::SessionOptions popts = sopts;
@@ -134,6 +136,7 @@ int main(int argc, char** argv) {
     popts.engine = explore::Engine::kParallel;
     const explore::CheckSession scaled(popts);
     uint64_t explored = 0;
+    std::vector<uint64_t> steals(static_cast<size_t>(jobs), 0);
     const auto t0 = std::chrono::steady_clock::now();
     for (rt::Target t : rt::sim_targets()) {
       const explore::LitmusTarget target(model::litmus::fig4_exclusive(), t);
@@ -145,7 +148,12 @@ int main(int argc, char** argv) {
         return 1;
       }
       explored += rep.explored;
+      for (size_t w = 0;
+           w < rep.worker_steals.size() && w < steals.size(); ++w) {
+        steals[w] += rep.worker_steals[w];
+      }
     }
+    last_steals = std::move(steals);
     const double secs = seconds_since(t0);
     if (scaling_explored == 0) {
       scaling_explored = explored;
@@ -173,6 +181,14 @@ int main(int argc, char** argv) {
   json.add("scaling_jobs", measured_jobs);
   json.add("scaling_explored", scaling_explored);
   json.add("parallel_speedup", base_rate > 0 ? best_rate / base_rate : 0.0);
+  // Work-stealing telemetry from the widest run: how evenly the frontier
+  // sharded. Wall-clock-ish (scheduling-dependent), recorded not asserted.
+  uint64_t steals_total = 0;
+  for (size_t w = 0; w < last_steals.size(); ++w) {
+    json.add("steals_worker_" + std::to_string(w), last_steals[w]);
+    steals_total += last_steals[w];
+  }
+  json.add("steals_total", steals_total);
 
   // DPOR: explored-schedule reduction at identical failing sets (DESIGN.md
   // §8). The reduction is a property of the fixed schedule tree, not of the
@@ -364,6 +380,91 @@ int main(int argc, char** argv) {
     json.add("apps_schedules_per_sec",
              apps_secs > 0 ? static_cast<double>(apps_explored) / apps_secs
                            : 0.0);
+  }
+
+  // hb-class discovery curve: distinct happens-before classes after
+  // 1, 2, 4, ... explored schedules of the fig4_exclusive sweep on SWCC
+  // (sequential engine, dpor off: a deterministic saturation curve). A
+  // curve that flattens long before the space exhausts is the signal that
+  // raising the bounds buys coverage, not behaviors.
+  {
+    explore::SessionOptions hopts = sopts;
+    hopts.jobs = 1;
+    hopts.engine = explore::Engine::kSequential;
+    hopts.explore.dpor = explore::DporMode::kOff;
+    hopts.explore.sample_hb_curve = true;
+    const explore::CheckSession hb_session(hopts);
+    const explore::LitmusTarget target(model::litmus::fig4_exclusive(),
+                                       rt::Target::kSWCC);
+    const auto rep = hb_session.explore(target);
+    std::printf("hb-class discovery (fig4_exclusive@swcc): %llu classes in "
+                "%llu schedules, curve",
+                static_cast<unsigned long long>(rep.distinct_traces),
+                static_cast<unsigned long long>(rep.explored));
+    for (size_t i = 0; i < rep.hb_curve.size(); ++i) {
+      std::printf(" %llu", static_cast<unsigned long long>(rep.hb_curve[i]));
+      json.add("hb_classes_curve_" + std::to_string(i), rep.hb_curve[i]);
+    }
+    std::printf("\n\n");
+    json.add("hb_classes_final", rep.distinct_traces);
+    json.add("hb_classes_schedules", rep.explored);
+  }
+
+  // Tracing overhead: a machine with no recorder attached must pay one
+  // predictable branch per instrumentation point, and an attached-but-
+  // disarmed recorder two. Price it end-to-end: repeated replays of the
+  // default schedule through the stateless engine, detached vs disarmed.
+  // The target is <2%; this host may be a loaded single vCPU, so the bench
+  // records the number, warns past 2%, and only fails on a gross (>10%)
+  // regression.
+  {
+    explore::SessionOptions ropts = sopts;
+    ropts.jobs = 1;
+    ropts.engine = explore::Engine::kSequential;
+    ropts.engine_state = explore::EngineState::kReplay;
+    const explore::CheckSession replay_session(ropts);
+    const explore::LitmusTarget target(model::litmus::fig5_mp_annotated(),
+                                       rt::Target::kSWCC);
+    const explore::DecisionString default_schedule;
+    obs::TraceRecorder rec;
+    rec.disarm();
+    const int reps =
+        static_cast<int>(bench::flag_int(argc, argv, "overhead-reps", 40));
+    double detached = 1e300;
+    double disarmed = 1e300;
+    for (int pass = 0; pass < 3; ++pass) {  // min-of-3 rejects host noise
+      auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < reps; ++i) {
+        if (!replay_session.replay(target, default_schedule).ok) return 1;
+      }
+      detached = std::min(detached, seconds_since(t0));
+      t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < reps; ++i) {
+        if (!replay_session
+                 .replay_traced(target, default_schedule, &rec)
+                 .ok) {
+          return 1;
+        }
+      }
+      disarmed = std::min(disarmed, seconds_since(t0));
+    }
+    const double overhead_pct =
+        detached > 0 ? (disarmed - detached) / detached * 100.0 : 0.0;
+    std::printf("trace overhead (disarmed recorder vs detached, %d replays "
+                "x3): %.2f%%\n\n",
+                reps, overhead_pct);
+    json.add("trace_overhead_pct", overhead_pct);
+    if (overhead_pct > 10.0) {
+      std::fprintf(stderr,
+                   "!! disarmed-recorder overhead %.1f%% — the "
+                   "instrumentation guard regressed\n",
+                   overhead_pct);
+      return 1;
+    }
+    if (overhead_pct > 2.0) {
+      std::printf("note: overhead above the 2%% target — expected only on "
+                  "loaded/1-vCPU hosts\n\n");
+    }
   }
 
   // Seeded-bug mode: schedules until the injected missing flush is exposed.

@@ -16,10 +16,17 @@
 //   explore_litmus --engine-state=replay --backend=swcc  # stateless cross-check
 //   explore_litmus --fuzz=8 --jobs=2 --json
 //   explore_litmus --fuzz-seed=3 --backend=swcc --replay=2:1
+//   explore_litmus --progress --backend=swcc   # live schedules/s + ETA line
+//   explore_litmus --seed-bug --backend=dsm --trace-out=fault.json
+//   explore_litmus --backend=dsm --test=fig4_exclusive --replay=3:1 \
+//       --trace-out=run.json           # cycle trace for ui.perfetto.dev
 //   explore_litmus --outcomes          # model-level reachable-outcome table
 //   explore_litmus --dot               # Fig. 5 execution graph as Graphviz
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "bench/bench_common.h"
@@ -28,6 +35,7 @@
 #include "explore/litmus_driver.h"
 #include "model/execution.h"
 #include "model/litmus_library.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/table.h"
 
@@ -110,9 +118,29 @@ explore::ProgramShape fuzz_shape(uint64_t seed, int argc, char** argv) {
   return shape;
 }
 
+/// Writes the recorder's buffer as a Chrome trace-event JSON file; load it
+/// at https://ui.perfetto.dev.
+bool write_trace(const obs::TraceRecorder& rec, const char* path) {
+  const std::string doc = obs::chrome_trace_json(rec);
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write trace file %s\n", path);
+    return false;
+  }
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  std::printf("trace: %zu event(s)%s -> %s (load at https://ui.perfetto.dev)\n",
+              rec.size(),
+              rec.dropped() != 0
+                  ? (" (+" + std::to_string(rec.dropped()) + " dropped)").c_str()
+                  : "",
+              path);
+  return true;
+}
+
 int run_replay(const explore::CheckSession& session,
                const explore::CheckTarget& target, const char* backend,
-               const char* decisions) {
+               const char* decisions, const char* trace_out) {
   explore::DecisionString ds;
   try {
     ds = explore::parse_decision_string(decisions);
@@ -121,7 +149,10 @@ int run_replay(const explore::CheckSession& session,
     return 2;
   }
   bool applied = false;
-  const auto out = session.replay(target, ds, &applied);
+  obs::TraceRecorder rec;
+  const auto out = trace_out != nullptr
+                       ? session.replay_traced(target, ds, &rec, &applied)
+                       : session.replay(target, ds, &applied);
   if (!applied) {
     std::fprintf(stderr,
                  "schedule \"%s\" does not match this program: some "
@@ -130,6 +161,7 @@ int run_replay(const explore::CheckSession& session,
                  explore::to_string(ds).c_str());
     return 2;
   }
+  if (trace_out != nullptr && !write_trace(rec, trace_out)) return 2;
   std::printf("%s on %s, schedule \"%s\": %s\n", target.name().c_str(),
               backend, explore::to_string(ds).c_str(),
               out.ok ? "model-valid" : out.message.c_str());
@@ -137,7 +169,7 @@ int run_replay(const explore::CheckSession& session,
 }
 
 int run_seed_bug(rt::Target target, const explore::CheckSession& session,
-                 bench::JsonReport& json) {
+                 bench::JsonReport& json, const char* trace_out) {
   if (!explore::has_seeded_fault(target)) {
     std::printf("%-6s no seedable protocol fault (no-CC has no coherence "
                 "actions to omit) — skipped\n",
@@ -176,6 +208,14 @@ int run_seed_bug(rt::Target target, const explore::CheckSession& session,
   const std::string key = std::string("seedbug_") + rt::to_string(target);
   json.add(key + "_failing", rep.failing);
   json.add(key + "_explored", rep.explored);
+  if (trace_out != nullptr) {
+    // Re-run the minimized failing schedule with the cycle recorder armed:
+    // the exported timeline shows the protocol fault the fuzzer found
+    // (e.g. the skipped flush) as it unfolds across the cores.
+    obs::TraceRecorder rec;
+    session.replay_traced(check, rep.minimized_schedule, &rec);
+    if (!write_trace(rec, trace_out)) return 1;
+  }
   return confirm.ok ? 1 : 0;
 }
 
@@ -416,10 +456,50 @@ int main(int argc, char** argv) {
       static_cast<int64_t>(sopts.snapshot_stride)));
   sopts.snapshot_pool = static_cast<size_t>(flag_int(
       argc, argv, "snapshot-pool", static_cast<int64_t>(sopts.snapshot_pool)));
+  if (flag_set(argc, argv, "progress")) {
+    // Telemetry-only live line on stderr: schedules/s plus the worst-case
+    // ETA against the --max-schedules bound (the space usually exhausts
+    // earlier). The engines call this from worker threads; the shared
+    // state is mutex-guarded and restarts the clock whenever the explored
+    // counter rewinds (a new exploration began).
+    struct ProgressClock {
+      std::mutex mu;
+      std::chrono::steady_clock::time_point start =
+          std::chrono::steady_clock::now();
+      uint64_t last = 0;
+    };
+    auto clk = std::make_shared<ProgressClock>();
+    cfg.progress = [clk, bound = cfg.max_schedules](
+                       const explore::ProgressUpdate& u) {
+      std::lock_guard<std::mutex> lk(clk->mu);
+      if (u.explored < clk->last) {
+        clk->start = std::chrono::steady_clock::now();
+      }
+      clk->last = u.explored;
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        clk->start)
+              .count();
+      const double rate =
+          secs > 0 ? static_cast<double>(u.explored) / secs : 0;
+      const double eta = rate > 0 && bound > u.explored
+                             ? static_cast<double>(bound - u.explored) / rate
+                             : 0;
+      std::fprintf(stderr,
+                   "\r[explore] %llu/%llu schedules  %.0f/s  eta<=%.1fs  "
+                   "hb-classes %llu  failing %llu   ",
+                   static_cast<unsigned long long>(u.explored),
+                   static_cast<unsigned long long>(bound), rate, eta,
+                   static_cast<unsigned long long>(u.distinct_traces),
+                   static_cast<unsigned long long>(u.failing));
+      std::fflush(stderr);
+    };
+  }
   const int jobs = sopts.jobs;
   const auto backends = parse_backends(flag_str(argc, argv, "backend", nullptr));
   const char* test_filter = flag_str(argc, argv, "test", nullptr);
   const char* replay = flag_str(argc, argv, "replay", nullptr);
+  const char* trace_out = flag_str(argc, argv, "trace-out", nullptr);
   const char* app = flag_str(argc, argv, "app", nullptr);
   const int64_t fuzz_count = flag_int(argc, argv, "fuzz", 0);
   const int64_t fuzz_seed = flag_int(argc, argv, "fuzz-seed", -1);
@@ -463,7 +543,8 @@ int main(int argc, char** argv) {
                                           : rt::FaultInjection{};
     const explore::GenProgramTarget target(prog, backends[0], faults);
     const explore::CheckSession session(sopts);
-    return run_replay(session, target, rt::to_string(backends[0]), replay);
+    return run_replay(session, target, rt::to_string(backends[0]), replay,
+                      trace_out);
   }
   if (fuzz_count > 0 || fuzz_seed >= 0) {
     // Fuzz defaults trade horizon for program count; explicit flags win.
@@ -489,7 +570,9 @@ int main(int argc, char** argv) {
   json.add("horizon", cfg.horizon);
   if (flag_set(argc, argv, "seed-bug")) {
     int rc = 0;
-    for (rt::Target t : backends) rc |= run_seed_bug(t, session, json);
+    for (rt::Target t : backends) {
+      rc |= run_seed_bug(t, session, json, trace_out);
+    }
     return json.maybe_write(argc, argv) ? rc : 1;
   }
 
@@ -511,7 +594,8 @@ int main(int argc, char** argv) {
       return 2;
     }
     const explore::LitmusTarget target(tests[0], backends[0]);
-    return run_replay(session, target, rt::to_string(target.target()), replay);
+    return run_replay(session, target, rt::to_string(target.target()), replay,
+                      trace_out);
   }
 
   std::printf("schedule exploration: preemptions<=%d, horizon=%llu, "

@@ -1,6 +1,7 @@
 #include "explore/check.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <unordered_map>
@@ -10,6 +11,8 @@
 #include "explore/litmus_driver.h"
 #include "explore/parallel_explorer.h"
 #include "explore/stateful.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/hash.h"
 
@@ -774,6 +777,29 @@ RunOutcome CheckSession::replay(const ScheduleRunner& runner,
   return ex.replay(schedule, opts_.explore.horizon, fully_applied);
 }
 
+RunOutcome CheckSession::replay_traced(const CheckTarget& target,
+                                       const DecisionString& schedule,
+                                       obs::TraceRecorder* recorder,
+                                       bool* fully_applied) const {
+  PMC_CHECK(recorder != nullptr);
+  // Replays only consume the verdict, never the DPOR recording.
+  ReplayPolicy policy(schedule, opts_.explore.horizon,
+                      /*record_footprints=*/false);
+  RunOutcome out;
+  if (target.stateful_capable()) {
+    StatefulSpec spec = target.make_spec();
+    spec.opts.trace = recorder;
+    out = run_spec_once(spec, policy);
+  } else {
+    // No ProgramOptions to attach the recorder to: run untraced.
+    out = target.run(policy);
+  }
+  if (fully_applied != nullptr) {
+    *fully_applied = policy.unused_overrides() == 0;
+  }
+  return out;
+}
+
 DecisionString CheckSession::minimize(const CheckTarget& target,
                                       DecisionString failing) const {
   if (stateful(target)) {
@@ -809,7 +835,20 @@ DecisionString CheckSession::minimize(const ScheduleRunner& runner,
 CheckReport CheckSession::check(const CheckTarget& target) const {
   CheckReport rep;
   rep.target = target.name();
+  const auto t0 = std::chrono::steady_clock::now();
   const ExploreReport r = explore(target);
+  rep.telemetry.explore_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  rep.telemetry.schedules_per_sec =
+      rep.telemetry.explore_seconds > 0
+          ? static_cast<double>(r.explored) / rep.telemetry.explore_seconds
+          : 0;
+  rep.telemetry.snapshots_taken = r.snapshots_taken;
+  rep.telemetry.snapshot_hits = r.snapshot_hits;
+  rep.telemetry.snapshot_misses = r.snapshot_misses;
+  rep.telemetry.worker_steals = r.worker_steals;
+  rep.telemetry.hb_curve = r.hb_curve;
   rep.explored = r.explored;
   rep.pruned = r.pruned;
   rep.dpor_pruned = r.dpor_pruned;
@@ -858,6 +897,7 @@ CheckReport CheckSession::check(const CheckTarget& target) const {
         cur = owned.get();
         cur_rep = cand_rep;
         changed = true;
+        ++rep.telemetry.shrink_rounds;
         break;
       }
     }
@@ -899,6 +939,50 @@ std::string CheckReport::to_text() const {
       s += "minimized_target:\n" + minimized_listing;
     }
   }
+  return s;
+}
+
+std::string CheckReport::to_json() const {
+  // The numeric payload goes through the metrics registry: one export path
+  // for session counters, bench numbers, and dashboards alike.
+  obs::MetricsRegistry m;
+  m.inc("explored", explored);
+  m.inc("pruned", pruned);
+  m.inc("dpor_pruned", dpor_pruned);
+  m.inc("distinct_traces", distinct_traces);
+  m.inc("failing", failing);
+  m.inc("max_decision_points", max_decision_points);
+  m.inc("shrink_rounds", telemetry.shrink_rounds);
+  m.inc("snapshots_taken", telemetry.snapshots_taken);
+  m.inc("snapshot_hits", telemetry.snapshot_hits);
+  m.inc("snapshot_misses", telemetry.snapshot_misses);
+  for (size_t w = 0; w < telemetry.worker_steals.size(); ++w) {
+    m.inc("steals_worker_" + std::to_string(w), telemetry.worker_steals[w]);
+  }
+  m.set_gauge("explore_seconds", telemetry.explore_seconds);
+  m.set_gauge("schedules_per_sec", telemetry.schedules_per_sec);
+
+  std::string s = "{\"target\":" + obs::json_quote(target);
+  s += ",\"ok\":";
+  s += ok ? "true" : "false";
+  s += ",\"truncated\":";
+  s += truncated ? "true" : "false";
+  if (failing > 0) {
+    s += ",\"first_failing\":" +
+         obs::json_quote(explore::to_string(first_failing));
+    s += ",\"first_failing_message\":" + obs::json_quote(first_failing_message);
+    s += ",\"repro_schedule\":" +
+         obs::json_quote(explore::to_string(repro_schedule));
+    s += ",\"minimized_schedule\":" +
+         obs::json_quote(explore::to_string(minimized_schedule));
+  }
+  s += ",\"hb_curve\":[";
+  for (size_t i = 0; i < telemetry.hb_curve.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(telemetry.hb_curve[i]);
+  }
+  s += "],\"metrics\":" + m.to_json();
+  s += "}";
   return s;
 }
 

@@ -31,6 +31,7 @@
 #include "explore/program_gen.h"
 #include "model/litmus.h"
 #include "model/trace.h"
+#include "obs/trace.h"
 #include "runtime/program.h"
 
 namespace pmc::explore {
@@ -296,9 +297,29 @@ struct SessionOptions {
   size_t snapshot_pool = 128;
 };
 
+/// Wall-clock and engine observability of one check() call. Everything in
+/// here is telemetry: timing-, engine-, and job-count-dependent, and
+/// therefore excluded from CheckReport::to_text (which stays byte-identical
+/// across engines). to_json() carries it for dashboards and bench harnesses.
+struct SessionTelemetry {
+  double explore_seconds = 0;
+  double schedules_per_sec = 0;
+  /// Accepted single-step target reductions during shrinking.
+  uint64_t shrink_rounds = 0;
+  // Snapshot-engine counters (ExploreReport passthrough).
+  uint64_t snapshots_taken = 0;
+  uint64_t snapshot_hits = 0;
+  uint64_t snapshot_misses = 0;
+  /// Successful steals per worker (parallel engine; empty otherwise).
+  std::vector<uint64_t> worker_steals;
+  /// hb-class discovery curve (only when explore.sample_hb_curve).
+  std::vector<uint64_t> hb_curve;
+};
+
 /// Canonical result of CheckSession::check. Deliberately excludes the
 /// wall-clock-ish schedules_to_first_failure (use CheckSession::explore for
-/// it): every field here is deterministic for (target, options).
+/// it): every field except `telemetry` is deterministic for
+/// (target, options).
 struct CheckReport {
   std::string target;
   uint64_t explored = 0;
@@ -326,9 +347,16 @@ struct CheckReport {
   DecisionString minimized_schedule;
   std::string minimized_message;
 
+  /// Session observability; the only non-deterministic field.
+  SessionTelemetry telemetry;
+
   /// Canonical multi-line rendering; byte-identical across engines and job
   /// counts (absent truncation) — what the determinism suites compare.
+  /// Excludes `telemetry` entirely.
   std::string to_text() const;
+  /// One-line JSON rendering of the deterministic fields plus a
+  /// "telemetry" block, built on the obs::MetricsRegistry export.
+  std::string to_json() const;
 };
 
 /// Owns engine selection, bounds, DPOR mode, and failure minimization —
@@ -360,6 +388,17 @@ class CheckSession {
   ExploreReport explore(const ScheduleRunner& runner) const;
   RunOutcome replay(const CheckTarget& target, const DecisionString& schedule,
                     bool* fully_applied = nullptr) const;
+  /// Replays one schedule with a cycle recorder attached to the machine
+  /// (always the stateless path: tracing wants one uninterrupted
+  /// execution). Needs the target's make_spec() to reach ProgramOptions, so
+  /// targets that are not stateful_capable() run untraced — the verdict is
+  /// still correct, the recorder just stays empty. The recorded events are
+  /// a pure function of (target, schedule): byte-identical across engines
+  /// and job counts, which tests/explore/test_trace_determinism.cpp locks.
+  RunOutcome replay_traced(const CheckTarget& target,
+                           const DecisionString& schedule,
+                           obs::TraceRecorder* recorder,
+                           bool* fully_applied = nullptr) const;
   RunOutcome replay(const ScheduleRunner& runner, const DecisionString& schedule,
                     bool* fully_applied = nullptr) const;
   DecisionString minimize(const CheckTarget& target,

@@ -174,6 +174,7 @@ ExploreReport Explorer::explore(const ExploreConfig& cfg) {
   std::vector<FrontierNode> stack;
   stack.push_back({});
   bool have_failing = false;
+  const uint64_t stride = cfg.progress_stride == 0 ? 1 : cfg.progress_stride;
   while (!stack.empty()) {
     if (rep.explored >= cfg.max_schedules) {
       rep.truncated = true;
@@ -186,6 +187,15 @@ ExploreReport Explorer::explore(const ExploreConfig& cfg) {
     const RunOutcome out = runner_(policy);
     ++rep.explored;
     traces.insert(out.trace_hash);
+    // Power-of-two samples make the discovery curve O(log n) regardless of
+    // the space size, which is what a saturation plot needs.
+    if (cfg.sample_hb_curve && (rep.explored & (rep.explored - 1)) == 0) {
+      rep.hb_curve.push_back(traces.size());
+    }
+    if (cfg.progress && rep.explored % stride == 0) {
+      cfg.progress({rep.explored, rep.pruned, rep.dpor_pruned, rep.failing,
+                    traces.size(), cfg.max_schedules});
+    }
     rep.max_decision_points =
         std::max(rep.max_decision_points, policy.decision_points());
     if (!out.ok) {
@@ -209,6 +219,15 @@ ExploreReport Explorer::explore(const ExploreConfig& cfg) {
     for (FrontierNode& child : children) stack.push_back(std::move(child));
   }
   rep.distinct_traces = traces.size();
+  // Close the curve and the progress stream on the final totals.
+  if (cfg.sample_hb_curve && rep.explored > 0 &&
+      (rep.explored & (rep.explored - 1)) != 0) {
+    rep.hb_curve.push_back(traces.size());
+  }
+  if (cfg.progress) {
+    cfg.progress({rep.explored, rep.pruned, rep.dpor_pruned, rep.failing,
+                  traces.size(), cfg.max_schedules});
+  }
   std::sort(rep.failing_schedules.begin(), rep.failing_schedules.end(),
             lex_less);
   return rep;

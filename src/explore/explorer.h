@@ -43,6 +43,20 @@ const char* to_string(DporMode mode);
 /// "off" | "footprint" | "sleepset"; nullopt on anything else.
 std::optional<DporMode> dpor_mode_from_string(std::string_view text);
 
+/// Live exploration counters handed to ExploreConfig::progress. All values
+/// are monotone totals as of the callback; `distinct_traces` is exact for
+/// the sequential engine and a lower bound mid-run for the parallel one.
+struct ProgressUpdate {
+  uint64_t explored = 0;
+  uint64_t pruned = 0;
+  uint64_t dpor_pruned = 0;
+  uint64_t failing = 0;
+  uint64_t distinct_traces = 0;
+  /// The session's schedule budget (ExploreConfig::max_schedules), so a
+  /// consumer can render "explored / bound" without plumbing the config.
+  uint64_t max_schedules = 0;
+};
+
 struct ExploreConfig {
   /// Maximum overrides per schedule (preemption bound).
   int preemption_bound = 2;
@@ -64,6 +78,18 @@ struct ExploreConfig {
   /// Collect every failing decision string into the report (sorted
   /// lexicographically). Off by default to bound memory on huge spaces.
   bool collect_failing = false;
+  /// Telemetry-only progress callback, invoked every `progress_stride`
+  /// completed schedules plus once when the space is exhausted. The
+  /// parallel engine calls it from whichever worker crosses the stride, so
+  /// the callback must be thread-safe; it never affects the explored tree.
+  using ProgressFn = std::function<void(const ProgressUpdate&)>;
+  ProgressFn progress;
+  uint64_t progress_stride = 64;
+  /// Sample the hb-class discovery curve into ExploreReport::hb_curve:
+  /// cumulative distinct trace hashes after 1, 2, 4, ... explored
+  /// schedules. Costs one shared set insertion per schedule under the
+  /// parallel engine, so off by default.
+  bool sample_hb_curve = false;
 };
 
 /// Verdict of one schedule, produced by the runner.
@@ -109,6 +135,15 @@ struct ExploreReport {
   uint64_t snapshots_taken = 0;
   uint64_t snapshot_hits = 0;
   uint64_t snapshot_misses = 0;
+  /// hb-class discovery curve (only when ExploreConfig::sample_hb_curve):
+  /// distinct trace hashes seen after 1, 2, 4, ... explored schedules, plus
+  /// a final sample. Deterministic for the sequential engine; traversal-
+  /// order-dependent (wall-clock-ish) for the parallel one. Telemetry-only,
+  /// excluded from CheckReport::to_text like the snapshot counters.
+  std::vector<uint64_t> hb_curve;
+  /// Successful steals per worker (parallel engine; empty for the
+  /// sequential one). Telemetry-only.
+  std::vector<uint64_t> worker_steals;
 };
 
 /// One sleeping alternative: core `core`'s pending segment (footprint `fp`)

@@ -69,6 +69,17 @@ ExploreReport ParallelExplorer::explore(const ExploreConfig& cfg) {
   std::vector<std::unordered_set<uint64_t>> traces(
       static_cast<size_t>(jobs));
   std::vector<std::vector<DecisionString>> fails(static_cast<size_t>(jobs));
+  std::vector<uint64_t> steals(static_cast<size_t>(jobs), 0);
+
+  // Telemetry needing a *live* distinct-trace count (the discovery curve,
+  // progress callbacks) funnels every hash through one shared set instead
+  // of the per-worker sets merged at the end. One lock per schedule, each
+  // amortized by a full program re-execution.
+  const bool live_traces = cfg.sample_hb_curve || cfg.progress != nullptr;
+  const uint64_t stride = cfg.progress_stride == 0 ? 1 : cfg.progress_stride;
+  std::mutex live_mu;
+  std::unordered_set<uint64_t> live_set;
+  std::vector<uint64_t> curve;  // indexed by log2(explored) sample slot
 
   auto worker = [&](int self) {
     Shard& own = shards[static_cast<size_t>(self)];
@@ -91,6 +102,7 @@ ExploreReport ParallelExplorer::explore(const ExploreConfig& cfg) {
           if (!victim.dq.empty()) {
             task = std::move(victim.dq.front());
             victim.dq.pop_front();
+            ++steals[static_cast<size_t>(self)];
           }
         }
       }
@@ -110,7 +122,26 @@ ExploreReport ParallelExplorer::explore(const ExploreConfig& cfg) {
                           /*record_footprints=*/cfg.dpor != DporMode::kOff);
       const RunOutcome out = runner(policy);
       const uint64_t done = explored.fetch_add(1) + 1;
-      local_traces.insert(out.trace_hash);
+      if (live_traces) {
+        uint64_t distinct = 0;
+        {
+          std::lock_guard<std::mutex> lk(live_mu);
+          live_set.insert(out.trace_hash);
+          distinct = live_set.size();
+          if (cfg.sample_hb_curve && (done & (done - 1)) == 0) {
+            size_t idx = 0;
+            for (uint64_t d = done; d >>= 1;) ++idx;
+            if (curve.size() <= idx) curve.resize(idx + 1, 0);
+            curve[idx] = distinct;
+          }
+        }
+        if (cfg.progress && done % stride == 0) {
+          cfg.progress({done, pruned.load(), dpor_pruned.load(),
+                        failing.load(), distinct, cfg.max_schedules});
+        }
+      } else {
+        local_traces.insert(out.trace_hash);
+      }
       uint64_t prev = max_points.load();
       while (prev < policy.decision_points() &&
              !max_points.compare_exchange_weak(prev, policy.decision_points())) {
@@ -161,9 +192,24 @@ ExploreReport ParallelExplorer::explore(const ExploreConfig& cfg) {
   rep.first_failing_message = std::move(best_message);
   rep.schedules_to_first_failure = first_fail_at.load();
   rep.max_decision_points = max_points.load();
-  std::unordered_set<uint64_t> merged;
-  for (auto& s : traces) merged.insert(s.begin(), s.end());
-  rep.distinct_traces = merged.size();
+  if (live_traces) {
+    rep.distinct_traces = live_set.size();
+    if (cfg.sample_hb_curve) {
+      rep.hb_curve = std::move(curve);
+      if (rep.explored > 0 && (rep.explored & (rep.explored - 1)) != 0) {
+        rep.hb_curve.push_back(rep.distinct_traces);
+      }
+    }
+    if (cfg.progress) {
+      cfg.progress({rep.explored, rep.pruned, rep.dpor_pruned, rep.failing,
+                    rep.distinct_traces, cfg.max_schedules});
+    }
+  } else {
+    std::unordered_set<uint64_t> merged;
+    for (auto& s : traces) merged.insert(s.begin(), s.end());
+    rep.distinct_traces = merged.size();
+  }
+  rep.worker_steals = std::move(steals);
   for (auto& f : fails) {
     rep.failing_schedules.insert(rep.failing_schedules.end(),
                                  std::make_move_iterator(f.begin()),

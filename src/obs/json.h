@@ -1,0 +1,65 @@
+// Minimal JSON emission helpers shared by the obs writers (trace export,
+// metrics registry). Emission only — the observability layer never parses
+// JSON — and deterministic: the same input bytes always produce the same
+// output bytes, which is what the trace byte-equality suites compare.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace pmc::obs {
+
+/// Escapes and quotes `s` as a JSON string literal.
+inline std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+/// Formats a double as a bare JSON number ("%.6g", matching the BENCH_*.json
+/// convention in bench/bench_common.h). "%.6g" can produce "inf"/"nan" which
+/// is not JSON — callers must not pass non-finite values; 0 is emitted
+/// instead to keep the document parseable.
+inline std::string json_number(double v) {
+  if (!(v == v) || v > 1.7e308 || v < -1.7e308) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+inline std::string json_number(uint64_t v) {
+  return std::to_string(v);
+}
+
+}  // namespace pmc::obs

@@ -1,0 +1,99 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.h"
+
+namespace pmc::obs {
+
+void Histogram::observe(double v) {
+  if (count == 0) {
+    min = max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  ++count;
+  sum += v;
+  int b = 0;
+  if (v >= 1) {
+    b = 1 + static_cast<int>(std::floor(std::log2(v)));
+    b = std::min(b, kBuckets - 1);
+  }
+  ++buckets[b];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  for (int i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+uint64_t MetricsRegistry::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+const Histogram* MetricsRegistry::histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [k, v] : other.counters_) counters_[k] += v;
+  for (const auto& [k, v] : other.gauges_) gauges_[k] = v;
+  for (const auto& [k, v] : other.histograms_) histograms_[k].merge(v);
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [k, v] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += json_quote(k) + ":" + json_number(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [k, v] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += json_quote(k) + ":" + json_number(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [k, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += json_quote(k) + ":{\"count\":" + json_number(h.count) +
+           ",\"sum\":" + json_number(h.sum) + ",\"min\":" + json_number(h.min) +
+           ",\"max\":" + json_number(h.max) + ",\"buckets\":[";
+    // Trailing empty buckets are elided; the fixed shape makes the merge
+    // exact, not the export verbose.
+    int last = Histogram::kBuckets - 1;
+    while (last > 0 && h.buckets[last] == 0) --last;
+    for (int i = 0; i <= last; ++i) {
+      if (i != 0) out += ",";
+      out += json_number(h.buckets[i]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace pmc::obs

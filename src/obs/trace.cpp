@@ -1,0 +1,270 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "obs/json.h"
+#include "util/check.h"
+
+namespace pmc::obs {
+
+const char* event_name(EventKind k) {
+  switch (k) {
+    case EventKind::kDispatch: return "dispatch";
+    case EventKind::kPark: return "park";
+    case EventKind::kWarp: return "warp";
+    case EventKind::kCompute: return "compute";
+    case EventKind::kIdle: return "idle";
+    case EventKind::kWait: return "wait";
+    case EventKind::kLoad: return "load";
+    case EventKind::kStore: return "store";
+    case EventKind::kAtomic: return "atomic";
+    case EventKind::kCacheHit: return "cache_hit";
+    case EventKind::kCacheMiss: return "cache_miss";
+    case EventKind::kCacheFill: return "cache_fill";
+    case EventKind::kWriteback: return "writeback";
+    case EventKind::kFlush: return "flush";
+    case EventKind::kDmaRead: return "dma_read";
+    case EventKind::kDmaWrite: return "dma_write";
+    case EventKind::kNocSend: return "noc_send";
+    case EventKind::kLockAcquire: return "lock_acquire";
+    case EventKind::kLockRelease: return "lock_release";
+    case EventKind::kBarrier: return "barrier";
+    case EventKind::kCounter: return "counter";
+  }
+  return "?";
+}
+
+const char* counter_name(CounterId id) {
+  switch (id) {
+    case CounterId::kBusy: return "busy";
+    case CounterId::kStall: return "stall";
+    case CounterId::kIdle: return "idle";
+    case CounterId::kDcacheMisses: return "dcache_misses";
+    case CounterId::kNocBytes: return "noc_bytes";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(size_t capacity) {
+  PMC_CHECK(capacity > 0);
+  ring_.resize(capacity);
+}
+
+bool TraceRecorder::counter_due(int core, uint64_t now) {
+  const size_t c = static_cast<size_t>(core);
+  if (c >= next_sample_.size()) next_sample_.resize(c + 1, 0);
+  if (now < next_sample_[c]) return false;
+  next_sample_[c] = now + counter_period_;
+  return true;
+}
+
+void TraceRecorder::clear() {
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+  next_sample_.clear();
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  // Oldest event sits just past the write head once the ring has wrapped.
+  const size_t start = size_ == ring_.size() ? head_ : 0;
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+TraceRecorder::Snapshot TraceRecorder::snapshot() const {
+  Snapshot s;
+  s.events = events();
+  s.dropped = dropped_;
+  s.counter_period = counter_period_;
+  s.armed = armed_;
+  s.next_sample = next_sample_;
+  return s;
+}
+
+void TraceRecorder::restore(const Snapshot& s) {
+  PMC_CHECK(s.events.size() <= ring_.size());
+  std::copy(s.events.begin(), s.events.end(), ring_.begin());
+  size_ = s.events.size();
+  head_ = size_ == ring_.size() ? 0 : size_;
+  dropped_ = s.dropped;
+  counter_period_ = s.counter_period;
+  armed_ = s.armed;
+  next_sample_ = s.next_sample;
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event export
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool has_address(EventKind k) {
+  switch (k) {
+    case EventKind::kLoad:
+    case EventKind::kStore:
+    case EventKind::kAtomic:
+    case EventKind::kCacheHit:
+    case EventKind::kCacheMiss:
+    case EventKind::kCacheFill:
+    case EventKind::kWriteback:
+    case EventKind::kFlush:
+    case EventKind::kDmaRead:
+    case EventKind::kDmaWrite:
+    case EventKind::kNocSend:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string hex_addr(uint64_t addr) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "\"0x%llx\"",
+                static_cast<unsigned long long>(addr));
+  return buf;
+}
+
+void append_slice(std::string& out, const char* name, int16_t core,
+                  uint64_t ts, uint64_t dur, const std::string& args) {
+  out += "{\"name\":\"";
+  out += name;
+  out += "\",\"ph\":\"X\",\"pid\":0,\"tid\":";
+  out += std::to_string(core);
+  out += ",\"ts\":";
+  out += std::to_string(ts);
+  out += ",\"dur\":";
+  out += std::to_string(dur);
+  if (!args.empty()) {
+    out += ",\"args\":{";
+    out += args;
+    out += "}";
+  }
+  out += "},\n";
+}
+
+void append_flow(std::string& out, const char* phase, uint64_t id,
+                 int16_t core, uint64_t ts) {
+  out += "{\"name\":\"noc\",\"cat\":\"noc\",\"ph\":\"";
+  out += phase;
+  out += "\",\"id\":";
+  out += std::to_string(id);
+  if (phase[0] == 'f') out += ",\"bp\":\"e\"";
+  out += ",\"pid\":0,\"tid\":";
+  out += std::to_string(core);
+  out += ",\"ts\":";
+  out += std::to_string(ts);
+  out += "},\n";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events,
+                              uint64_t dropped) {
+  std::string out;
+  out.reserve(events.size() * 96 + 256);
+  out += "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"dropped_events\":";
+  out += std::to_string(dropped);
+  out += "},\n\"traceEvents\":[\n";
+
+  // Thread-name metadata: one track per core, in core order.
+  int16_t max_core = -1;
+  for (const TraceEvent& e : events) max_core = std::max(max_core, e.core);
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+      "\"args\":{\"name\":\"pmc machine\"}},\n";
+  for (int16_t c = 0; c <= max_core; ++c) {
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+    out += std::to_string(c);
+    out += ",\"args\":{\"name\":\"core ";
+    out += std::to_string(c);
+    out += "\"}},\n";
+  }
+
+  // Dispatch/park pairs become per-core "run" slices so the scheduler's
+  // interleaving reads directly off the timeline. Memory/sync slices nest
+  // inside them (same track, contained time range).
+  std::unordered_map<int16_t, uint64_t> run_start;
+  std::unordered_map<int16_t, uint64_t> last_seen;
+  uint64_t flow_id = 0;
+  for (const TraceEvent& e : events) {
+    last_seen[e.core] = std::max(last_seen[e.core], e.t1);
+    switch (e.kind) {
+      case EventKind::kDispatch:
+        run_start[e.core] = e.t0;
+        continue;
+      case EventKind::kPark: {
+        auto it = run_start.find(e.core);
+        if (it != run_start.end()) {
+          append_slice(out, "run", e.core, it->second,
+                       e.t0 >= it->second ? e.t0 - it->second : 0,
+                       e.aux != 0 ? "\"done\":true" : "");
+          run_start.erase(it);
+        }
+        continue;
+      }
+      case EventKind::kCounter: {
+        out += "{\"name\":\"core";
+        out += std::to_string(e.core);
+        out += "/";
+        out += counter_name(static_cast<CounterId>(e.aux));
+        out += "\",\"ph\":\"C\",\"pid\":0,\"ts\":";
+        out += std::to_string(e.t0);
+        out += ",\"args\":{\"value\":";
+        out += std::to_string(e.arg);
+        out += "}},\n";
+        continue;
+      }
+      default:
+        break;
+    }
+
+    std::string args;
+    if (has_address(e.kind)) {
+      args += "\"addr\":" + hex_addr(e.addr);
+      args += ",\"len\":" + std::to_string(e.len);
+    }
+    if (e.aux != 0 || e.kind == EventKind::kNocSend) {
+      if (!args.empty()) args += ",";
+      args += "\"aux\":" + std::to_string(e.aux);
+    }
+    const uint64_t dur = e.t1 >= e.t0 ? e.t1 - e.t0 : 0;
+    append_slice(out, event_name(e.kind), e.core, e.t0, dur, args);
+
+    if (e.kind == EventKind::kNocSend) {
+      // Delivery slice on the destination track plus a flow arrow from the
+      // send to it. Arrival (e.arg) is known at send time — the NoC model
+      // is deterministic — so the whole arc is emitted here.
+      const int16_t dst = static_cast<int16_t>(e.aux);
+      append_slice(out, "noc_recv", dst, e.arg, 1,
+                   "\"addr\":" + hex_addr(e.addr) +
+                       ",\"len\":" + std::to_string(e.len) +
+                       ",\"src\":" + std::to_string(e.core));
+      append_flow(out, "s", flow_id, e.core, e.t0);
+      append_flow(out, "f", flow_id, dst, e.arg);
+      ++flow_id;
+    }
+  }
+  // A core still running when the buffer ends gets a run slice to its last
+  // recorded activity.
+  for (int16_t c = 0; c <= max_core; ++c) {
+    auto it = run_start.find(c);
+    if (it == run_start.end()) continue;
+    const uint64_t end = std::max(last_seen[c], it->second);
+    append_slice(out, "run", c, it->second, end - it->second, "");
+  }
+
+  // Strip the trailing ",\n" so the array is valid JSON.
+  if (out.size() >= 2 && out[out.size() - 2] == ',') {
+    out.erase(out.size() - 2, 1);
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace pmc::obs

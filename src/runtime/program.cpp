@@ -69,6 +69,9 @@ Program::Program(const ProgramOptions& opts) : opts_(opts) {
   if (opts_.schedule_policy != nullptr) {
     machine_->set_schedule_policy(opts_.schedule_policy);
   }
+  if (opts_.trace != nullptr) {
+    machine_->set_trace_recorder(opts_.trace);
+  }
   const uint32_t cap = static_cast<uint32_t>(opts_.lock_capacity);
   locks_ = std::make_unique<sync::DistLockManager>(
       *machine_, sim::kSdramBase, cap * 64, /*lm_offset=*/0, cap * 8);

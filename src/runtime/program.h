@@ -49,6 +49,10 @@ struct ProgramOptions {
   /// only; not owned, must outlive run()). nullptr keeps the default
   /// bit-deterministic min-time schedule.
   sim::SchedulePolicy* schedule_policy = nullptr;
+  /// Cycle-accurate event recorder (sim targets only; not owned, must
+  /// outlive run()). nullptr leaves tracing detached — the zero-overhead
+  /// default. See src/obs/trace.h and DESIGN.md §11.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 class Program {

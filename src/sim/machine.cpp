@@ -88,6 +88,11 @@ void Machine::run(const std::function<void(Core&)>& body) {
   sched_.run([this](int id) {
     Core core(*this, id);
     body_(core);
+    // Frontier warps (DESIGN.md §6) advance a core's clock without passing
+    // through any charge; folding them into idle here keeps the §V-B
+    // decomposition identity cycles_total == busy + stall_total() + idle
+    // exact under schedule policies (a no-op for default scheduling).
+    stats_[id].idle += sched_.warped(id);
     stats_[id].cycles_total = sched_.now(id);
   });
 }
@@ -119,6 +124,9 @@ Machine::Snapshot Machine::snapshot() const {
     const uint8_t* b = static_cast<const uint8_t*>(p);
     s.regions.emplace_back(b, b + n);
   }
+  // Recorder contents travel with the machine so restore() rolls abandoned-
+  // branch events back (attach the recorder before the first snapshot).
+  if (trace_ != nullptr) s.trace = trace_->snapshot();
   return s;
 }
 
@@ -142,6 +150,7 @@ void Machine::restore(const Snapshot& s) {
     PMC_CHECK(s.regions[i].size() == regions_[i].second);
     std::memcpy(regions_[i].first, s.regions[i].data(), s.regions[i].size());
   }
+  if (trace_ != nullptr) trace_->restore(s.trace);
 }
 
 uint64_t Machine::digest(const Snapshot& s) {
@@ -155,8 +164,12 @@ uint64_t Machine::digest(const Snapshot& s) {
   mix(s.sched.frontier);
   mix(static_cast<uint64_t>(s.sched.current));
   mix(static_cast<uint64_t>(s.sched.resume_core + 1));
+  // The trace buffer is deliberately NOT digested: the digest certifies
+  // simulator state, and the trace is a log of how we got there (DESIGN.md
+  // §11) — tracing on/off must not change snapshot-idempotence checks.
   for (const auto& sl : s.sched.slots) {
     mix(sl.time);
+    mix(sl.warped);
     mix(sl.done);
     mix(sl.observable);
     mix(sl.fp.is_wildcard());
@@ -249,6 +262,42 @@ void Core::charge(uint64_t busy, uint64_t stall,
   m_.sched_.advance(id_, busy + stall);
 }
 
+void Core::trace(obs::EventKind kind, uint64_t t0, Addr addr, uint32_t len,
+                 uint16_t aux, uint64_t arg) {
+  obs::TraceEvent e;
+  e.kind = kind;
+  e.core = static_cast<int16_t>(id_);
+  e.aux = aux;
+  e.len = len;
+  e.t0 = t0;
+  e.t1 = now();
+  e.addr = addr;
+  e.arg = arg;
+  m_.trace_->record(e);
+  // Counter tracks piggyback on event boundaries: events are dense on every
+  // active core, and a pure-idle core has nothing new to sample anyway.
+  if (m_.trace_->counter_due(id_, e.t1)) sample_counters();
+}
+
+void Core::sample_counters() {
+  const auto& s = m_.stats_[id_];
+  const uint64_t t = now();
+  const auto rec = [&](obs::CounterId cid, uint64_t v) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kCounter;
+    e.core = static_cast<int16_t>(id_);
+    e.aux = static_cast<uint16_t>(cid);
+    e.t0 = e.t1 = t;
+    e.arg = v;
+    m_.trace_->record(e);
+  };
+  rec(obs::CounterId::kBusy, s.busy);
+  rec(obs::CounterId::kStall, s.stall_total());
+  rec(obs::CounterId::kIdle, s.idle);
+  rec(obs::CounterId::kDcacheMisses, s.dcache_misses);
+  rec(obs::CounterId::kNocBytes, s.noc_bytes_sent);
+}
+
 uint64_t CoreStats::*Core::read_bucket(MemClass c) const {
   return c == MemClass::kSync ? &CoreStats::stall_sync_read
                               : &CoreStats::stall_shared_read;
@@ -256,6 +305,7 @@ uint64_t CoreStats::*Core::read_bucket(MemClass c) const {
 
 void Core::compute(uint64_t instructions) {
   if (instructions == 0) return;
+  const uint64_t trace_t0 = now();
   auto& s = m_.stats_[id_];
   auto& cs = *m_.cores_[id_];
   const auto& t = m_.cfg_.timing;
@@ -272,11 +322,16 @@ void Core::compute(uint64_t instructions) {
   s.stall_private_read += pmiss * t.priv_miss_penalty;
   m_.sched_.advance(id_, instructions + imiss * t.imiss_penalty +
                              pmiss * t.priv_miss_penalty);
+  if (m_.tracing()) {
+    trace(obs::EventKind::kCompute, trace_t0, 0, 0, 0, instructions);
+  }
 }
 
 void Core::idle(uint64_t cycles) {
+  const uint64_t trace_t0 = now();
   m_.stats_[id_].idle += cycles;
   m_.sched_.advance(id_, cycles);
+  if (m_.tracing()) trace(obs::EventKind::kIdle, trace_t0);
 }
 
 void Core::cached_access(Addr a, void* rd_out, const void* wr_data, size_t n) {
@@ -293,9 +348,13 @@ void Core::cached_access(Addr a, void* rd_out, const void* wr_data, size_t n) {
     uint8_t* data = cache.lookup(line);
     if (data != nullptr) {
       s.dcache_hits++;
+      const uint64_t trace_t0 = now();
       charge(t.cache_hit, 0, &CoreStats::stall_shared_read);
+      if (m_.tracing()) trace(obs::EventKind::kCacheHit, trace_t0, line, lb);
     } else {
       s.dcache_misses++;
+      const uint64_t trace_t0 = now();
+      if (m_.tracing()) trace(obs::EventKind::kCacheMiss, trace_t0, line, lb);
       // Per-core scratch, not a local: heap-owning objects may not live on a
       // fiber stack across the charge() yields below (see CoreState).
       Cache::Victim& victim = cs.victim_scratch;
@@ -315,6 +374,11 @@ void Core::cached_access(Addr a, void* rd_out, const void* wr_data, size_t n) {
                               AccessKind::kWrite, /*sync=*/false);
         s.writebacks++;
         pre_stall += t.sdram_line_wb_cost;
+        if (m_.tracing()) {
+          trace(obs::EventKind::kWriteback, now(), victim.addr,
+                static_cast<uint32_t>(victim.data.size()), 0,
+                start + t.sdram_line_wb_visible);
+        }
       }
       // The fill samples SDRAM when the request reaches it (half the fill
       // latency); the rest is the response flight. In-flight writes arriving
@@ -322,10 +386,12 @@ void Core::cached_access(Addr a, void* rd_out, const void* wr_data, size_t n) {
       const uint64_t fill_req = std::max<uint64_t>(t.sdram_line_fill / 2, 1);
       auto bucket = wr_data != nullptr ? &CoreStats::stall_write
                                        : &CoreStats::stall_shared_read;
+      const uint64_t fill_t0 = now();
       charge(1, pre_stall + fill_req - 1, bucket);
       m_.sched_.note_access(id_, line, lb, AccessKind::kRead, /*sync=*/false);
       m_.sdram_.read(now(), line, data, lb);
       charge(0, t.sdram_line_fill - fill_req, bucket);
+      if (m_.tracing()) trace(obs::EventKind::kCacheFill, fill_t0, line, lb);
     }
     const size_t off = addr - line;
     if (wr_data != nullptr) {
@@ -396,6 +462,9 @@ void Core::access(Addr a, void* rd_out, const void* wr_data, size_t n,
   // access by schedule exploration. Chunked paths additionally note each
   // module touch so mid-access segments carry their own effects.
   m_.sched_.note_access(id_, fp_addr, fp_len, kind, sync);
+  const uint64_t trace_t0 = now();
+  const obs::EventKind trace_kind =
+      wr_data != nullptr ? obs::EventKind::kStore : obs::EventKind::kLoad;
   auto& s = m_.stats_[id_];
   if (wr_data != nullptr) {
     s.stores++;
@@ -418,6 +487,10 @@ void Core::access(Addr a, void* rd_out, const void* wr_data, size_t n,
       lm.read(now(), a, rd_out, n);
     }
     m_.sched_.note_access(id_, fp_addr, fp_len, kind, sync);
+    if (m_.tracing()) {
+      trace(trace_kind, trace_t0, a, static_cast<uint32_t>(n),
+            static_cast<uint16_t>(c));
+    }
     return;
   }
   PMC_CHECK_MSG(m_.sdram_.contains(a, n), "unmapped address " << a);
@@ -427,6 +500,10 @@ void Core::access(Addr a, void* rd_out, const void* wr_data, size_t n,
     uncached_access(a, rd_out, wr_data, n, c);
   }
   m_.sched_.note_access(id_, fp_addr, fp_len, kind, sync);
+  if (m_.tracing()) {
+    trace(trace_kind, trace_t0, a, static_cast<uint32_t>(n),
+          static_cast<uint16_t>(c));
+  }
 }
 
 uint8_t Core::load_u8(Addr a, MemClass c) {
@@ -469,6 +546,7 @@ uint64_t Core::remote_write(int dst_tile, Addr dst_addr, const void* data,
   PMC_CHECK(dst.contains(dst_addr, n));
   auto& s = m_.stats_[id_];
   const auto& t = m_.cfg_.timing;
+  const uint64_t trace_t0 = now();
   // Sender enqueues the packet into its network interface and proceeds.
   charge(1, t.noc_send_cost, &CoreStats::stall_write);
   const uint64_t arrival = m_.noc_.deliver(now(), id_, dst_tile, dst, n);
@@ -477,6 +555,12 @@ uint64_t Core::remote_write(int dst_tile, Addr dst_addr, const void* data,
   s.noc_bytes_sent += n;
   m_.sched_.note_access(id_, dst_addr, static_cast<uint32_t>(n),
                         AccessKind::kWrite, /*sync=*/false);
+  if (m_.tracing()) {
+    // The deterministic NoC model reveals the arrival at send time, so one
+    // event carries the whole flow arc (the exporter adds the arrow).
+    trace(obs::EventKind::kNocSend, trace_t0, dst_addr,
+          static_cast<uint32_t>(n), static_cast<uint16_t>(dst_tile), arrival);
+  }
   return arrival;
 }
 
@@ -490,6 +574,7 @@ void Core::dma_read(Addr src, void* out, size_t n, MemClass c) {
   const uint64_t words = (n + 3) / 4;
   // Setup round trip, sample at request arrival, then pipelined streaming.
   const uint64_t req = std::max<uint64_t>(t.sdram_read / 2, 1);
+  const uint64_t trace_t0 = now();
   charge(1, req - 1, read_bucket(c));
   m_.sched_.note_access(id_, src, static_cast<uint32_t>(n), AccessKind::kRead,
                         sync);
@@ -498,6 +583,10 @@ void Core::dma_read(Addr src, void* out, size_t n, MemClass c) {
   m_.stats_[id_].loads++;
   m_.sched_.note_access(id_, src, static_cast<uint32_t>(n), AccessKind::kRead,
                         sync);
+  if (m_.tracing()) {
+    trace(obs::EventKind::kDmaRead, trace_t0, src, static_cast<uint32_t>(n),
+          static_cast<uint16_t>(c));
+  }
 }
 
 uint64_t Core::dma_write(Addr dst, const void* data, size_t n, MemClass c) {
@@ -508,6 +597,7 @@ uint64_t Core::dma_write(Addr dst, const void* data, size_t n, MemClass c) {
   PMC_CHECK_MSG(m_.sdram_.contains(dst, n), "dma_write is SDRAM-only");
   const auto& t = m_.cfg_.timing;
   const uint64_t words = (n + 3) / 4;
+  const uint64_t trace_t0 = now();
   charge(1, t.sdram_write_cost - 1 + words * t.dma_per_word,
          &CoreStats::stall_write);
   const uint64_t start = m_.sdram_.reserve_port(now(), words);
@@ -516,10 +606,15 @@ uint64_t Core::dma_write(Addr dst, const void* data, size_t n, MemClass c) {
                         sync);
   m_.sdram_.post_write(arrival, dst, data, n);
   m_.stats_[id_].stores++;
+  if (m_.tracing()) {
+    trace(obs::EventKind::kDmaWrite, trace_t0, dst, static_cast<uint32_t>(n),
+          static_cast<uint16_t>(c), arrival);
+  }
   return arrival;
 }
 
 void Core::charge_stall(uint64_t cycles, StallBucket bucket) {
+  const uint64_t trace_t0 = now();
   switch (bucket) {
     case StallBucket::kSharedRead:
       charge(0, cycles, &CoreStats::stall_shared_read);
@@ -533,6 +628,10 @@ void Core::charge_stall(uint64_t cycles, StallBucket bucket) {
     case StallBucket::kFlush:
       charge(0, cycles, &CoreStats::stall_flush);
       break;
+  }
+  if (cycles != 0 && m_.tracing()) {
+    trace(obs::EventKind::kWait, trace_t0, 0, 0,
+          static_cast<uint16_t>(bucket));
   }
 }
 
@@ -549,6 +648,8 @@ uint64_t Core::cache_wbinval(Addr a, size_t n) {
       cache.line_base(a + static_cast<Addr>(n) - 1) + lb - fp_base);
   m_.sched_.note_access(id_, fp_base, fp_len, AccessKind::kWrite,
                         /*sync=*/false);
+  const uint64_t trace_t0 = now();
+  uint16_t traced_lines = 0;
   // Per-core scratch: a vector local would sit on the fiber stack across the
   // charge() yields in the loop (see CoreState::wb_scratch).
   std::vector<uint8_t>& dirty = m_.cores_[id_]->wb_scratch;
@@ -557,6 +658,7 @@ uint64_t Core::cache_wbinval(Addr a, size_t n) {
     uint64_t stall = t.cache_op_per_line;
     if (cache.wbinval_line(line, &dirty)) {
       s.lines_flushed++;
+      ++traced_lines;
       if (!dirty.empty()) {
         const uint64_t start = m_.sdram_.reserve_port(now(), lb / 4);
         const uint64_t arrival = start + t.sdram_line_wb_visible;
@@ -566,12 +668,18 @@ uint64_t Core::cache_wbinval(Addr a, size_t n) {
         last_arrival = std::max(last_arrival, arrival);
         s.writebacks++;
         stall += t.sdram_line_wb_cost;
+        if (m_.tracing()) {
+          trace(obs::EventKind::kWriteback, now(), line, lb, 0, arrival);
+        }
       }
     }
     charge(0, stall, &CoreStats::stall_flush);
   }
   m_.sched_.note_access(id_, fp_base, fp_len, AccessKind::kWrite,
                         /*sync=*/false);
+  if (m_.tracing()) {
+    trace(obs::EventKind::kFlush, trace_t0, fp_base, fp_len, traced_lines);
+  }
   return last_arrival;
 }
 
@@ -594,9 +702,17 @@ void Core::cache_inval(Addr a, size_t n) {
       cache.line_base(a + static_cast<Addr>(n) - 1) + lb - fp_base);
   m_.sched_.note_access(id_, fp_base, fp_len, AccessKind::kRead,
                         /*sync=*/false);
+  const uint64_t trace_t0 = now();
+  uint16_t traced_lines = 0;
   for (Addr line = cache.line_base(a); line < a + n; line += lb) {
-    if (cache.inval_line(line)) s.lines_flushed++;
+    if (cache.inval_line(line)) {
+      s.lines_flushed++;
+      ++traced_lines;
+    }
     charge(0, t.cache_op_per_line, &CoreStats::stall_flush);
+  }
+  if (m_.tracing()) {
+    trace(obs::EventKind::kFlush, trace_t0, fp_base, fp_len, traced_lines);
   }
 }
 
@@ -607,11 +723,13 @@ uint32_t Core::atomic_swap(Addr a, uint32_t value) {
   const auto& t = m_.cfg_.timing;
   const uint64_t total = t.sdram_read + t.atomic_extra;
   const uint64_t req = std::max<uint64_t>(total / 2, 1);
+  const uint64_t trace_t0 = now();
   charge(1, req - 1, &CoreStats::stall_sync_read);
   m_.stats_[id_].atomics++;
   const uint32_t old = m_.sdram_.atomic_swap_u32(now(), a, value);
   m_.sched_.note_access(id_, a, 4, AccessKind::kAtomic, /*sync=*/true);
   charge(0, total - req, &CoreStats::stall_sync_read);
+  if (m_.tracing()) trace(obs::EventKind::kAtomic, trace_t0, a, 4, 0);
   return old;
 }
 
@@ -622,11 +740,13 @@ uint32_t Core::atomic_add(Addr a, uint32_t delta) {
   const auto& t = m_.cfg_.timing;
   const uint64_t total = t.sdram_read + t.atomic_extra;
   const uint64_t req = std::max<uint64_t>(total / 2, 1);
+  const uint64_t trace_t0 = now();
   charge(1, req - 1, &CoreStats::stall_sync_read);
   m_.stats_[id_].atomics++;
   const uint32_t old = m_.sdram_.atomic_add_u32(now(), a, delta);
   m_.sched_.note_access(id_, a, 4, AccessKind::kAtomic, /*sync=*/true);
   charge(0, total - req, &CoreStats::stall_sync_read);
+  if (m_.tracing()) trace(obs::EventKind::kAtomic, trace_t0, a, 4, 1);
   return old;
 }
 
@@ -637,11 +757,13 @@ uint32_t Core::atomic_cas(Addr a, uint32_t expected, uint32_t desired) {
   const auto& t = m_.cfg_.timing;
   const uint64_t total = t.sdram_read + t.atomic_extra;
   const uint64_t req = std::max<uint64_t>(total / 2, 1);
+  const uint64_t trace_t0 = now();
   charge(1, req - 1, &CoreStats::stall_sync_read);
   m_.stats_[id_].atomics++;
   const uint32_t old = m_.sdram_.atomic_cas_u32(now(), a, expected, desired);
   m_.sched_.note_access(id_, a, 4, AccessKind::kAtomic, /*sync=*/true);
   charge(0, total - req, &CoreStats::stall_sync_read);
+  if (m_.tracing()) trace(obs::EventKind::kAtomic, trace_t0, a, 4, 2);
   return old;
 }
 

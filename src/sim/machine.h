@@ -129,6 +129,11 @@ class Core {
  private:
   friend class Machine;
   void charge(uint64_t busy, uint64_t stall, uint64_t CoreStats::*bucket);
+  /// Records one event ending at now() (caller checks Machine::tracing()),
+  /// then samples the CoreStats counter tracks if a sample is due.
+  void trace(obs::EventKind kind, uint64_t t0, Addr addr = 0, uint32_t len = 0,
+             uint16_t aux = 0, uint64_t arg = 0);
+  void sample_counters();
   uint64_t CoreStats::*read_bucket(MemClass c) const;
   void cached_access(Addr a, void* rd_out, const void* wr_data, size_t n);
   void uncached_access(Addr a, void* rd_out, const void* wr_data, size_t n,
@@ -157,6 +162,20 @@ class Machine {
   void set_schedule_policy(SchedulePolicy* policy) {
     sched_.set_policy(policy);
   }
+
+  /// Attaches an event recorder (DESIGN.md §11); nullptr detaches. Not
+  /// owned. While attached and armed, every memory/compute/NoC path records
+  /// cycle-stamped events; detached, each instrumentation point is one
+  /// predictable branch. Recorder contents deep-copy through snapshot()/
+  /// restore() (abandoned branches roll back) but are excluded from
+  /// digest().
+  void set_trace_recorder(obs::TraceRecorder* trace) {
+    trace_ = trace;
+    sched_.set_trace(trace);
+  }
+  obs::TraceRecorder* trace_recorder() const { return trace_; }
+  /// True when events should be recorded (attached and armed).
+  bool tracing() const { return trace_ != nullptr && trace_->armed(); }
 
   // -- Checkpointing (DESIGN.md §10) ----------------------------------------
 
@@ -189,6 +208,7 @@ class Machine {
     std::vector<MemModule::Snapshot> lms;
     Noc::Snapshot noc;
     std::vector<std::vector<uint8_t>> regions;  // registered-state bytes
+    obs::TraceRecorder::Snapshot trace;  // only when a recorder is attached
   };
   Snapshot snapshot() const;
   void restore(const Snapshot& s);
@@ -236,6 +256,7 @@ class Machine {
 
   MachineConfig cfg_;
   Scheduler sched_;
+  obs::TraceRecorder* trace_ = nullptr;  // not owned; nullptr = detached
   std::vector<std::unique_ptr<MemModule>> lms_;
   MemModule sdram_;
   Noc noc_;

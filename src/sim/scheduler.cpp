@@ -75,6 +75,24 @@ void Scheduler::set_fiber_mode(bool on) {
   fiber_mode_ = on;
 }
 
+void Scheduler::trace_switch(int from, int to, bool from_done) {
+  obs::TraceEvent e;
+  if (from >= 0) {
+    e.kind = obs::EventKind::kPark;
+    e.core = static_cast<int16_t>(from);
+    e.aux = from_done ? 1 : 0;
+    e.t0 = e.t1 = slots_[from].time;
+    trace_->record(e);
+  }
+  if (to >= 0 && to != from) {
+    e.kind = obs::EventKind::kDispatch;
+    e.core = static_cast<int16_t>(to);
+    e.aux = 0;
+    e.t0 = e.t1 = slots_[to].time;
+    trace_->record(e);
+  }
+}
+
 int Scheduler::pick_next_locked() const {
   int best = -1;
   for (int i = 0; i < num_cores(); ++i) {
@@ -109,13 +127,27 @@ int Scheduler::consult_policy_locked(int yielding) {
                 "schedule policy returned candidate index "
                     << choice << " of " << cands.size() << " at step "
                     << yp.step);
-  Slot& chosen = slots_[cands[static_cast<size_t>(choice)].core];
+  const int chosen_core = cands[static_cast<size_t>(choice)].core;
+  Slot& chosen = slots_[chosen_core];
   // Bypassed cores were effectively stalled: the dispatched core may never
   // start a segment before the frontier, or its memory events could carry
-  // timestamps older than reads that already executed.
-  chosen.time = std::max(chosen.time, frontier_);
+  // timestamps older than reads that already executed. Warped cycles reach
+  // now() without a machine charge, so they are tallied per slot and folded
+  // into CoreStats::idle at run end (see warped()).
+  if (frontier_ > chosen.time) {
+    chosen.warped += frontier_ - chosen.time;
+    if (tracing()) {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kWarp;
+      e.core = static_cast<int16_t>(chosen_core);
+      e.t0 = chosen.time;
+      e.t1 = frontier_;
+      trace_->record(e);
+    }
+    chosen.time = frontier_;
+  }
   frontier_ = chosen.time;
-  return cands[static_cast<size_t>(choice)].core;
+  return chosen_core;
 }
 
 void Scheduler::advance(int core, uint64_t delta) {
@@ -133,6 +165,7 @@ void Scheduler::advance(int core, uint64_t delta) {
   const int next =
       policy_ != nullptr ? consult_policy_locked(core) : pick_next_locked();
   if (next == core || next == -1) return;
+  if (tracing()) trace_switch(core, next, /*from_done=*/false);
   current_ = next;
   slots_[next].cv.notify_one();
   me.cv.wait(lk, [&] { return current_ == core; });
@@ -153,6 +186,7 @@ void Scheduler::thread_main(int core, const std::function<void(int)>& body) {
   slots_[core].done = true;
   const int next =
       policy_ != nullptr ? consult_policy_locked(core) : pick_next_locked();
+  if (tracing()) trace_switch(core, next, /*from_done=*/true);
   if (next != -1) {
     current_ = next;
     slots_[next].cv.notify_one();
@@ -167,6 +201,7 @@ void Scheduler::run(const std::function<void(int)>& body) {
   }
   for (auto& s : slots_) {
     s.time = 0;
+    s.warped = 0;
     s.done = false;
     s.observable = false;
     s.fp.clear();
@@ -182,6 +217,7 @@ void Scheduler::run(const std::function<void(int)>& body) {
     current_ = consult_policy_locked(/*yielding=*/-1);
     PMC_CHECK(current_ != -1);
   }
+  if (tracing()) trace_switch(-1, current_, false);
   std::vector<std::thread> threads;
   threads.reserve(slots_.size());
   for (int i = 0; i < num_cores(); ++i) {
@@ -256,6 +292,7 @@ void Scheduler::advance_fiber(int core, uint64_t delta) {
   const int next =
       policy_ != nullptr ? consult_policy_locked(core) : pick_next_locked();
   if (next == core || next == -1) return;
+  if (tracing()) trace_switch(core, next, /*from_done=*/false);
   current_ = next;
   swapcontext(&fibers_[static_cast<size_t>(core)].ctx,
               &fibers_[static_cast<size_t>(next)].ctx);
@@ -289,6 +326,7 @@ void Scheduler::fiber_main(int core) {
   } else {
     next = pick_next_locked();
   }
+  if (tracing()) trace_switch(core, next, /*from_done=*/true);
   if (next == -1) {
     swapcontext(&fibers_[static_cast<size_t>(core)].ctx, &main_ctx_);
   } else {
@@ -320,6 +358,7 @@ void Scheduler::run_fibers() {
 #if defined(PMC_FIBERS_AVAILABLE)
   for (auto& s : slots_) {
     s.time = 0;
+    s.warped = 0;
     s.done = false;
     s.observable = false;
     s.fp.clear();
@@ -340,6 +379,7 @@ void Scheduler::run_fibers() {
     current_ = consult_policy_locked(/*yielding=*/-1);
     PMC_CHECK(current_ != -1);
   }
+  if (tracing()) trace_switch(-1, current_, false);
   drive();
 #else
   PMC_CHECK_MSG(false, "fiber mode is unsupported on this platform/build");
@@ -353,12 +393,15 @@ void Scheduler::resume() {
   tl_fiber_sched = this;
   if (resume_core_ == -1) {
     // Pre-dispatch snapshot: redo the initial consult (the hook is not
-    // re-offered — the restored pool already holds this checkpoint).
+    // re-offered — the restored pool already holds this checkpoint). The
+    // restored recorder predates the original initial-dispatch event, so
+    // re-recording it here reproduces the original buffer exactly.
     current_ = 0;
     if (policy_ != nullptr) {
       current_ = consult_policy_locked(/*yielding=*/-1);
       PMC_CHECK(current_ != -1);
     }
+    if (tracing()) trace_switch(-1, current_, false);
   }
   drive();
 #else
@@ -372,7 +415,7 @@ Scheduler::Snapshot Scheduler::snapshot() const {
   Snapshot s;
   s.slots.reserve(slots_.size());
   for (const Slot& sl : slots_) {
-    s.slots.push_back({sl.time, sl.done, sl.observable, sl.fp});
+    s.slots.push_back({sl.time, sl.warped, sl.done, sl.observable, sl.fp});
   }
   s.step = step_;
   s.frontier = frontier_;
@@ -407,6 +450,7 @@ void Scheduler::restore(const Snapshot& s) {
   for (size_t i = 0; i < slots_.size(); ++i) {
     Slot& sl = slots_[i];
     sl.time = s.slots[i].time;
+    sl.warped = s.slots[i].warped;
     sl.done = s.slots[i].done;
     sl.observable = s.slots[i].observable;
     sl.fp = s.slots[i].fp;

@@ -36,6 +36,7 @@
 #include <ucontext.h>
 #endif
 
+#include "obs/trace.h"
 #include "sim/footprint.h"
 
 namespace pmc::sim {
@@ -120,6 +121,20 @@ class Scheduler {
     record_fp_ = policy != nullptr && policy->wants_footprints();
   }
 
+  /// Attaches an event recorder (nullptr detaches; not owned). Dispatch,
+  /// park, and frontier-warp events are recorded while armed (DESIGN.md
+  /// §11). Detached costs one predictable branch per handoff; events carry
+  /// simulated time only, so identical schedules record identical events.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+  obs::TraceRecorder* trace() const { return trace_; }
+
+  /// Cycles `core`'s clock was warped forward by dispatches past the
+  /// frontier (zero under the default min-time pick). Warped time reaches
+  /// `now()` without passing through any machine charge, so the stats layer
+  /// folds it into CoreStats::idle at run end to keep the §V-B
+  /// time-decomposition identity exact.
+  uint64_t warped(int core) const { return slots_[core].warped; }
+
   /// Runs body(core_id) on one host thread per core under min-time
   /// scheduling; returns when all cores finish. Rethrows the first exception
   /// any core raised. In fiber mode (set_fiber_mode) every core is a ucontext
@@ -148,6 +163,7 @@ class Scheduler {
   struct Snapshot {
     struct SlotState {
       uint64_t time = 0;
+      uint64_t warped = 0;
       bool done = false;
       bool observable = false;
       Footprint fp;
@@ -215,6 +231,7 @@ class Scheduler {
  private:
   struct Slot {
     uint64_t time = 0;
+    uint64_t warped = 0;      // cumulative frontier-warp cycles (see warped())
     bool done = false;
     bool observable = false;  // effect since last yield (policy runs only)
     Footprint fp;             // footprint since last yield (policy runs only)
@@ -225,6 +242,12 @@ class Scheduler {
     FiberContext ctx{};
     std::unique_ptr<uint8_t[]> stack;
   };
+
+  /// True when dispatch/park/warp events should be recorded.
+  bool tracing() const { return trace_ != nullptr && trace_->armed(); }
+  /// Records the `from` → `to` handoff (to == -1: park only; aux flags a
+  /// finished core). Caller checks tracing().
+  void trace_switch(int from, int to, bool from_done);
 
   int pick_next_locked() const;
   /// Consults the policy, warps the chosen core's clock to the frontier and
@@ -252,6 +275,7 @@ class Scheduler {
   uint64_t max_cycles_;
   std::exception_ptr error_;
   SchedulePolicy* policy_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;  // not owned; nullptr = detached
   bool record_fp_ = false;  // policy_->wants_footprints(), cached
   uint64_t step_ = 0;      // decision counter (policy runs only)
   uint64_t frontier_ = 0;  // latest dispatch time (policy runs only)

@@ -14,6 +14,7 @@ Barrier::Barrier(sim::Machine& m, sim::Addr count_word, uint32_t lm_flag_offset)
 void Barrier::wait(sim::Core& core) {
   const int me = core.id();
   const int n = core.num_cores();
+  const uint64_t t0 = core.now();
   const uint32_t sense = (++epoch_[me]) & 1;
   const uint32_t arrived = core.atomic_add(count_, 1);
   PMC_CHECK(arrived < static_cast<uint32_t>(n));
@@ -35,6 +36,16 @@ void Barrier::wait(sim::Core& core) {
     core.spin_until(
         [&] { return core.load_u32(flag, sim::MemClass::kSync) == sense; },
         /*backoff_start=*/8, /*backoff_max=*/4096);
+  }
+  if (m_.tracing()) {
+    // One slice spanning arrival to release (DESIGN.md §11); aux = epoch.
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kBarrier;
+    e.core = static_cast<int16_t>(me);
+    e.aux = static_cast<uint16_t>(epoch_[me]);
+    e.t0 = t0;
+    e.t1 = core.now();
+    m_.trace_recorder()->record(e);
   }
 }
 

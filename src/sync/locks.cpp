@@ -7,6 +7,20 @@ namespace pmc::sync {
 namespace {
 constexpr uint32_t kLockStride = 64;  // one SDRAM word per lock, line-separated
 constexpr uint32_t kLmPerLock = 8;    // {grant, next} words per lock per tile
+
+/// Records a lock-op slice [t0, core.now()] when tracing (DESIGN.md §11);
+/// aux carries the lock id.
+void trace_op(sim::Machine& m, sim::Core& core, obs::EventKind kind,
+              uint64_t t0, int lock) {
+  if (!m.tracing()) return;
+  obs::TraceEvent e;
+  e.kind = kind;
+  e.core = static_cast<int16_t>(core.id());
+  e.aux = static_cast<uint16_t>(lock);
+  e.t0 = t0;
+  e.t1 = core.now();
+  m.trace_recorder()->record(e);
+}
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -35,6 +49,7 @@ int SpinLockManager::create() {
 
 void SpinLockManager::acquire(sim::Core& core, int lock) {
   PMC_CHECK_MSG(current_holder_[lock] != core.id(), "lock is not reentrant");
+  const uint64_t t0 = core.now();
   uint32_t backoff = 4;
   // Remote test-and-set until the word was free: every poll is an
   // atomic-unit round trip — the cost the distributed lock avoids.
@@ -45,14 +60,17 @@ void SpinLockManager::acquire(sim::Core& core, int lock) {
   prev_holder_[lock] = last_owner_[lock];
   last_owner_[lock] = core.id();
   current_holder_[lock] = core.id();
+  trace_op(m_, core, obs::EventKind::kLockAcquire, t0, lock);
 }
 
 void SpinLockManager::release(sim::Core& core, int lock) {
   PMC_CHECK_MSG(current_holder_[lock] == core.id(),
                 "release by core " << core.id() << " of a lock held by "
                                    << current_holder_[lock]);
+  const uint64_t t0 = core.now();
   current_holder_[lock] = -1;
   core.store_u32(word(lock), 0, sim::MemClass::kSync);
+  trace_op(m_, core, obs::EventKind::kLockRelease, t0, lock);
 }
 
 // ---------------------------------------------------------------------------
@@ -98,6 +116,7 @@ int DistLockManager::create() {
 void DistLockManager::acquire(sim::Core& core, int lock) {
   const int me = core.id();
   PMC_CHECK_MSG(current_holder_[lock] != me, "lock is not reentrant");
+  const uint64_t t0 = core.now();
   // Swap ourselves in as the queue tail: one atomic, contended or not.
   const uint32_t prev = core.atomic_swap(tail_word(lock), me + 1);
   if (prev != 0) {
@@ -114,6 +133,7 @@ void DistLockManager::acquire(sim::Core& core, int lock) {
   prev_holder_[lock] = last_owner_[lock];
   last_owner_[lock] = me;
   current_holder_[lock] = me;
+  trace_op(m_, core, obs::EventKind::kLockAcquire, t0, lock);
 }
 
 void DistLockManager::release(sim::Core& core, int lock) {
@@ -121,6 +141,7 @@ void DistLockManager::release(sim::Core& core, int lock) {
   PMC_CHECK_MSG(current_holder_[lock] == me,
                 "release by core " << me << " of a lock held by "
                                    << current_holder_[lock]);
+  const uint64_t t0 = core.now();
   current_holder_[lock] = -1;
   const sim::Addr n = next_addr(me, lock);
   uint32_t nx = core.load_u32(n, sim::MemClass::kSync);
@@ -128,6 +149,7 @@ void DistLockManager::release(sim::Core& core, int lock) {
     // Nobody visibly queued: try to close the queue.
     if (core.atomic_cas(tail_word(lock), static_cast<uint32_t>(me + 1), 0) ==
         static_cast<uint32_t>(me + 1)) {
+      trace_op(m_, core, obs::EventKind::kLockRelease, t0, lock);
       return;
     }
     // A requester swapped in; its link write is in flight to our local
@@ -141,6 +163,7 @@ void DistLockManager::release(sim::Core& core, int lock) {
   core.remote_write(static_cast<int>(nx) - 1,
                     grant_addr(static_cast<int>(nx) - 1, lock), &one, 4);
   ++handoffs_;
+  trace_op(m_, core, obs::EventKind::kLockRelease, t0, lock);
 }
 
 void SpinLockManager::register_state(sim::Machine& m) {
