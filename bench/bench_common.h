@@ -37,6 +37,22 @@ inline const char* flag_str(int argc, char** argv, const char* name,
   return def;
 }
 
+/// Splits a comma-separated flag value ("a.cfg,b.cfg") into items, skipping
+/// empty segments.
+inline std::vector<std::string> split_csv(const char* s) {
+  std::vector<std::string> out;
+  if (s == nullptr) return out;
+  const std::string str = s;
+  size_t start = 0;
+  while (start < str.size()) {
+    size_t comma = str.find(',', start);
+    if (comma == std::string::npos) comma = str.size();
+    if (comma > start) out.push_back(str.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
 inline bool flag_set(int argc, char** argv, const char* name) {
   const std::string f = std::string("--") + name;
   for (int i = 1; i < argc; ++i) {

@@ -11,14 +11,21 @@
 //
 // Flags: --cores=N (default 32), --scale=N per-mille workload scale
 // (default 1000), --validate (adds the Def. 12 trace check; touches timing).
+// --config=a.cfg,b.cfg appends a scaled sweep: the RADIOSITY-like kernel on
+// each described machine (MachineConfig::from_file) under no-CC and SWCC,
+// with per-core-count keys and the NoC/port contention metrics those
+// configs enable; --fibers runs each machine's cores as fibers on one host
+// thread (what makes the 256-core config tractable).
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "apps/radiosity_like.h"
 #include "apps/raytrace_like.h"
 #include "apps/volrend_like.h"
 #include "bench/bench_common.h"
+#include "util/check.h"
 #include "util/table.h"
 
 namespace {
@@ -27,7 +34,7 @@ using namespace pmc;
 using namespace pmc::bench;
 using namespace pmc::apps;
 
-ProgramOptions base_opts(Target t, int cores, bool validate) {
+ProgramOptions base_opts(Target t, int cores, bool validate, bool fibers) {
   ProgramOptions o;
   o.target = t;
   o.cores = cores;
@@ -36,6 +43,19 @@ ProgramOptions base_opts(Target t, int cores, bool validate) {
   o.machine.max_cycles = UINT64_C(40'000'000'000);
   o.validate = validate;
   o.lock_capacity = 4096;
+  o.fiber_execution = fibers;
+  return o;
+}
+
+ProgramOptions config_opts(Target t, const sim::MachineConfig& mc,
+                           bool fibers) {
+  ProgramOptions o;
+  o.target = t;
+  o.cores = mc.num_cores;
+  o.machine = mc;
+  o.validate = false;  // the Def. 12 trace dominates run time at 256 cores
+  o.lock_capacity = 4096;
+  o.fiber_execution = fibers;
   return o;
 }
 
@@ -72,6 +92,8 @@ int main(int argc, char** argv) {
   const int cores = static_cast<int>(flag_int(argc, argv, "cores", 32));
   const int64_t scale = flag_int(argc, argv, "scale", 1000);
   const bool validate = flag_set(argc, argv, "validate");
+  const char* config_list = flag_str(argc, argv, "config", nullptr);
+  const bool fibers = flag_set(argc, argv, "fibers");
 
   std::printf(
       "== Fig. 8: execution time breakdown, no-CC vs software cache "
@@ -91,7 +113,7 @@ int main(int argc, char** argv) {
     for (int cfg = 0; cfg < 2; ++cfg) {
       const Target target = cfg == 0 ? Target::kNoCC : Target::kSWCC;
       auto app = make_app(which, scale);
-      const auto r = run_app(*app, base_opts(target, cores, validate));
+      const auto r = run_app(*app, base_opts(target, cores, validate, fibers));
       if (validate && !r.validated_ok) {
         std::printf("!! %s on %s violated the model\n", kNames[which],
                     rt::to_string(target));
@@ -145,6 +167,63 @@ int main(int argc, char** argv) {
               "paper folds into its shared-read bar.\n");
   json.add("avg_improvement_pct", improvements / 3.0);
   json.add("worst_flush_pct", flush_worst);
+
+  if (config_list != nullptr) {
+    // Scaled sweep: RADIOSITY-like (the barrier-heavy kernel whose release
+    // fan-out exercises the mesh links) per described machine, no-CC vs
+    // SWCC, plus the contention totals the mesh NoC model accounts.
+    std::printf("\n== scaled sweep: RADIOSITY-like per machine config ==\n\n");
+    util::Table st;
+    st.add_row({"config", "cores", "no-CC cycles", "SWCC cycles", "improve",
+                "link-stall cyc", "port-wait cyc"});
+    for (const std::string& path : split_csv(config_list)) {
+      sim::MachineConfig mc;
+      try {
+        mc = sim::MachineConfig::from_file(path);
+      } catch (const util::CheckFailure& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+      const std::string prefix = "c" + std::to_string(mc.num_cores) + "_";
+      uint64_t cycles[2] = {0, 0};
+      uint64_t checksums[2] = {0, 0};
+      AppRunResult swcc_run;
+      for (int cfg = 0; cfg < 2; ++cfg) {
+        const Target target = cfg == 0 ? Target::kNoCC : Target::kSWCC;
+        auto app = make_app(0, scale);
+        const auto r = run_app(*app, config_opts(target, mc, fibers));
+        cycles[cfg] = Breakdown::from(r.stats).total;
+        checksums[cfg] = r.checksum;
+        if (cfg == 1) swcc_run = r;
+      }
+      if (checksums[0] != checksums[1]) {
+        std::printf("!! checksum mismatch between configurations (%s)\n",
+                    path.c_str());
+        return 1;
+      }
+      const double improvement =
+          100.0 * (1.0 - static_cast<double>(cycles[1]) /
+                             static_cast<double>(cycles[0]));
+      const obs::MetricsRegistry& reg = swcc_run.metrics;
+      const uint64_t link_stall = reg.counter("noc.link_stall_cycles");
+      const uint64_t port_wait = reg.counter("port.wait_cycles");
+      st.add_row({path, std::to_string(mc.num_cores), fmt_u64(cycles[0]),
+                  fmt_u64(cycles[1]), pc(improvement, 100.0),
+                  fmt_u64(link_stall), fmt_u64(port_wait)});
+      json.add(prefix + "radiosity_nocc_cycles", cycles[0]);
+      json.add(prefix + "radiosity_swcc_cycles", cycles[1]);
+      json.add(prefix + "improvement_pct", improvement);
+      json.add(prefix + "noc_link_stall_cycles", link_stall);
+      json.add(prefix + "noc_stalled_packets",
+               reg.counter("noc.stalled_packets"));
+      json.add(prefix + "port_wait_cycles", port_wait);
+      if (const obs::Histogram* h = reg.histogram("port.sdram.wait")) {
+        json.add(prefix + "port_queue_p50", h->quantile(0.50));
+        json.add(prefix + "port_queue_p99", h->quantile(0.99));
+      }
+    }
+    std::printf("%s\n", st.render().c_str());
+  }
   if (!json.maybe_write(argc, argv)) return 1;
   return 0;
 }

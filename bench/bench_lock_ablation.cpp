@@ -6,11 +6,21 @@
 // handoff costs one NoC packet.
 //
 // Flags: --cores=N (default 16), --rounds=N (default 40).
+// --config=a.cfg,b.cfg runs the heavy-contention scenario once per machine
+// description (MachineConfig::from_file) and reports per-core-count keys
+// plus the NoC/port contention metrics those configs enable; --fibers runs
+// each machine's cores as fibers on one host thread (needed to make the
+// 256-core sweep tractable).
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "obs/metrics.h"
 #include "sim/machine.h"
+#include "sim/scheduler.h"
 #include "sync/locks.h"
+#include "util/check.h"
 #include "util/table.h"
 
 namespace {
@@ -23,15 +33,17 @@ struct LockRun {
   uint64_t atomics = 0;
   uint64_t noc_packets = 0;
   uint64_t acquire_cycles = 0;  // mean cycles per acquire+release round
+  uint64_t link_stall_cycles = 0;
+  uint64_t stalled_packets = 0;
+  uint64_t port_wait_cycles = 0;
+  double port_queue_p50 = 0;
+  double port_queue_p99 = 0;
 };
 
-LockRun run_locks(bool distributed, int cores, int rounds, uint32_t cs_len,
-                  uint32_t gap) {
-  sim::MachineConfig cfg = sim::MachineConfig::ml605(cores);
-  cfg.lm_bytes = 32 * 1024;
-  cfg.sdram_bytes = 1024 * 1024;
-  cfg.max_cycles = UINT64_C(10'000'000'000);
-  sim::Machine m(cfg);
+LockRun run_locks(bool distributed, const sim::MachineConfig& mc, int rounds,
+                  uint32_t cs_len, uint32_t gap, bool fibers) {
+  sim::Machine m(mc);
+  if (fibers && sim::Scheduler::fibers_supported()) m.enable_snapshots();
   std::unique_ptr<sync::LockManager> locks;
   if (distributed) {
     locks = std::make_unique<sync::DistLockManager>(m, sim::kSdramBase,
@@ -50,13 +62,30 @@ LockRun run_locks(bool distributed, int cores, int rounds, uint32_t cs_len,
     }
   });
   LockRun r;
-  for (int c = 0; c < cores; ++c) {
+  for (int c = 0; c < mc.num_cores; ++c) {
     r.makespan = std::max(r.makespan, m.stats(c).cycles_total);
   }
   r.atomics = m.stats_sum().atomics;
   r.noc_packets = m.noc().packets_sent();
   r.acquire_cycles = r.makespan / static_cast<uint64_t>(rounds);
+  obs::MetricsRegistry reg;
+  m.export_metrics(reg);
+  r.link_stall_cycles = reg.counter("noc.link_stall_cycles");
+  r.stalled_packets = reg.counter("noc.stalled_packets");
+  r.port_wait_cycles = reg.counter("port.wait_cycles");
+  if (const obs::Histogram* h = reg.histogram("port.sdram.wait")) {
+    r.port_queue_p50 = h->quantile(0.50);
+    r.port_queue_p99 = h->quantile(0.99);
+  }
   return r;
+}
+
+sim::MachineConfig preset_config(int cores) {
+  sim::MachineConfig cfg = sim::MachineConfig::ml605(cores);
+  cfg.lm_bytes = 32 * 1024;
+  cfg.sdram_bytes = 1024 * 1024;
+  cfg.max_cycles = UINT64_C(10'000'000'000);
+  return cfg;
 }
 
 }  // namespace
@@ -64,6 +93,8 @@ LockRun run_locks(bool distributed, int cores, int rounds, uint32_t cs_len,
 int main(int argc, char** argv) {
   const int cores = static_cast<int>(flag_int(argc, argv, "cores", 16));
   const int rounds = static_cast<int>(flag_int(argc, argv, "rounds", 40));
+  const char* config_list = flag_str(argc, argv, "config", nullptr);
+  const bool fibers = flag_set(argc, argv, "fibers");
   std::printf("== ablation: distributed lock vs remote test-and-set "
               "(%d cores, %d rounds each) ==\n\n",
               cores, rounds);
@@ -87,7 +118,8 @@ int main(int argc, char** argv) {
   };
   for (const auto& s : scenarios) {
     for (bool dist : {false, true}) {
-      const LockRun r = run_locks(dist, s.ncores, rounds, s.cs, s.gap);
+      const LockRun r = run_locks(dist, preset_config(s.ncores), rounds, s.cs,
+                                  s.gap, fibers);
       t.add_row({s.name, dist ? "distributed" : "spin-TAS",
                  fmt_u64(r.makespan), fmt_u64(r.atomics),
                  fmt_u64(r.noc_packets)});
@@ -102,6 +134,51 @@ int main(int argc, char** argv) {
   std::printf("expected shape: under contention the distributed lock's "
               "atomic-op count stays at ~2 per round\nwhile the spin lock's "
               "explodes; its handoffs appear as NoC packets instead.\n");
+
+  if (config_list != nullptr) {
+    // Scaled sweep: the heavy-contention scenario once per described
+    // machine, spin and distributed, with the contention metrics the mesh
+    // NoC model accounts (zero under the flat model).
+    std::printf("\n== scaled sweep (heavy contention, %d rounds) ==\n\n",
+                rounds);
+    util::Table st;
+    st.add_row({"config", "cores", "lock", "makespan", "link-stall cyc",
+                "stalled pkts", "port-wait cyc", "port p50/p99"});
+    for (const std::string& path : split_csv(config_list)) {
+      sim::MachineConfig mc;
+      try {
+        mc = sim::MachineConfig::from_file(path);
+      } catch (const util::CheckFailure& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+      const std::string prefix = "c" + std::to_string(mc.num_cores) + "_";
+      for (bool dist : {false, true}) {
+        const LockRun r = run_locks(dist, mc, rounds, 200, 20, fibers);
+        st.add_row({path, std::to_string(mc.num_cores),
+                    dist ? "distributed" : "spin-TAS", fmt_u64(r.makespan),
+                    fmt_u64(r.link_stall_cycles), fmt_u64(r.stalled_packets),
+                    fmt_u64(r.port_wait_cycles),
+                    std::to_string(static_cast<uint64_t>(r.port_queue_p50)) +
+                        "/" +
+                        std::to_string(static_cast<uint64_t>(r.port_queue_p99))});
+        const std::string key = prefix + (dist ? "dist" : "spin");
+        json.add(key + "_makespan", r.makespan);
+        json.add(key + "_atomics", r.atomics);
+        json.add(key + "_noc_packets", r.noc_packets);
+        if (dist) {
+          // Machine-level contention totals are lock-agnostic; report them
+          // once per config, from the distributed run's machine.
+          json.add(prefix + "noc_link_stall_cycles", r.link_stall_cycles);
+          json.add(prefix + "noc_stalled_packets", r.stalled_packets);
+          json.add(prefix + "port_wait_cycles", r.port_wait_cycles);
+          json.add(prefix + "port_queue_p50", r.port_queue_p50);
+          json.add(prefix + "port_queue_p99", r.port_queue_p99);
+        }
+      }
+    }
+    std::printf("%s\n", st.render().c_str());
+  }
   if (!json.maybe_write(argc, argv)) return 1;
   return 0;
 }

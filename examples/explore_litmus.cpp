@@ -18,10 +18,12 @@
 //   explore_litmus --fuzz-seed=3 --backend=swcc --replay=2:1
 //   explore_litmus --progress --backend=swcc   # live schedules/s + ETA line
 //   explore_litmus --seed-bug --backend=dsm --trace-out=fault.json
-//   explore_litmus --backend=dsm --test=fig4_exclusive --replay=3:1 \
+//   explore_litmus --backend=dsm --test=fig4_exclusive --replay=3:1
 //       --trace-out=run.json           # cycle trace for ui.perfetto.dev
 //   explore_litmus --outcomes          # model-level reachable-outcome table
 //   explore_litmus --dot               # Fig. 5 execution graph as Graphviz
+//   explore_litmus --config=bench/configs/mesh64.cfg --backend=swcc
+//       --preemptions=1                # explore on a described machine
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -503,6 +505,16 @@ int main(int argc, char** argv) {
   const char* app = flag_str(argc, argv, "app", nullptr);
   const int64_t fuzz_count = flag_int(argc, argv, "fuzz", 0);
   const int64_t fuzz_seed = flag_int(argc, argv, "fuzz-seed", -1);
+  const char* config_path = flag_str(argc, argv, "config", nullptr);
+  std::optional<sim::MachineConfig> config_machine;
+  if (config_path != nullptr) {
+    try {
+      config_machine = sim::MachineConfig::from_file(config_path);
+    } catch (const util::CheckFailure& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
 
   bench::JsonReport json("explore_litmus");
   json.add("jobs", jobs);
@@ -593,7 +605,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--replay needs --backend= and --test=\n");
       return 2;
     }
-    const explore::LitmusTarget target(tests[0], backends[0]);
+    const explore::LitmusTarget target(tests[0], backends[0], {},
+                                       config_machine);
     return run_replay(session, target, rt::to_string(target.target()), replay,
                       trace_out);
   }
@@ -611,7 +624,7 @@ int main(int argc, char** argv) {
   uint64_t failing_total = 0;
   for (rt::Target t : backends) {
     for (const auto& test : tests) {
-      const explore::LitmusTarget target(test, t);
+      const explore::LitmusTarget target(test, t, {}, config_machine);
       const auto rep = session.explore(target);
       table.add_row({rt::to_string(t), test.name,
                      std::to_string(rep.explored) +

@@ -19,6 +19,7 @@ AppRunResult run_app(App& app, ProgramOptions opts) {
     if (prog.validator() != nullptr) {
       r.validated_ok = prog.validator()->ok();
     }
+    prog.machine()->export_metrics(r.metrics);
   }
   return r;
 }

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "obs/metrics.h"
 #include "runtime/program.h"
 
 namespace pmc::apps {
@@ -36,6 +37,9 @@ struct AppRunResult {
   sim::CoreStats stats;     // aggregate over cores (zeros for host target)
   uint64_t makespan = 0;    // max per-core cycle count (0 for host)
   bool validated_ok = true; // Definition 12 check (true when not validated)
+  /// Machine-level counters and histograms (Machine::export_metrics): NoC
+  /// packet/stall totals and port-queue waits. Empty for the host target.
+  obs::MetricsRegistry metrics;
 };
 
 /// Builds a Program with `opts`, runs the app, digests the results.

@@ -146,8 +146,12 @@ bool contains_poll(const model::LitmusTest& test) {
 }  // namespace
 
 LitmusTarget::LitmusTarget(model::LitmusTest test, rt::Target target,
-                           rt::FaultInjection faults)
-    : test_(std::move(test)), target_(target), faults_(faults) {
+                           rt::FaultInjection faults,
+                           std::optional<sim::MachineConfig> machine)
+    : test_(std::move(test)),
+      target_(target),
+      faults_(faults),
+      machine_(std::move(machine)) {
   PMC_CHECK_MSG(annotatable(test_),
                 test_.name << " is not annotation-disciplined; the back-ends "
                               "only define behavior for §V-A programs");
@@ -172,9 +176,15 @@ StatefulSpec LitmusTarget::make_spec() const {
   StatefulSpec spec;
   spec.opts.target = target_;
   spec.opts.cores = static_cast<int>(test_.threads.size());
-  spec.opts.machine = sim::MachineConfig::ml605(spec.opts.cores);
-  spec.opts.machine.lm_bytes = 32 * 1024;
-  spec.opts.machine.sdram_bytes = 256 * 1024;
+  if (machine_.has_value()) {
+    // Custom shape (e.g. --config): timing/cache/NoC model come from the
+    // description; Program re-derives the core count and mesh for the test.
+    spec.opts.machine = *machine_;
+  } else {
+    spec.opts.machine = sim::MachineConfig::ml605(spec.opts.cores);
+    spec.opts.machine.lm_bytes = 32 * 1024;
+    spec.opts.machine.sdram_bytes = 256 * 1024;
+  }
   spec.opts.machine.max_cycles = UINT64_C(50'000'000);
   spec.opts.lock_capacity = 16;
   spec.opts.validate = true;

@@ -146,8 +146,14 @@ class FnTarget final : public CheckTarget {
 /// under the dual oracle (Definition 12 validator + outcome membership).
 class LitmusTarget final : public CheckTarget {
  public:
+  /// `machine`, when set, replaces the default exploration machine shape
+  /// (timing, cache, NoC contention model — e.g. a MachineConfig::from_file
+  /// description); the core count still follows the test. Unset keeps the
+  /// compact ml605-derived shape whose reports are the byte-equality
+  /// baseline.
   LitmusTarget(model::LitmusTest test, rt::Target target,
-               rt::FaultInjection faults = {});
+               rt::FaultInjection faults = {},
+               std::optional<sim::MachineConfig> machine = std::nullopt);
 
   const model::LitmusTest& test() const { return test_; }
   rt::Target target() const { return target_; }
@@ -166,6 +172,7 @@ class LitmusTarget final : public CheckTarget {
   model::LitmusTest test_;
   rt::Target target_;
   rt::FaultInjection faults_;
+  std::optional<sim::MachineConfig> machine_;
   bool has_poll_ = false;
   std::set<model::Outcome> allowed_;
 };

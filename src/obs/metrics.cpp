@@ -24,6 +24,22 @@ void Histogram::observe(double v) {
   ++buckets[b];
 }
 
+double Histogram::quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = std::min<uint64_t>(
+      count - 1, static_cast<uint64_t>(q * static_cast<double>(count)));
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen > rank) {
+      const double hi = b == 0 ? 1.0 : std::ldexp(1.0, b);
+      return std::clamp(hi, min, max);
+    }
+  }
+  return max;
+}
+
 void Histogram::merge(const Histogram& other) {
   if (other.count == 0) return;
   if (count == 0) {

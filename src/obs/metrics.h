@@ -30,6 +30,10 @@ struct Histogram {
   void observe(double v);
   void merge(const Histogram& other);
   double mean() const { return count == 0 ? 0 : sum / static_cast<double>(count); }
+  /// Approximate quantile (q in [0, 1]) read off the buckets: the selected
+  /// bucket's upper bound, clamped to the observed [min, max] — exact when
+  /// every observation in that bucket is equal (e.g. an all-zero series).
+  double quantile(double q) const;
 };
 
 class MetricsRegistry {
@@ -44,6 +48,11 @@ class MetricsRegistry {
 
   // Histograms.
   void observe(const std::string& name, double v) { histograms_[name].observe(v); }
+  /// Folds an externally-maintained histogram (e.g. a MemModule's port-wait
+  /// distribution) into the named one, bucket-wise.
+  void merge_histogram(const std::string& name, const Histogram& h) {
+    histograms_[name].merge(h);
+  }
   const Histogram* histogram(const std::string& name) const;
 
   bool empty() const {

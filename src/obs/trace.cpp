@@ -27,6 +27,7 @@ const char* event_name(EventKind k) {
     case EventKind::kDmaRead: return "dma_read";
     case EventKind::kDmaWrite: return "dma_write";
     case EventKind::kNocSend: return "noc_send";
+    case EventKind::kNocQueue: return "noc_queue";
     case EventKind::kLockAcquire: return "lock_acquire";
     case EventKind::kLockRelease: return "lock_release";
     case EventKind::kBarrier: return "barrier";
@@ -117,6 +118,7 @@ bool has_address(EventKind k) {
     case EventKind::kDmaRead:
     case EventKind::kDmaWrite:
     case EventKind::kNocSend:
+    case EventKind::kNocQueue:
       return true;
     default:
       return false;

@@ -47,7 +47,9 @@ enum class EventKind : uint8_t {
   kFlush,      // wbinval/inval over [addr, addr+len); aux = lines touched
   kDmaRead,
   kDmaWrite,
-  kNocSend,  // aux = destination core, arg = arrival cycle
+  kNocSend,   // aux = destination core, arg = arrival cycle
+  kNocQueue,  // contention instant after a send: aux = destination core,
+              // len = link-stall cycles, arg = destination-port wait cycles
   // Sync objects (src/sync). aux = lock id / barrier round.
   kLockAcquire,
   kLockRelease,

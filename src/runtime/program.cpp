@@ -62,10 +62,21 @@ Program::Program(const ProgramOptions& opts) : opts_(opts) {
     return;
   }
   sim::MachineConfig mc = opts_.machine;
-  mc.num_cores = opts_.cores;
-  mc.mesh_width = std::min(8, opts_.cores);
+  if (mc.num_cores != opts_.cores) {
+    // The caller's machine config was shaped for a different core count, so
+    // re-derive the mesh rather than keep (or clamp to) a stale width —
+    // `std::min(8, cores)` here used to build ragged meshes for any
+    // non-multiple-of-8 count above 8. A config built for exactly
+    // opts_.cores keeps its (validated) width, e.g. an explicit mesh_width
+    // from a parsed MachineConfig::from_file description.
+    mc.num_cores = opts_.cores;
+    mc.mesh_width = sim::MachineConfig::derive_mesh_width(opts_.cores);
+  }
   mc.cache_shared = opts_.target == Target::kSWCC;
   machine_ = std::make_unique<sim::Machine>(mc);
+  if (opts_.fiber_execution && sim::Scheduler::fibers_supported()) {
+    machine_->enable_snapshots();
+  }
   if (opts_.schedule_policy != nullptr) {
     machine_->set_schedule_policy(opts_.schedule_policy);
   }

@@ -53,6 +53,11 @@ struct ProgramOptions {
   /// outlive run()). nullptr leaves tracing detached — the zero-overhead
   /// default. See src/obs/trace.h and DESIGN.md §11.
   obs::TraceRecorder* trace = nullptr;
+  /// Run cores as fibers on one host thread (when supported) instead of one
+  /// host thread per core. Identical schedules and results; at hundreds of
+  /// cores the handoffs are ~100× cheaper, which is what makes the scaled
+  /// bench configs (bench/configs/*.cfg) tractable. Ignored off-sim.
+  bool fiber_execution = false;
 };
 
 class Program {

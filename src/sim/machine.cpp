@@ -8,11 +8,45 @@
 
 namespace pmc::sim {
 
+int MachineConfig::derive_mesh_width(int cores) {
+  PMC_CHECK_MSG(cores >= 1, "num_cores must be >= 1");
+  for (int w = std::min(8, cores); w > 1; --w) {
+    if (cores % w == 0) return w;
+  }
+  return 1;
+}
+
 MachineConfig MachineConfig::ml605(int cores) {
   MachineConfig c;
   c.num_cores = cores;
-  c.mesh_width = cores >= 8 ? 8 : cores;
+  // Derived, never assumed: `cores >= 8 ? 8 : cores` silently built ragged
+  // meshes (12 cores → an 8-wide grid with a 4-tile last row) whose
+  // out-of-grid coordinates made hop counts nonsense.
+  c.mesh_width = derive_mesh_width(cores);
   return c;
+}
+
+void MachineConfig::validate() const {
+  PMC_CHECK_MSG(num_cores >= 1, "num_cores must be >= 1");
+  PMC_CHECK_MSG(mesh_width >= 1, "mesh_width must be >= 1");
+  PMC_CHECK_MSG(num_cores % mesh_width == 0,
+                "ragged mesh: " << num_cores << " cores cannot fill rows of "
+                                << mesh_width
+                                << " (pick a width dividing the core count)");
+  PMC_CHECK_MSG(lm_bytes > 0 && lm_bytes <= kLmStride,
+                "lm_bytes must be in (0, " << kLmStride << "]");
+  const int max_tiles = static_cast<int>((kSdramBase - kLmBase) / kLmStride);
+  PMC_CHECK_MSG(num_cores <= max_tiles,
+                "too many tiles for the address map (max " << max_tiles
+                                                           << ")");
+  PMC_CHECK_MSG(sdram_bytes > 0, "sdram_bytes must be > 0");
+  PMC_CHECK_MSG(dcache.line_bytes >= 4 &&
+                    (dcache.line_bytes & (dcache.line_bytes - 1)) == 0,
+                "cache line_bytes must be a power of two >= 4");
+  PMC_CHECK_MSG(dcache.ways >= 1 &&
+                    dcache.size_bytes % (dcache.line_bytes * dcache.ways) == 0,
+                "cache size_bytes must be a multiple of line_bytes * ways");
+  PMC_CHECK_MSG(noc_buffer_words >= 1, "noc buffer_words must be >= 1");
 }
 
 MachineConfig MachineConfig::fig1_twomem() {
@@ -29,15 +63,13 @@ MachineConfig MachineConfig::fig1_twomem() {
 }
 
 Machine::Machine(const MachineConfig& cfg)
-    : cfg_(cfg),
+    // The comma operator runs the shape checks before any member is built —
+    // a bad config fails with validate()'s message, not a member's.
+    : cfg_((cfg.validate(), cfg)),
       sched_(cfg.num_cores, cfg.max_cycles),
       sdram_("sdram", kSdramBase, cfg.sdram_bytes),
-      noc_(cfg.num_cores, cfg.mesh_width, cfg.timing) {
-  PMC_CHECK(cfg_.num_cores >= 1);
-  PMC_CHECK_MSG(cfg_.lm_bytes <= kLmStride, "local memory exceeds map stride");
-  PMC_CHECK(static_cast<uint64_t>(kLmBase) +
-                static_cast<uint64_t>(cfg_.num_cores) * kLmStride <=
-            kSdramBase);
+      noc_(cfg.num_cores, cfg.mesh_width, cfg.timing, cfg.noc_model,
+           cfg.noc_buffer_words) {
   lms_.reserve(cfg_.num_cores);
   cores_.reserve(cfg_.num_cores);
   for (int t = 0; t < cfg_.num_cores; ++t) {
@@ -207,6 +239,11 @@ uint64_t Machine::digest(const Snapshot& s) {
     mix_bytes(m.page_bytes.data(), m.page_bytes.size());
     mix(m.next_seq);
     mix(m.port_free);
+    // Histograms are observational aggregates of the counters below, so the
+    // counters suffice to certify port state.
+    mix(m.port_stats.reservations);
+    mix(m.port_stats.wait_cycles);
+    mix(m.port_stats.busy_cycles);
     auto q = m.pending;  // priority_queue: drain a copy in deterministic order
     while (!q.empty()) {
       const auto& p = q.top();
@@ -219,12 +256,44 @@ uint64_t Machine::digest(const Snapshot& s) {
   };
   mix_mem(s.sdram);
   for (const auto& m : s.lms) mix_mem(m);
-  mix_bytes(s.noc.channel_last_arrival.data(),
-            s.noc.channel_last_arrival.size() * sizeof(uint64_t));
+  // Clock maps mix sorted by index with zero-valued entries elided, so the
+  // digest depends only on the clocks' content — a dense map padded with
+  // explicit zeros and the sparse touched-entry map hash identically.
+  const auto mix_clock_map =
+      [&](std::vector<std::pair<uint32_t, uint64_t>> map) {
+        std::sort(map.begin(), map.end());
+        for (const auto& [i, v] : map) {
+          if (v == 0) continue;
+          mix(i);
+          mix(v);
+        }
+      };
+  mix_clock_map(s.noc.channels);
+  mix_clock_map(s.noc.links);
   mix(s.noc.packets);
   mix(s.noc.bytes);
+  mix(s.noc.link_stall_cycles);
+  mix(s.noc.stalled_packets);
   for (const auto& r : s.regions) mix_bytes(r.data(), r.size());
   return h;
+}
+
+void Machine::export_metrics(obs::MetricsRegistry& reg) const {
+  reg.inc("noc.packets", noc_.packets_sent());
+  reg.inc("noc.bytes", noc_.bytes_sent());
+  reg.inc("noc.link_stall_cycles", noc_.link_stall_cycles());
+  reg.inc("noc.stalled_packets", noc_.stalled_packets());
+  reg.merge_histogram("noc.link_stall", noc_.link_stall_hist());
+  const auto port = [&](const MemModule& m) {
+    const MemModule::PortStats& p = m.port_stats();
+    reg.inc("port.reservations", p.reservations);
+    reg.inc("port.wait_cycles", p.wait_cycles);
+    reg.inc("port.busy_cycles", p.busy_cycles);
+    reg.merge_histogram("port.wait", p.wait_hist);
+  };
+  port(sdram_);
+  reg.merge_histogram("port.sdram.wait", sdram_.port_stats().wait_hist);
+  for (const auto& lm : lms_) port(*lm);
 }
 
 CoreStats Machine::stats_sum() const {
@@ -296,6 +365,11 @@ void Core::sample_counters() {
   rec(obs::CounterId::kIdle, s.idle);
   rec(obs::CounterId::kDcacheMisses, s.dcache_misses);
   rec(obs::CounterId::kNocBytes, s.noc_bytes_sent);
+}
+
+uint64_t Core::sdram_port_wait(uint64_t occupancy) {
+  if (m_.cfg_.noc_model != NocModel::kMesh) return 0;
+  return m_.sdram_.reserve_port(now(), occupancy) - now();
 }
 
 uint64_t CoreStats::*Core::read_bucket(MemClass c) const {
@@ -415,7 +489,11 @@ void Core::uncached_access(Addr a, void* rd_out, const void* wr_data, size_t n,
     const size_t chunk = std::min<size_t>(4 - ((a + done) % 4), n - done);
     const Addr chunk_addr = a + static_cast<Addr>(done);
     if (wr_data != nullptr) {
-      charge(1, t.sdram_write_cost - 1, &CoreStats::stall_write);
+      // Mesh model only: posted uncached stores drain through the shared
+      // SDRAM port one word at a time, so contenders queue (a no-op wait
+      // under kFlat, preserving its timing exactly).
+      charge(1, sdram_port_wait(1) + t.sdram_write_cost - 1,
+             &CoreStats::stall_write);
       m_.sched_.note_access(id_, chunk_addr, static_cast<uint32_t>(chunk),
                             AccessKind::kWrite, sync);
       m_.sdram_.post_write(now() + t.sdram_write_visible, chunk_addr,
@@ -549,7 +627,8 @@ uint64_t Core::remote_write(int dst_tile, Addr dst_addr, const void* data,
   const uint64_t trace_t0 = now();
   // Sender enqueues the packet into its network interface and proceeds.
   charge(1, t.noc_send_cost, &CoreStats::stall_write);
-  const uint64_t arrival = m_.noc_.deliver(now(), id_, dst_tile, dst, n);
+  sim::Noc::Delivery dv;
+  const uint64_t arrival = m_.noc_.deliver(now(), id_, dst_tile, dst, n, &dv);
   dst.post_write(arrival, dst_addr, data, n);
   s.remote_writes++;
   s.noc_bytes_sent += n;
@@ -560,6 +639,13 @@ uint64_t Core::remote_write(int dst_tile, Addr dst_addr, const void* data,
     // event carries the whole flow arc (the exporter adds the arrow).
     trace(obs::EventKind::kNocSend, trace_t0, dst_addr,
           static_cast<uint32_t>(n), static_cast<uint16_t>(dst_tile), arrival);
+    if (dv.link_stall + dv.port_wait != 0) {
+      // Contention is an instant companion event: len carries the link
+      // stall, arg the destination-port wait (both in cycles).
+      trace(obs::EventKind::kNocQueue, now(), dst_addr,
+            static_cast<uint32_t>(dv.link_stall),
+            static_cast<uint16_t>(dst_tile), dv.port_wait);
+    }
   }
   return arrival;
 }
@@ -724,7 +810,11 @@ uint32_t Core::atomic_swap(Addr a, uint32_t value) {
   const uint64_t total = t.sdram_read + t.atomic_extra;
   const uint64_t req = std::max<uint64_t>(total / 2, 1);
   const uint64_t trace_t0 = now();
-  charge(1, req - 1, &CoreStats::stall_sync_read);
+  // Mesh model only: the atomic unit serializes contenders on the shared
+  // SDRAM port (atomic_extra cycles of service each); kFlat keeps the
+  // original fixed-cost path.
+  charge(1, sdram_port_wait(t.atomic_extra) + req - 1,
+         &CoreStats::stall_sync_read);
   m_.stats_[id_].atomics++;
   const uint32_t old = m_.sdram_.atomic_swap_u32(now(), a, value);
   m_.sched_.note_access(id_, a, 4, AccessKind::kAtomic, /*sync=*/true);
@@ -741,7 +831,11 @@ uint32_t Core::atomic_add(Addr a, uint32_t delta) {
   const uint64_t total = t.sdram_read + t.atomic_extra;
   const uint64_t req = std::max<uint64_t>(total / 2, 1);
   const uint64_t trace_t0 = now();
-  charge(1, req - 1, &CoreStats::stall_sync_read);
+  // Mesh model only: the atomic unit serializes contenders on the shared
+  // SDRAM port (atomic_extra cycles of service each); kFlat keeps the
+  // original fixed-cost path.
+  charge(1, sdram_port_wait(t.atomic_extra) + req - 1,
+         &CoreStats::stall_sync_read);
   m_.stats_[id_].atomics++;
   const uint32_t old = m_.sdram_.atomic_add_u32(now(), a, delta);
   m_.sched_.note_access(id_, a, 4, AccessKind::kAtomic, /*sync=*/true);
@@ -758,7 +852,11 @@ uint32_t Core::atomic_cas(Addr a, uint32_t expected, uint32_t desired) {
   const uint64_t total = t.sdram_read + t.atomic_extra;
   const uint64_t req = std::max<uint64_t>(total / 2, 1);
   const uint64_t trace_t0 = now();
-  charge(1, req - 1, &CoreStats::stall_sync_read);
+  // Mesh model only: the atomic unit serializes contenders on the shared
+  // SDRAM port (atomic_extra cycles of service each); kFlat keeps the
+  // original fixed-cost path.
+  charge(1, sdram_port_wait(t.atomic_extra) + req - 1,
+         &CoreStats::stall_sync_read);
   m_.stats_[id_].atomics++;
   const uint32_t old = m_.sdram_.atomic_cas_u32(now(), a, expected, desired);
   m_.sched_.note_access(id_, a, 4, AccessKind::kAtomic, /*sync=*/true);

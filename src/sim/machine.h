@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "sim/cache.h"
@@ -46,12 +47,39 @@ struct MachineConfig {
   /// SWCC mode caches kSharedData SDRAM accesses; no-CC mode bypasses the
   /// cache for them (the Fig. 8 baseline). kSync is always uncached.
   bool cache_shared = true;
+  /// NoC pricing model (DESIGN.md §12). kFlat reproduces the original
+  /// hop-count formula bit-for-bit; kMesh adds per-directed-link arbitration
+  /// with finite hop buffers, and routes SDRAM atomics and uncached posted
+  /// writes through the shared port's queue.
+  NocModel noc_model = NocModel::kFlat;
+  /// Per-hop input buffer depth (words) under kMesh: stalls longer than the
+  /// buffer can absorb back up into the upstream link.
+  uint32_t noc_buffer_words = 4;
 
   /// The 32-core ML605-like preset used throughout the experiments.
   static MachineConfig ml605(int cores = 32);
   /// The Fig. 1 two-memory configuration: 2 cores, SDRAM much slower than
   /// the NoC path, so the data write can lose the race against the flag.
   static MachineConfig fig1_twomem();
+
+  /// Largest mesh width ≤ 8 that divides `cores` exactly — never a ragged
+  /// last row (prime counts degrade to a 1-wide column).
+  static int derive_mesh_width(int cores);
+
+  /// Parses an INI-style machine description (DESIGN.md §12 has the
+  /// grammar): sections [machine] [cache] [timing] [noc] [workload], with
+  /// the ml605 preset (or `preset = ...` as the first key) supplying every
+  /// default. Unknown sections/keys and malformed values throw
+  /// util::CheckFailure naming `origin` and the 1-based line. The result is
+  /// validate()d; mesh_width is derived from the core count unless set.
+  static MachineConfig from_string(const std::string& text,
+                                   const std::string& origin = "<config>");
+  /// from_string over the file's contents; errors name the path.
+  static MachineConfig from_file(const std::string& path);
+
+  /// Shape checks (core count vs mesh width, address-map capacity, cache
+  /// geometry). Machine's constructor enforces this; throws CheckFailure.
+  void validate() const;
 };
 
 class Machine;
@@ -134,6 +162,10 @@ class Core {
   void trace(obs::EventKind kind, uint64_t t0, Addr addr = 0, uint32_t len = 0,
              uint16_t aux = 0, uint64_t arg = 0);
   void sample_counters();
+  /// Under the mesh contention model: cycles queued to claim the shared
+  /// SDRAM port for `occupancy` cycles of service. Always 0 under kFlat,
+  /// which keeps the original fixed-cost paths bit-identical.
+  uint64_t sdram_port_wait(uint64_t occupancy);
   uint64_t CoreStats::*read_bucket(MemClass c) const;
   void cached_access(Addr a, void* rd_out, const void* wr_data, size_t n);
   void uncached_access(Addr a, void* rd_out, const void* wr_data, size_t n,
@@ -224,6 +256,11 @@ class Machine {
   MemModule& sdram() { return sdram_; }
   MemModule& local_mem(int tile) { return *lms_[tile]; }
   Noc& noc() { return noc_; }
+  /// Folds interconnect/port contention telemetry into `reg` (DESIGN.md
+  /// §12): noc.* counters plus the link-stall histogram, and port wait
+  /// histograms — "port.wait" merged across every module, "port.sdram.wait"
+  /// for the shared SDRAM port alone.
+  void export_metrics(obs::MetricsRegistry& reg) const;
   Addr lm_base(int tile) const;
   /// Which tile's local memory contains `a`, or -1.
   int tile_of(Addr a) const;

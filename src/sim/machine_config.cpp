@@ -1,0 +1,241 @@
+// INI-style machine-description parser (DESIGN.md §12): machine shape is
+// data, not code. A description has sections [machine] [cache] [timing]
+// [noc] [workload]; every key defaults to the ml605 preset (or the preset
+// named by the leading `preset =` key), so a file only states what differs.
+// Unknown sections/keys and malformed values are hard errors naming the
+// origin and 1-based line — a silently-ignored typo in a 256-core sweep
+// config would invalidate the whole experiment.
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/machine.h"
+#include "util/check.h"
+
+namespace pmc::sim {
+
+namespace {
+
+#define PMC_CFG_FAIL(msg) \
+  PMC_CHECK_MSG(false, origin << ":" << line_no << ": " << msg)
+
+std::string trim(const std::string& s) {
+  const size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// Unsigned integer with an optional k/K (KiB) or m/M (MiB) suffix.
+uint64_t parse_u64(const std::string& v, const std::string& key,
+                   const std::string& origin, int line_no) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long raw = std::strtoull(v.c_str(), &end, 0);
+  uint64_t scale = 1;
+  if (end != v.c_str() && *end != '\0') {
+    if (*end == 'k' || *end == 'K') {
+      scale = 1024;
+      ++end;
+    } else if (*end == 'm' || *end == 'M') {
+      scale = 1024 * 1024;
+      ++end;
+    }
+  }
+  if (end == v.c_str() || *end != '\0' || errno == ERANGE ||
+      v.find('-') != std::string::npos) {
+    PMC_CFG_FAIL("bad value '" << v << "' for " << key
+                               << " (expected an unsigned integer, optional "
+                                  "k/m suffix)");
+  }
+  return static_cast<uint64_t>(raw) * scale;
+}
+
+bool parse_bool(const std::string& v, const std::string& key,
+                const std::string& origin, int line_no) {
+  if (v == "true" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "off" || v == "0") return false;
+  PMC_CFG_FAIL("bad value '" << v << "' for " << key
+                             << " (expected true/false/on/off/1/0)");
+  return false;
+}
+
+}  // namespace
+
+MachineConfig MachineConfig::from_string(const std::string& text,
+                                         const std::string& origin) {
+  MachineConfig cfg = ml605();
+  std::string section;
+  bool mesh_width_set = false;
+  bool any_key = false;
+  int line_no = 0;
+
+  std::istringstream in(text);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    // Comments run from '#' or ';' to end of line.
+    const size_t cut = raw.find_first_of("#;");
+    std::string line = trim(cut == std::string::npos ? raw : raw.substr(0, cut));
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') PMC_CFG_FAIL("unterminated section header");
+      section = trim(line.substr(1, line.size() - 2));
+      if (section != "machine" && section != "cache" && section != "timing" &&
+          section != "noc" && section != "workload") {
+        PMC_CFG_FAIL("unknown section [" << section << "]");
+      }
+      continue;
+    }
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      PMC_CFG_FAIL("expected 'key = value', got '" << line << "'");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string val = trim(line.substr(eq + 1));
+    if (key.empty() || val.empty()) {
+      PMC_CFG_FAIL("expected 'key = value', got '" << line << "'");
+    }
+    if (section.empty()) {
+      PMC_CFG_FAIL("key '" << key
+                           << "' before any section header (start with "
+                              "[machine], [cache], [timing], [noc], or "
+                              "[workload])");
+    }
+    const auto u64 = [&] { return parse_u64(val, key, origin, line_no); };
+    const auto u32 = [&] { return static_cast<uint32_t>(u64()); };
+    const auto onoff = [&] { return parse_bool(val, key, origin, line_no); };
+    bool known = true;
+    if (section == "machine") {
+      if (key == "preset") {
+        if (any_key) {
+          PMC_CFG_FAIL("preset must be the first setting (it replaces every "
+                       "default)");
+        }
+        if (val == "ml605") {
+          cfg = ml605();
+        } else if (val == "fig1_twomem") {
+          cfg = fig1_twomem();
+        } else {
+          PMC_CFG_FAIL("unknown preset '" << val
+                                          << "' (ml605 or fig1_twomem)");
+        }
+      } else if (key == "cores") {
+        cfg.num_cores = static_cast<int>(u64());
+      } else if (key == "mesh_width") {
+        cfg.mesh_width = static_cast<int>(u64());
+        mesh_width_set = true;
+      } else if (key == "lm_bytes") {
+        cfg.lm_bytes = u32();
+      } else if (key == "sdram_bytes") {
+        cfg.sdram_bytes = u32();
+      } else if (key == "max_cycles") {
+        cfg.max_cycles = u64();
+      } else if (key == "cache_shared") {
+        cfg.cache_shared = onoff();
+      } else {
+        known = false;
+      }
+    } else if (section == "cache") {
+      if (key == "size_bytes") {
+        cfg.dcache.size_bytes = u32();
+      } else if (key == "line_bytes") {
+        cfg.dcache.line_bytes = u32();
+      } else if (key == "ways") {
+        cfg.dcache.ways = u32();
+      } else {
+        known = false;
+      }
+    } else if (section == "timing") {
+      TimingConfig& t = cfg.timing;
+      if (key == "lm_load") {
+        t.lm_load = u32();
+      } else if (key == "lm_store") {
+        t.lm_store = u32();
+      } else if (key == "cache_hit") {
+        t.cache_hit = u32();
+      } else if (key == "sdram_read") {
+        t.sdram_read = u32();
+      } else if (key == "sdram_write_cost") {
+        t.sdram_write_cost = u32();
+      } else if (key == "sdram_write_visible") {
+        t.sdram_write_visible = u32();
+      } else if (key == "sdram_line_fill") {
+        t.sdram_line_fill = u32();
+      } else if (key == "sdram_line_wb_cost") {
+        t.sdram_line_wb_cost = u32();
+      } else if (key == "sdram_line_wb_visible") {
+        t.sdram_line_wb_visible = u32();
+      } else if (key == "noc_base") {
+        t.noc_base = u32();
+      } else if (key == "noc_per_hop") {
+        t.noc_per_hop = u32();
+      } else if (key == "noc_per_word") {
+        t.noc_per_word = u32();
+      } else if (key == "noc_send_cost") {
+        t.noc_send_cost = u32();
+      } else if (key == "atomic_extra") {
+        t.atomic_extra = u32();
+      } else if (key == "dma_per_word") {
+        t.dma_per_word = u32();
+      } else if (key == "cache_op_per_line") {
+        t.cache_op_per_line = u32();
+      } else if (key == "imiss_penalty") {
+        t.imiss_penalty = u32();
+      } else if (key == "priv_miss_penalty") {
+        t.priv_miss_penalty = u32();
+      } else {
+        known = false;
+      }
+    } else if (section == "noc") {
+      if (key == "model") {
+        if (val == "flat") {
+          cfg.noc_model = NocModel::kFlat;
+        } else if (val == "mesh") {
+          cfg.noc_model = NocModel::kMesh;
+        } else {
+          PMC_CFG_FAIL("bad value '" << val
+                                     << "' for model (flat or mesh)");
+        }
+      } else if (key == "buffer_words") {
+        cfg.noc_buffer_words = u32();
+      } else {
+        known = false;
+      }
+    } else {  // workload
+      if (key == "imiss_per_mille") {
+        cfg.profile.imiss_per_mille = u32();
+      } else if (key == "priv_miss_per_mille") {
+        cfg.profile.priv_miss_per_mille = u32();
+      } else {
+        known = false;
+      }
+    }
+    if (!known) {
+      PMC_CFG_FAIL("unknown key '" << key << "' in [" << section << "]");
+    }
+    any_key = true;
+  }
+
+  if (!mesh_width_set && cfg.num_cores >= 1) {
+    cfg.mesh_width = derive_mesh_width(cfg.num_cores);
+  }
+  try {
+    cfg.validate();
+  } catch (const util::CheckFailure& e) {
+    PMC_CHECK_MSG(false, origin << ": " << e.what());
+  }
+  return cfg;
+}
+
+MachineConfig MachineConfig::from_file(const std::string& path) {
+  std::ifstream in(path);
+  PMC_CHECK_MSG(in.good(), path << ": cannot open machine config");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return from_string(text.str(), path);
+}
+
+}  // namespace pmc::sim

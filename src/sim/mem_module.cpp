@@ -15,9 +15,12 @@ MemModule::MemModule(std::string name, Addr base, size_t size)
 }
 
 void MemModule::mark_write(Addr a, size_t n) {
+  // A zero-length write dirties nothing; without this guard it would still
+  // mark the page holding `a`, inflating Snapshot::pages and churning
+  // restore() with pages whose bytes never changed.
+  if (n == 0) return;
   const uint32_t first = (a - base_) / kPageBytes;
-  const uint32_t last =
-      (a - base_ + static_cast<Addr>(n == 0 ? 0 : n - 1)) / kPageBytes;
+  const uint32_t last = (a - base_ + static_cast<Addr>(n - 1)) / kPageBytes;
   for (uint32_t p = first; p <= last; ++p) {
     if (!touched_[p]) {
       touched_[p] = 1;
@@ -99,6 +102,10 @@ uint32_t MemModule::atomic_cas_u32(uint64_t t, Addr a, uint32_t expected,
 uint64_t MemModule::reserve_port(uint64_t earliest, uint64_t occupancy) {
   const uint64_t start = std::max(earliest, port_free_);
   port_free_ = start + occupancy;
+  ++port_stats_.reservations;
+  port_stats_.wait_cycles += start - earliest;
+  port_stats_.busy_cycles += occupancy;
+  port_stats_.wait_hist.observe(static_cast<double>(start - earliest));
   return start;
 }
 
@@ -120,6 +127,7 @@ MemModule::Snapshot MemModule::snapshot() const {
   s.pending = pending_;
   s.next_seq = next_seq_;
   s.port_free = port_free_;
+  s.port_stats = port_stats_;
   return s;
 }
 
@@ -145,6 +153,7 @@ void MemModule::restore(const Snapshot& s) {
   pending_ = s.pending;
   next_seq_ = s.next_seq;
   port_free_ = s.port_free;
+  port_stats_ = s.port_stats;
 }
 
 }  // namespace pmc::sim

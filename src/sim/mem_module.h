@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace pmc::sim {
 
 using Addr = uint32_t;
@@ -48,6 +50,18 @@ class MemModule {
   /// earliest start ≥ `earliest` and occupies the port for `occupancy`.
   uint64_t reserve_port(uint64_t earliest, uint64_t occupancy);
 
+  /// Queueing telemetry for the write port, maintained by reserve_port()
+  /// (DESIGN.md §12). Accounting identity: wait_cycles is the exact sum of
+  /// per-reservation (start − earliest) and busy_cycles the sum of
+  /// occupancies, so merged exports reconcile against the counters.
+  struct PortStats {
+    uint64_t reservations = 0;
+    uint64_t wait_cycles = 0;
+    uint64_t busy_cycles = 0;
+    obs::Histogram wait_hist;  ///< distribution of per-reservation waits
+  };
+  const PortStats& port_stats() const { return port_stats_; }
+
   size_t pending_writes() const { return pending_.size(); }
   /// Applies every pending write (end of simulation), regardless of time.
   void drain_all();
@@ -81,6 +95,7 @@ class MemModule {
     PendingQueue pending;
     uint64_t next_seq = 0;
     uint64_t port_free = 0;
+    PortStats port_stats;
   };
   Snapshot snapshot() const;
   /// Restores to the snapshot from *any* later state of this module: pages
@@ -101,6 +116,7 @@ class MemModule {
   PendingQueue pending_;
   uint64_t next_seq_ = 0;
   uint64_t port_free_ = 0;
+  PortStats port_stats_;
   std::vector<uint8_t> touched_;        // one flag per page
   std::vector<uint32_t> touched_list_;  // set pages, first-touch order
 };

@@ -36,6 +36,28 @@ TEST(Histogram, HugeValuesClampToTheLastBucket) {
   EXPECT_EQ(h.buckets[Histogram::kBuckets - 1], 1u);
 }
 
+TEST(Histogram, QuantileReadsBucketUpperBoundsClamped) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0);  // empty: no observations
+  for (int i = 0; i < 99; ++i) h.observe(1);
+  h.observe(1000);
+  // p50 lands in the [1, 2) bucket and reads its upper bound.
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 2);
+  // The tail reaches the outlier's bucket [512, 1024), whose bound 1024
+  // clamps to the observed max.
+  EXPECT_DOUBLE_EQ(h.quantile(0.999), 1000);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000);
+}
+
+TEST(Histogram, QuantileExactForConstantSeries) {
+  // The common contention case: every wait is zero. All mass in bucket 0,
+  // whose bound 1 clamps to [0, 0] — the quantile is exactly 0.
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.observe(0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0);
+}
+
 TEST(Histogram, MergeIsBucketwiseAddition) {
   Histogram a, b;
   a.observe(1);

@@ -230,5 +230,97 @@ TEST(Machine, MisalignedAccessChecked) {
       util::CheckFailure);
 }
 
+TEST(Machine, RaggedMeshConfigRejected) {
+  // 12 tiles cannot fill rows of 8 — the shape the old
+  // `mesh_width = min(8, cores)` rule silently built.
+  MachineConfig c = tiny(12);
+  c.mesh_width = 8;
+  EXPECT_THROW(Machine m(c), util::CheckFailure);
+  c.mesh_width = MachineConfig::derive_mesh_width(12);
+  EXPECT_EQ(c.mesh_width, 6);
+  Machine ok(c);  // derived widths always divide
+}
+
+TEST(Machine, ValidateRejectsImpossibleShapes) {
+  EXPECT_THROW(
+      {
+        MachineConfig c = tiny(2);
+        c.lm_bytes = 0;
+        c.validate();
+      },
+      util::CheckFailure);
+  EXPECT_THROW(
+      {
+        MachineConfig c = tiny(2);
+        c.sdram_bytes = 0;
+        c.validate();
+      },
+      util::CheckFailure);
+  EXPECT_THROW(
+      {
+        MachineConfig c = tiny(2);
+        c.dcache.line_bytes = 24;  // not a power of two
+        c.validate();
+      },
+      util::CheckFailure);
+  EXPECT_THROW(
+      {
+        MachineConfig c = tiny(2);
+        c.mesh_width = 0;
+        c.validate();
+      },
+      util::CheckFailure);
+}
+
+TEST(Machine, MeshNocModelIsDeterministic) {
+  // The contention model must stay bit-deterministic: same program, same
+  // config ⇒ same final state and same contention totals.
+  auto one_run = [](uint64_t* stalls) {
+    MachineConfig cfg = tiny(8);
+    cfg.noc_model = NocModel::kMesh;
+    cfg.noc_buffer_words = 2;
+    cfg.timing.noc_per_word = 4;
+    Machine m(cfg);
+    m.run([&](Core& c) {
+      for (int i = 0; i < 10; ++i) {
+        uint32_t v = static_cast<uint32_t>(100 * c.id() + i);
+        c.remote_write((c.id() + 3) % 8, m.lm_base((c.id() + 3) % 8) + 256,
+                       &v, 4);
+        c.atomic_add(kSdramBase + 8, 1);
+      }
+    });
+    *stalls = m.noc().link_stall_cycles();
+    return m.state_hash();
+  };
+  uint64_t s1 = 0, s2 = 0;
+  const uint64_t h1 = one_run(&s1);
+  const uint64_t h2 = one_run(&s2);
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Machine, ExportMetricsReconcilesWithCounters) {
+  MachineConfig cfg = tiny(4);
+  cfg.noc_model = NocModel::kMesh;
+  Machine m(cfg);
+  m.run([&](Core& c) {
+    uint32_t v = 1;
+    c.remote_write((c.id() + 1) % 4, m.lm_base((c.id() + 1) % 4) + 64, &v, 4);
+    c.atomic_add(kSdramBase + 8, 1);
+  });
+  obs::MetricsRegistry reg;
+  m.export_metrics(reg);
+  EXPECT_EQ(reg.counter("noc.packets"), m.noc().packets_sent());
+  EXPECT_EQ(reg.counter("noc.bytes"), m.noc().bytes_sent());
+  EXPECT_EQ(reg.counter("noc.link_stall_cycles"),
+            m.noc().link_stall_cycles());
+  // The merged port histogram's population equals the reservation count —
+  // the accounting identity, machine-wide.
+  const obs::Histogram* wait = reg.histogram("port.wait");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(wait->count, reg.counter("port.reservations"));
+  EXPECT_GT(reg.counter("port.reservations"), 0u);
+}
+
 }  // namespace
 }  // namespace pmc::sim

@@ -1,0 +1,175 @@
+// MachineConfig description parser (DESIGN.md §12): defaults, every
+// section, suffixes, presets, derived mesh widths, and — most importantly —
+// the error paths: a silently-ignored typo in a sweep config would
+// invalidate the whole experiment, so every malformed line must fail
+// loudly, naming the origin and line.
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/check.h"
+
+namespace pmc::sim {
+namespace {
+
+/// Error-message oracle: parse must throw and the message must contain
+/// every listed fragment (origin:line and the offending token).
+void expect_parse_error(const std::string& text,
+                        std::initializer_list<const char*> fragments) {
+  try {
+    MachineConfig::from_string(text, "test.cfg");
+    FAIL() << "expected CheckFailure for:\n" << text;
+  } catch (const util::CheckFailure& e) {
+    const std::string msg = e.what();
+    for (const char* f : fragments) {
+      EXPECT_NE(msg.find(f), std::string::npos)
+          << "message \"" << msg << "\" lacks \"" << f << "\"";
+    }
+  }
+}
+
+TEST(MachineConfigParse, EmptyTextIsTheMl605Preset) {
+  const MachineConfig got = MachineConfig::from_string("");
+  const MachineConfig want = MachineConfig::ml605();
+  EXPECT_EQ(got.num_cores, want.num_cores);
+  EXPECT_EQ(got.mesh_width, want.mesh_width);
+  EXPECT_EQ(got.lm_bytes, want.lm_bytes);
+  EXPECT_EQ(got.sdram_bytes, want.sdram_bytes);
+  EXPECT_EQ(got.timing.noc_per_word, want.timing.noc_per_word);
+  EXPECT_EQ(got.noc_model, NocModel::kFlat);
+  EXPECT_EQ(got.noc_buffer_words, 4u);
+}
+
+TEST(MachineConfigParse, EverySectionAndSuffix) {
+  const MachineConfig c = MachineConfig::from_string(R"(
+# full grammar exercise
+[machine]
+preset = ml605
+cores = 64            ; comments in both styles
+lm_bytes = 64k
+sdram_bytes = 8m
+max_cycles = 123456789
+cache_shared = on
+
+[cache]
+size_bytes = 8k
+line_bytes = 32
+ways = 2
+
+[timing]
+noc_per_word = 4
+sdram_read = 30
+atomic_extra = 9
+
+[noc]
+model = mesh
+buffer_words = 2
+
+[workload]
+imiss_per_mille = 5
+priv_miss_per_mille = 7
+)");
+  EXPECT_EQ(c.num_cores, 64);
+  EXPECT_EQ(c.mesh_width, 8);  // derived: not stated
+  EXPECT_EQ(c.lm_bytes, 64u * 1024);
+  EXPECT_EQ(c.sdram_bytes, 8u * 1024 * 1024);
+  EXPECT_EQ(c.max_cycles, 123456789u);
+  EXPECT_TRUE(c.cache_shared);
+  EXPECT_EQ(c.dcache.size_bytes, 8u * 1024);
+  EXPECT_EQ(c.dcache.line_bytes, 32u);
+  EXPECT_EQ(c.dcache.ways, 2u);
+  EXPECT_EQ(c.timing.noc_per_word, 4u);
+  EXPECT_EQ(c.timing.sdram_read, 30u);
+  EXPECT_EQ(c.timing.atomic_extra, 9u);
+  EXPECT_EQ(c.noc_model, NocModel::kMesh);
+  EXPECT_EQ(c.noc_buffer_words, 2u);
+  EXPECT_EQ(c.profile.imiss_per_mille, 5u);
+  EXPECT_EQ(c.profile.priv_miss_per_mille, 7u);
+}
+
+TEST(MachineConfigParse, ExplicitMeshWidthWins) {
+  const MachineConfig c = MachineConfig::from_string(
+      "[machine]\ncores = 256\nmesh_width = 16\n");
+  EXPECT_EQ(c.mesh_width, 16);
+}
+
+TEST(MachineConfigParse, DeriveMeshWidthNeverRagged) {
+  for (int cores = 1; cores <= 96; ++cores) {
+    const int w = MachineConfig::derive_mesh_width(cores);
+    EXPECT_GE(w, 1);
+    EXPECT_LE(w, 8);
+    EXPECT_EQ(cores % w, 0) << cores << " tiles, width " << w;
+  }
+  EXPECT_EQ(MachineConfig::derive_mesh_width(64), 8);
+  EXPECT_EQ(MachineConfig::derive_mesh_width(12), 6);
+  EXPECT_EQ(MachineConfig::derive_mesh_width(7), 7);   // prime ≤ 8: one row
+  EXPECT_EQ(MachineConfig::derive_mesh_width(13), 1);  // prime > 8: a column
+}
+
+TEST(MachineConfigParse, UnknownKeyNamesOriginAndLine) {
+  expect_parse_error("[machine]\nbogus_key = 3\n",
+                     {"test.cfg:2", "unknown key 'bogus_key'", "[machine]"});
+}
+
+TEST(MachineConfigParse, UnknownSectionNamesLine) {
+  expect_parse_error("[machine]\ncores = 4\n[wat]\n",
+                     {"test.cfg:3", "unknown section [wat]"});
+}
+
+TEST(MachineConfigParse, BadValueNamesKeyAndLine) {
+  expect_parse_error("[machine]\ncores = eight\n",
+                     {"test.cfg:2", "bad value 'eight'", "cores"});
+  expect_parse_error("[machine]\ncores = -4\n",
+                     {"test.cfg:2", "bad value '-4'"});
+  expect_parse_error("[noc]\nmodel = torus\n",
+                     {"test.cfg:2", "bad value 'torus'", "flat or mesh"});
+  expect_parse_error("[machine]\ncache_shared = maybe\n",
+                     {"test.cfg:2", "bad value 'maybe'"});
+}
+
+TEST(MachineConfigParse, KeyOutsideSectionIsAnError) {
+  expect_parse_error("cores = 4\n", {"test.cfg:1", "before any section"});
+}
+
+TEST(MachineConfigParse, MissingEqualsIsAnError) {
+  expect_parse_error("[machine]\ncores 4\n",
+                     {"test.cfg:2", "expected 'key = value'"});
+}
+
+TEST(MachineConfigParse, PresetMustComeFirst) {
+  expect_parse_error("[machine]\ncores = 4\npreset = ml605\n",
+                     {"test.cfg:3", "preset must be the first setting"});
+  expect_parse_error("[machine]\npreset = pdp11\n",
+                     {"test.cfg:2", "unknown preset 'pdp11'"});
+}
+
+TEST(MachineConfigParse, InvalidShapeNamesOrigin) {
+  // Shape errors surface through validate() but still carry the origin.
+  expect_parse_error("[machine]\ncores = 12\nmesh_width = 8\n",
+                     {"test.cfg", "ragged mesh"});
+  expect_parse_error("[machine]\ncores = 0\n", {"test.cfg"});
+}
+
+TEST(MachineConfigParse, FromFileErrorsNameThePath) {
+  try {
+    MachineConfig::from_file("/nonexistent/nope.cfg");
+    FAIL() << "expected CheckFailure";
+  } catch (const util::CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/nope.cfg"),
+              std::string::npos);
+  }
+}
+
+TEST(MachineConfigParse, ParsedConfigBuildsAMachine) {
+  const MachineConfig c = MachineConfig::from_string(
+      "[machine]\ncores = 6\nlm_bytes = 4k\nsdram_bytes = 64k\n"
+      "[noc]\nmodel = mesh\n");
+  Machine m(c);
+  EXPECT_EQ(m.num_cores(), 6);
+  EXPECT_EQ(m.noc().model(), NocModel::kMesh);
+}
+
+}  // namespace
+}  // namespace pmc::sim

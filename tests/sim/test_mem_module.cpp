@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "util/check.h"
 
 namespace pmc::sim {
@@ -95,6 +97,56 @@ TEST(MemModule, OutOfRangeAccessIsChecked) {
   EXPECT_THROW(m.read(0, 0x10e, &v, 4), util::CheckFailure);
   EXPECT_FALSE(m.contains(0x10e, 4));
   EXPECT_TRUE(m.contains(0x10c, 4));
+}
+
+TEST(MemModule, ZeroLengthWriteDirtiesNoPage) {
+  // A zero-byte write touches no storage, so it must not enter the dirty
+  // page set — it used to mark the page under its address, inflating every
+  // later snapshot (and diverging footprints for no-op transfers).
+  MemModule m("m", 0, 1024);
+  const uint32_t v = 7;
+  m.write(0, 512, &v, 0);
+  m.post_write(10, 256, &v, 0);
+  m.drain_all();
+  EXPECT_TRUE(m.snapshot().pages.empty());
+  m.write(20, 512, &v, 4);  // a real write still dirties its page
+  EXPECT_EQ(m.snapshot().pages.size(), 1u);
+}
+
+TEST(MemModule, PortStatsAccountingIdentity) {
+  // wait_cycles is exactly Σ (start − earliest) and busy_cycles exactly
+  // Σ occupancy — the identity the merged metrics exports reconcile
+  // against (DESIGN.md §12).
+  MemModule m("m", 0, 64);
+  const std::pair<uint64_t, uint64_t> reqs[] = {
+      {100, 8}, {100, 8}, {110, 4}, {200, 16}, {201, 1}};
+  uint64_t wait_sum = 0, busy_sum = 0;
+  for (const auto& [earliest, occ] : reqs) {
+    const uint64_t start = m.reserve_port(earliest, occ);
+    EXPECT_GE(start, earliest);
+    wait_sum += start - earliest;
+    busy_sum += occ;
+  }
+  const MemModule::PortStats& p = m.port_stats();
+  EXPECT_EQ(p.reservations, 5u);
+  EXPECT_EQ(p.wait_cycles, wait_sum);
+  EXPECT_EQ(p.busy_cycles, busy_sum);
+  EXPECT_EQ(p.wait_hist.count, 5u);
+  EXPECT_GT(wait_sum, 0u);  // the back-to-back pair really queued
+}
+
+TEST(MemModule, PortStatsSurviveSnapshotRestore) {
+  MemModule m("m", 0, 64);
+  m.reserve_port(100, 8);
+  m.reserve_port(100, 8);
+  const auto snap = m.snapshot();
+  m.reserve_port(108, 8);  // branch traffic
+  m.restore(snap);
+  EXPECT_EQ(m.port_stats().reservations, 2u);
+  EXPECT_EQ(m.port_stats().wait_cycles, 8u);
+  EXPECT_EQ(m.port_stats().busy_cycles, 16u);
+  // And the port clock itself rolled back with the stats.
+  EXPECT_EQ(m.reserve_port(100, 1), 116u);
 }
 
 TEST(MemModule, DrainAllAndHash) {
