@@ -10,8 +10,8 @@
 // stack; under the default snapshot engine schedules fork from machine
 // snapshots (DESIGN.md §10) and the stateful section below reports the
 // speedup that buys at a deep horizon.
-// The scaling section re-runs the fig4_exclusive sweep (all four back-ends)
-// at --jobs ∈ {1, 2, 4, …} up to --jobs, checking that the totals stay
+// The scaling section re-runs the fig4_exclusive sweep (every registered
+// back-end) at --jobs ∈ {1, 2, 4, …} up to --jobs, checking that the totals stay
 // bit-identical while the wall clock drops. The DPOR section measures the
 // partial-order-reduction ratio (`dpor_reduction`, DESIGN.md §8) over the
 // whole annotatable suite — a deterministic property of the schedule tree.
@@ -97,8 +97,12 @@ int main(int argc, char** argv) {
                    bench::pc(static_cast<double>(rep.pruned),
                              static_cast<double>(rep.explored + rep.pruned)),
                    bench::fmt_u64(static_cast<uint64_t>(rate))});
-    json.add(std::string(rt::to_string(t)) + "_schedules_per_sec", rate);
-    json.add(std::string(rt::to_string(t)) + "_explored", rep.explored);
+    // Keyed backend_<name>_* so consumers can discover the per-back-end
+    // section by prefix no matter how many columns the registry grows.
+    json.add("backend_" + std::string(rt::to_string(t)) + "_schedules_per_sec",
+             rate);
+    json.add("backend_" + std::string(rt::to_string(t)) + "_explored",
+             rep.explored);
   }
   std::printf("%s\n", table.render().c_str());
   json.add("total_explored", total_explored);

@@ -38,6 +38,7 @@
 #include "model/execution.h"
 #include "model/litmus_library.h"
 #include "obs/trace.h"
+#include "runtime/backends/registry.h"
 #include "util/check.h"
 #include "util/table.h"
 
@@ -54,8 +55,8 @@ std::vector<rt::Target> parse_backends(const char* arg) {
   }
   const auto target = rt::target_from_string(arg);
   if (!target || !rt::is_sim(*target)) {
-    std::fprintf(stderr,
-                 "unknown back-end '%s' (want nocc|swcc|dsm|spm|all)\n", arg);
+    std::fprintf(stderr, "unknown back-end '%s' (want %s|all)\n", arg,
+                 rt::backend_names().c_str());
     std::exit(2);
   }
   return {*target};
@@ -428,9 +429,7 @@ int run_dot() {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run_main(int argc, char** argv) {
   if (flag_set(argc, argv, "dot")) return run_dot();
   if (flag_set(argc, argv, "outcomes")) return run_outcomes();
 
@@ -513,6 +512,21 @@ int main(int argc, char** argv) {
     } catch (const util::CheckFailure& e) {
       std::fprintf(stderr, "%s\n", e.what());
       return 2;
+    }
+  }
+  // Machine-requirement gate (DESIGN.md §13): reject a selected back-end the
+  // machine cannot host *before* any exploration starts — one named error
+  // instead of a per-test failure cascade.
+  {
+    const sim::MachineConfig gate =
+        config_machine ? *config_machine : sim::MachineConfig{};
+    for (const rt::Target t : backends) {
+      const std::string err =
+          rt::check_machine(rt::descriptor(rt::backend_kind(t)), gate);
+      if (!err.empty()) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 2;
+      }
     }
   }
 
@@ -660,4 +674,18 @@ int main(int argc, char** argv) {
       "\nevery explored schedule re-runs the program deterministically; a\n"
       "failing schedule is reproducible via --replay=<decision string>.\n");
   return json.maybe_write(argc, argv) ? rc : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // A named contract violation (e.g. a back-end whose machine requirements
+  // the selected --config cannot satisfy) is a clean usage error, not an
+  // abort: print the message and exit nonzero so CI can grep for it.
+  try {
+    return run_main(argc, argv);
+  } catch (const util::CheckFailure& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
 }

@@ -6,10 +6,13 @@
 // fence, flush) make every required ordering explicit, so the same code is
 // correct on any back-end — here the software-cache-coherent 4-core machine.
 //
-// Build & run:   ./examples/quickstart [--target=host-sc|nocc|swcc|dsm|spm]
+// Build & run:   ./examples/quickstart [--target=<name>]
+// where <name> is host-sc or any registered back-end (the bad-flag error
+// lists them; they come from the registry, not a hand-maintained table).
 #include <cstdio>
 #include <cstring>
 
+#include "runtime/backends/registry.h"
 #include "runtime/program.h"
 
 using namespace pmc;
@@ -21,7 +24,8 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--target=", 9) == 0) {
       const auto target = rt::target_from_string(argv[i] + 9);
       if (!target) {
-        std::fprintf(stderr, "unknown target '%s'\n", argv[i] + 9);
+        std::fprintf(stderr, "unknown target '%s' (want host-sc|%s)\n",
+                     argv[i] + 9, rt::backend_names().c_str());
         return 2;
       }
       opts.target = *target;

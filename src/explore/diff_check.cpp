@@ -84,8 +84,7 @@ std::string repro_line(const ProgramShape& shape, rt::Target target,
   s += " --fuzz-objects=" + std::to_string(shape.objects);
   s += " --fuzz-steps=" + std::to_string(shape.steps);
   s += " --backend=" + std::string(rt::to_string(target));
-  if (faults.swcc_skip_exit_writeback || faults.dsm_skip_transfer ||
-      faults.spm_skip_copy_back) {
+  if (faults.any()) {
     s += " --seed-bug";
   }
   s += " --replay=" + to_string(schedule);

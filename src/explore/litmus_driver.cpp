@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "model/litmus_library.h"
+#include "runtime/backends/registry.h"
 #include "util/check.h"
 
 namespace pmc::explore {
@@ -49,34 +50,35 @@ std::vector<model::LitmusTest> annotatable_tests() {
 }
 
 bool has_seeded_fault(rt::Target target) {
-  return target == rt::Target::kSWCC || target == rt::Target::kDSM ||
-         target == rt::Target::kSPM;
+  return rt::is_sim(target) &&
+         !rt::descriptor(rt::backend_kind(target)).faults.empty();
 }
 
 rt::FaultInjection seeded_fault(rt::Target target) {
-  rt::FaultInjection f;
-  switch (target) {
-    case rt::Target::kSWCC: f.swcc_skip_exit_writeback = true; break;
-    case rt::Target::kDSM: f.dsm_skip_transfer = true; break;
-    case rt::Target::kSPM: f.spm_skip_copy_back = true; break;
-    default:
-      PMC_CHECK_MSG(false, rt::to_string(target)
-                               << " has no seedable protocol fault");
-  }
-  return f;
+  const rt::BackendDescriptor& d = rt::descriptor(rt::backend_kind(target));
+  PMC_CHECK_MSG(!d.faults.empty(),
+                rt::to_string(target) << " has no seedable protocol fault");
+  return rt::FaultInjection::one(d.faults.front());
 }
 
 rt::FaultInjection all_seeded_faults() {
   rt::FaultInjection f;
-  f.swcc_skip_exit_writeback = true;
-  f.dsm_skip_transfer = true;
-  f.spm_skip_copy_back = true;
+  for (const rt::BackendDescriptor& d : rt::backend_registry()) {
+    for (const std::string& name : d.faults) f.enable(name);
+  }
   return f;
 }
 
 LitmusTarget seeded_bug_check(rt::Target target) {
-  return LitmusTarget(model::litmus::fig4_exclusive(), target,
-                      seeded_fault(target));
+  const rt::FaultInjection f = seeded_fault(target);
+  // shl1's skipped lock unserializes fig4's sections from cycle 0, so the
+  // plain test would expose the bug under the default schedule; the skewed
+  // variant delays the writer behind two plain loads, and only an explored
+  // preemption moves the reader's load between the two stores.
+  const model::LitmusTest test = f.enabled("shl1_skip_lock")
+                                     ? model::litmus::fig4_exclusive_skewed()
+                                     : model::litmus::fig4_exclusive();
+  return LitmusTarget(test, target, f);
 }
 
 }  // namespace pmc::explore

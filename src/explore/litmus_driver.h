@@ -27,21 +27,22 @@ bool annotatable(const model::LitmusTest& test);
 /// The annotatable subset of model::litmus::all_tests().
 std::vector<model::LitmusTest> annotatable_tests();
 
-/// True when `target` has a seedable protocol fault (all back-ends with
-/// coherence actions to omit; the no-CC baseline has none).
+/// True when `target`'s registry descriptor declares a seeded fault (every
+/// back-end with a coherence action to omit; the no-CC baseline has none).
 bool has_seeded_fault(rt::Target target);
-/// The per-back-end "missing flush" fault: SWCC forgets the exit writeback,
-/// DSM the ownership transfer, SPM the scratch-pad copy-back.
+/// The back-end's first registered seeded fault — e.g. SWCC forgetting the
+/// exit writeback, DSM the ownership transfer, SPM the scratch-pad
+/// copy-back, RegC the batched region write-back, shl1 the lock itself.
 rt::FaultInjection seeded_fault(rt::Target target);
-/// Every back-end's seedable fault at once (each back-end reads only its own
-/// flag) — what the fuzzer's self-test mode injects.
+/// Every registered back-end's seedable faults at once (each back-end reads
+/// only its own names) — what the fuzzer's self-test mode injects.
 rt::FaultInjection all_seeded_faults();
 
 /// The seeded-bug scenario: fig4_exclusive (a reader and a writer racing for
 /// the same lock) with seeded_fault(target) injected. Under the default
-/// min-time schedule the reader wins the lock first and the missing flush is
-/// never observed; only a reordered schedule (writer first) exposes the
-/// stale read — which the session must find.
+/// min-time schedule the fault stays invisible (for shl1's skipped lock the
+/// skewed fig4 variant provides that cover); only a reordered schedule
+/// exposes the stale read or racing store — which the session must find.
 LitmusTarget seeded_bug_check(rt::Target target);
 
 }  // namespace pmc::explore

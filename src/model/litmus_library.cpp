@@ -59,6 +59,26 @@ LitmusTest fig4_exclusive() {
   return t;
 }
 
+LitmusTest fig4_exclusive_skewed() {
+  LitmusTest t;
+  t.name = "fig4_exclusive_skewed";
+  t.num_locs = 2;
+  t.num_regs = 2;
+  const LocId delay = 1;  // never written: the delay load reads 0
+  // The mid-section delay load separates the writer's two stores so a
+  // delayed reader's read can land between them; under a min-time schedule
+  // the reader's read still resumes before the first store's effect lands,
+  // so the default schedule stays clean. Each preemption bypasses the
+  // min-time reader past one writer segment, which keeps the store window
+  // reachable within the litmus default preemption bound of 2.
+  t.threads = {
+      {{Op::acquire(kX), Op::load(kX, 0), Op::release(kX)}},
+      {{Op::acquire(kX), Op::store(kX, 1), Op::load(delay, 1),
+        Op::store(kX, 2), Op::release(kX)}},
+  };
+  return t;
+}
+
 LitmusTest sb_plain() {
   LitmusTest t;
   t.name = "sb_plain";

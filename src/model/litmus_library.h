@@ -36,6 +36,16 @@ LitmusTest fig5_mp_no_writer_fence();
 /// r0 ∈ {0, 2}; the intermediate value 1 is never observable.
 LitmusTest fig4_exclusive();
 
+/// fig4_exclusive with the writer skewed behind two plain loads of an
+/// otherwise-unused location, so under a min-time schedule the reader's
+/// whole section completes before the writer's first store. The outcome set
+/// is fig4's ({0, 2} for r0, the delay loads always read 0): the seeded-bug
+/// scenario for back-ends whose injected fault races from cycle 0 (shl1's
+/// skipped lock), where plain fig4 would expose the bug without any
+/// exploration. Not part of all_tests() — it adds nothing to the clean
+/// grids that fig4 does not already cover.
+LitmusTest fig4_exclusive_skewed();
+
 /// Store buffering with no synchronization: all four outcomes reachable.
 /// P0: X=1; r0=Y.   P1: Y=1; r1=X.   (Y is location 2.)
 LitmusTest sb_plain();

@@ -9,7 +9,9 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "runtime/object.h"
 
@@ -52,19 +54,43 @@ class Backend {
   virtual void register_state(sim::Machine& m) { (void)m; }
 };
 
-enum class BackendKind : uint8_t { kNoCC, kSWCC, kDSM, kSPM };
+/// One value per registered back-end. The registry
+/// (runtime/backends/registry.h) is the single source of truth for names,
+/// factories, machine requirements, and seeded faults; this enum only gives
+/// them stable compact ids.
+enum class BackendKind : uint8_t { kNoCC, kSWCC, kDSM, kSPM, kRegC, kShL1 };
 
+/// The registered CLI name ("nocc", "swcc", ...). Throws util::CheckFailure
+/// naming the registered back-ends for a kind outside the registry.
 const char* to_string(BackendKind k);
-/// Inverse of to_string: "nocc"/"swcc"/"dsm"/"spm" (exact match), or
-/// std::nullopt for anything else — CLIs report their own errors.
+/// Inverse of to_string (exact match against the registry), or std::nullopt
+/// for anything else — CLIs report their own errors (via
+/// backend_names() so the message can never drift from the registry).
 std::optional<BackendKind> backend_from_string(std::string_view name);
 
-/// Deliberate protocol bugs for failure-injection tests: each one must be
-/// caught by the Definition 12 trace validator (tests/runtime/...).
-struct FaultInjection {
-  bool swcc_skip_exit_writeback = false;  // exit_x forgets the cache flush
-  bool dsm_skip_transfer = false;         // entry_x forgets the data handoff
-  bool spm_skip_copy_back = false;        // exit_x forgets the SDRAM copy
+/// Deliberate protocol bugs for failure-injection tests, as a named-fault
+/// table: each back-end registers the fault names it implements
+/// (BackendDescriptor::faults), a back-end only reads its own names, and
+/// every seeded fault must be caught by the Definition 12 trace validator
+/// or the model outcome oracle (tests/runtime/..., explore --seed-bug).
+class FaultInjection {
+ public:
+  FaultInjection() = default;
+  /// A single named fault; the name must be registered by some back-end.
+  static FaultInjection one(std::string_view name) {
+    FaultInjection f;
+    f.enable(name);
+    return f;
+  }
+  /// Enables a named fault. Unknown names are hard errors — a typo'd fault
+  /// would silently test nothing.
+  void enable(std::string_view name);
+  bool enabled(std::string_view name) const;
+  bool any() const { return !names_.empty(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
 };
 
 /// Legitimate implementation choices the paper discusses (§V-A):
@@ -74,6 +100,9 @@ struct FaultInjection {
 /// SWCC's exit writeback is inherently eager, and SPM must always copy back.
 struct BackendPolicy {
   bool dsm_eager_release = false;
+  /// Regional Consistency: how many consecutive object ids share one region
+  /// (region = id / regc_objects_per_region). 1 keeps per-object locking.
+  uint32_t regc_objects_per_region = 1;
 };
 
 /// Creates a back-end bound to `objs`. Checks that the machine configuration

@@ -71,6 +71,9 @@ std::unique_ptr<Backend> make_swcc(ObjectSpace& objs, const FaultInjection& f);
 std::unique_ptr<Backend> make_dsm(ObjectSpace& objs, const FaultInjection& f,
                                   const BackendPolicy& policy);
 std::unique_ptr<Backend> make_spm(ObjectSpace& objs, const FaultInjection& f);
+std::unique_ptr<Backend> make_regc(ObjectSpace& objs, const FaultInjection& f,
+                                   const BackendPolicy& policy);
+std::unique_ptr<Backend> make_shl1(ObjectSpace& objs, const FaultInjection& f);
 
 /// The byte span of an object that can ever be touched (payload + version
 /// word); the alignment padding behind it is never accessed, so cache

@@ -23,7 +23,9 @@ class DsmBackend final : public BackendBase {
  public:
   DsmBackend(ObjectSpace& objs, const FaultInjection& faults,
              const BackendPolicy& policy)
-      : BackendBase(objs), faults_(faults), policy_(policy) {}
+      : BackendBase(objs),
+        skip_transfer_(faults.enabled("dsm_skip_transfer")),
+        policy_(policy) {}
 
   const char* name() const override { return "dsm"; }
   bool needs_replicas() const override { return true; }
@@ -35,7 +37,7 @@ class DsmBackend final : public BackendBase {
     if (s.exclusive) {
       locks_.acquire(core, d.lock);
       const int prev = locks_.previous_holder(d.lock);
-      if (prev != -1 && prev != core.id() && !faults_.dsm_skip_transfer) {
+      if (prev != -1 && prev != core.id() && !skip_transfer_) {
         // Ownership transfer: the previous owner's replica is pushed into
         // ours over the NoC; we stall until it arrived.
         const size_t len = used_span(d);
@@ -100,7 +102,7 @@ class DsmBackend final : public BackendBase {
   }
 
  private:
-  FaultInjection faults_;
+  bool skip_transfer_;
   BackendPolicy policy_;
 };
 

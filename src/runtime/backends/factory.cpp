@@ -1,23 +1,14 @@
 #include "runtime/backends/common.h"
+#include "runtime/backends/registry.h"
 
 namespace pmc::rt {
 
-const char* to_string(BackendKind k) {
-  switch (k) {
-    case BackendKind::kNoCC: return "nocc";
-    case BackendKind::kSWCC: return "swcc";
-    case BackendKind::kDSM: return "dsm";
-    case BackendKind::kSPM: return "spm";
-  }
-  return "?";
-}
+const char* to_string(BackendKind k) { return descriptor(k).name; }
 
 std::optional<BackendKind> backend_from_string(std::string_view name) {
-  for (BackendKind k : {BackendKind::kNoCC, BackendKind::kSWCC,
-                        BackendKind::kDSM, BackendKind::kSPM}) {
-    if (name == to_string(k)) return k;
-  }
-  return std::nullopt;
+  const BackendDescriptor* d = find_backend(name);
+  if (d == nullptr) return std::nullopt;
+  return d->kind;
 }
 
 std::unique_ptr<Backend> make_backend(BackendKind kind, ObjectSpace& objs) {
@@ -32,14 +23,7 @@ std::unique_ptr<Backend> make_backend(BackendKind kind, ObjectSpace& objs,
 std::unique_ptr<Backend> make_backend(BackendKind kind, ObjectSpace& objs,
                                       const FaultInjection& faults,
                                       const BackendPolicy& policy) {
-  switch (kind) {
-    case BackendKind::kNoCC: return backends::make_nocc(objs);
-    case BackendKind::kSWCC: return backends::make_swcc(objs, faults);
-    case BackendKind::kDSM: return backends::make_dsm(objs, faults, policy);
-    case BackendKind::kSPM: return backends::make_spm(objs, faults);
-  }
-  PMC_CHECK_MSG(false, "unknown back-end kind");
-  return nullptr;
+  return descriptor(kind).make(objs, faults, policy);
 }
 
 }  // namespace pmc::rt

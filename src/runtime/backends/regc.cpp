@@ -1,0 +1,176 @@
+// Regional Consistency (RegC): the acquire/release granularity is a *region*
+// of objects rather than a single object. Objects are grouped id-contiguously
+// (policy.regc_objects_per_region per region) and a region is guarded by its
+// representative object's lock. While a core holds a region open (a reentrant
+// streak of nested sections into the same region), object lines stay in its
+// private D-cache; the write-back-and-invalidate of every object the streak
+// touched (dirty lines written back, clean lines dropped — a retained clean
+// line would go stale the moment another core's streak updates the object)
+// is deferred and batched to the streak's last exit, just before the release.
+// With one object per region (the default) the lock graph and flush points
+// degenerate to exactly SWCC — the differential grids exploit that.
+#include <algorithm>
+#include <vector>
+
+#include "runtime/backends/common.h"
+
+namespace pmc::rt::backends {
+namespace {
+
+class RegcBackend final : public BackendBase {
+ public:
+  RegcBackend(ObjectSpace& objs, const FaultInjection& faults,
+              const BackendPolicy& policy)
+      : BackendBase(objs),
+        skip_writeback_(faults.enabled("regc_skip_region_writeback")),
+        opr_(policy.regc_objects_per_region) {
+    PMC_CHECK_MSG(m_.config().cache_shared,
+                  "the RegC back-end needs cache_shared = true");
+    PMC_CHECK(opr_ >= 1);
+  }
+
+  const char* name() const override { return "regc"; }
+
+  void enter(sim::Core& core, Section& s) override {
+    ensure_tables();
+    const ObjDesc& d = *s.desc;
+    if (s.exclusive || needs_ro_lock(d)) {
+      // Reentrant region streak: only the 0→1 transition takes the lock, so
+      // nested sections into the same region never self-deadlock.
+      uint32_t& streak = open_slot(core.id(), region_of(d));
+      if (streak == 0) {
+        locks_.acquire(core, region_lock(d));
+      }
+      ++streak;
+      touched_slot(core.id(), d.id) = 1;
+      if (!s.exclusive) s.locked = true;
+    }
+    // Cached, like SWCC — but the cache may legitimately hold the object
+    // across sections of the same streak; freshness comes from the batched
+    // write-back preceding the region release.
+    s.data_addr = d.sdram_addr;
+    s.cls = sim::MemClass::kSharedData;
+  }
+
+  void exit(sim::Core& core, Section& s) override {
+    ensure_tables();
+    const ObjDesc& d = *s.desc;
+    if (s.exclusive || s.locked) {
+      uint32_t& streak = open_slot(core.id(), region_of(d));
+      PMC_CHECK_MSG(streak > 0, "region exit without a matching entry");
+      if (--streak == 0) {
+        if (!skip_writeback_) {
+          write_back_region(core, region_of(d));
+        } else {
+          // Injected bug: release without the batched write-back — dirty
+          // lines linger in this core's cache and the next acquirer reads
+          // stale SDRAM, exactly the hazard RegC's release fence prevents.
+          clear_region_touched(core.id(), region_of(d));
+        }
+        locks_.release(core, region_lock(d));
+      }
+      return;
+    }
+    // Lock-free read-only section (word-sized or immutable object): drop the
+    // line so the next read refills fresh, as SWCC's exit_ro does.
+    const uint64_t arrival = core.cache_wbinval(d.sdram_addr, used_span(d));
+    if (arrival != 0) {
+      core.wait_until(arrival, sim::Core::StallBucket::kFlush);
+    }
+  }
+
+  void flush(sim::Core& core, Section& s) override {
+    ensure_tables();
+    const ObjDesc& d = *s.desc;
+    const uint64_t arrival = core.cache_wbinval(d.sdram_addr, used_span(d));
+    if (arrival != 0) {
+      core.wait_until(arrival, sim::Core::StallBucket::kFlush);
+    }
+  }
+
+  void read_final(ObjId id, void* out, size_t n) override {
+    // Every streak ended (sections nest), so the batched write-backs made
+    // SDRAM authoritative.
+    read_final_sdram(id, out, n);
+  }
+
+  void register_state(sim::Machine& m) override {
+    BackendBase::register_state(m);
+    ensure_tables();
+    if (!open_.empty()) {
+      m.register_state(open_.data(), open_.size() * sizeof(uint32_t));
+    }
+    if (!touched_.empty()) {
+      m.register_state(touched_.data(), touched_.size());
+    }
+  }
+
+ private:
+  uint32_t region_of(const ObjDesc& d) const {
+    return static_cast<uint32_t>(d.id) / opr_;
+  }
+  /// The region's lock is its representative (lowest-id) object's lock.
+  int region_lock(const ObjDesc& d) const {
+    return objs_.desc(static_cast<ObjId>(region_of(d) * opr_)).lock;
+  }
+  uint32_t& open_slot(int core, uint32_t region) {
+    return open_[static_cast<size_t>(core) * num_regions_ + region];
+  }
+  uint8_t& touched_slot(int core, ObjId id) {
+    return touched_[static_cast<size_t>(core) * num_objs_ +
+                    static_cast<size_t>(id)];
+  }
+
+  /// The tables depend on the final object count, which only exists after
+  /// freeze() — lazily sized on first use, never resized after (the object
+  /// space is frozen before any core runs, and register_state re-uses the
+  /// same call so registered bytes never move).
+  void ensure_tables() {
+    if (!open_.empty() || objs_.count() == 0) return;
+    num_objs_ = static_cast<size_t>(objs_.count());
+    num_regions_ = (num_objs_ + opr_ - 1) / opr_;
+    open_.assign(static_cast<size_t>(m_.num_cores()) * num_regions_, 0);
+    touched_.assign(static_cast<size_t>(m_.num_cores()) * num_objs_, 0);
+  }
+
+  void write_back_region(sim::Core& core, uint32_t region) {
+    const ObjId lo = static_cast<ObjId>(region * opr_);
+    const ObjId hi = static_cast<ObjId>(
+        std::min<size_t>(num_objs_, static_cast<size_t>(region + 1) * opr_));
+    uint64_t last_arrival = 0;
+    for (ObjId id = lo; id < hi; ++id) {
+      uint8_t& flag = touched_slot(core.id(), id);
+      if (flag == 0) continue;
+      flag = 0;
+      const ObjDesc& d = objs_.desc(id);
+      last_arrival = std::max(
+          last_arrival, core.cache_wbinval(d.sdram_addr, used_span(d)));
+    }
+    if (last_arrival != 0) {
+      core.wait_until(last_arrival, sim::Core::StallBucket::kFlush);
+    }
+  }
+
+  void clear_region_touched(int core, uint32_t region) {
+    const ObjId lo = static_cast<ObjId>(region * opr_);
+    const ObjId hi = static_cast<ObjId>(
+        std::min<size_t>(num_objs_, static_cast<size_t>(region + 1) * opr_));
+    for (ObjId id = lo; id < hi; ++id) touched_slot(core, id) = 0;
+  }
+
+  bool skip_writeback_;
+  uint32_t opr_;             // objects per region (policy knob)
+  size_t num_objs_ = 0;      // fixed once tables exist
+  size_t num_regions_ = 0;
+  std::vector<uint32_t> open_;    // per (core, region): reentrant open streak
+  std::vector<uint8_t> touched_;  // per (core, object): in-cache this streak
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> make_regc(ObjectSpace& objs, const FaultInjection& f,
+                                   const BackendPolicy& policy) {
+  return std::make_unique<RegcBackend>(objs, f, policy);
+}
+
+}  // namespace pmc::rt::backends

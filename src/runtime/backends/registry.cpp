@@ -1,0 +1,137 @@
+#include "runtime/backends/registry.h"
+
+#include "runtime/backends/common.h"
+#include "util/check.h"
+
+namespace pmc::rt {
+
+const std::vector<BackendDescriptor>& backend_registry() {
+  static const std::vector<BackendDescriptor> kRegistry = [] {
+    std::vector<BackendDescriptor> r;
+    r.push_back({BackendKind::kNoCC, "nocc",
+                 "uncached shared data in SDRAM (the §VI-A baseline)",
+                 /*cache_shared=*/false, /*needs_cluster=*/false,
+                 /*uses_cluster=*/false,
+                 /*faults=*/{},
+                 [](ObjectSpace& objs, const FaultInjection&,
+                    const BackendPolicy&) {
+                   return backends::make_nocc(objs);
+                 }});
+    r.push_back({BackendKind::kSWCC, "swcc",
+                 "software cache coherency: exit writebacks-and-invalidates",
+                 /*cache_shared=*/true, /*needs_cluster=*/false,
+                 /*uses_cluster=*/false,
+                 /*faults=*/{"swcc_skip_exit_writeback"},
+                 [](ObjectSpace& objs, const FaultInjection& f,
+                    const BackendPolicy&) {
+                   return backends::make_swcc(objs, f);
+                 }});
+    r.push_back({BackendKind::kDSM, "dsm",
+                 "replicated objects in local memories, NoC ownership handoff",
+                 /*cache_shared=*/false, /*needs_cluster=*/false,
+                 /*uses_cluster=*/false,
+                 /*faults=*/{"dsm_skip_transfer"},
+                 [](ObjectSpace& objs, const FaultInjection& f,
+                    const BackendPolicy& p) {
+                   return backends::make_dsm(objs, f, p);
+                 }});
+    r.push_back({BackendKind::kSPM, "spm",
+                 "scratch-pad staging: DMA objects in at entry, back at exit",
+                 /*cache_shared=*/false, /*needs_cluster=*/false,
+                 /*uses_cluster=*/false,
+                 /*faults=*/{"spm_skip_copy_back"},
+                 [](ObjectSpace& objs, const FaultInjection& f,
+                    const BackendPolicy&) {
+                   return backends::make_spm(objs, f);
+                 }});
+    r.push_back({BackendKind::kRegC, "regc",
+                 "regional consistency: region-granularity locks, lazy "
+                 "per-region write-back",
+                 /*cache_shared=*/true, /*needs_cluster=*/false,
+                 /*uses_cluster=*/false,
+                 /*faults=*/{"regc_skip_region_writeback"},
+                 [](ObjectSpace& objs, const FaultInjection& f,
+                    const BackendPolicy& p) {
+                   return backends::make_regc(objs, f, p);
+                 }});
+    r.push_back({BackendKind::kShL1, "shl1",
+                 "shared-L1 cluster SRAM: objects live in the cluster, "
+                 "entry/exit are near-free",
+                 /*cache_shared=*/false, /*needs_cluster=*/true,
+                 /*uses_cluster=*/true,
+                 /*faults=*/{"shl1_skip_lock"},
+                 [](ObjectSpace& objs, const FaultInjection& f,
+                    const BackendPolicy&) {
+                   return backends::make_shl1(objs, f);
+                 }});
+    // The enum is the registry's index space; keep them in lockstep so
+    // descriptor() can subscript.
+    for (size_t i = 0; i < r.size(); ++i) {
+      PMC_CHECK(static_cast<size_t>(r[i].kind) == i);
+    }
+    return r;
+  }();
+  return kRegistry;
+}
+
+const BackendDescriptor& descriptor(BackendKind k) {
+  const auto& reg = backend_registry();
+  const size_t i = static_cast<size_t>(k);
+  PMC_CHECK_MSG(i < reg.size(),
+                "BackendKind " << i << " is outside the registry (registered: "
+                               << backend_names() << ")");
+  return reg[i];
+}
+
+const BackendDescriptor* find_backend(std::string_view name) {
+  for (const BackendDescriptor& d : backend_registry()) {
+    if (name == d.name) return &d;
+  }
+  return nullptr;
+}
+
+std::string backend_names(const char* sep) {
+  std::string out;
+  for (const BackendDescriptor& d : backend_registry()) {
+    if (!out.empty()) out += sep;
+    out += d.name;
+  }
+  return out;
+}
+
+std::string check_machine(const BackendDescriptor& d,
+                          const sim::MachineConfig& cfg) {
+  if (d.needs_cluster && cfg.cluster_bytes == 0) {
+    return std::string("back-end '") + d.name +
+           "' requires cluster SRAM: set [cluster] bytes > 0 in the machine "
+           "description";
+  }
+  return "";
+}
+
+bool fault_name_known(std::string_view name) {
+  for (const BackendDescriptor& d : backend_registry()) {
+    for (const std::string& f : d.faults) {
+      if (name == f) return true;
+    }
+  }
+  return false;
+}
+
+// -- FaultInjection (declared in backend.h; lives here for registry access) --
+
+void FaultInjection::enable(std::string_view name) {
+  PMC_CHECK_MSG(fault_name_known(name),
+                "unknown seeded fault '" << std::string(name)
+                                         << "' (no back-end registers it)");
+  if (!enabled(name)) names_.emplace_back(name);
+}
+
+bool FaultInjection::enabled(std::string_view name) const {
+  for (const std::string& n : names_) {
+    if (name == n) return true;
+  }
+  return false;
+}
+
+}  // namespace pmc::rt

@@ -1,0 +1,59 @@
+// The back-end registry (DESIGN.md §13): one BackendDescriptor per Table II
+// column, and every enumeration site — factory, CLI parsing and usage
+// strings, the explore/check grids, seeded-fault tables, machine-requirement
+// checks — iterates this table. Adding a back-end is one registration here
+// plus its implementation file; nothing else in the tree names it.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/backend.h"
+#include "sim/machine.h"
+
+namespace pmc::rt {
+
+struct BackendDescriptor {
+  BackendKind kind;
+  const char* name;     // unique CLI name, also Backend::name()
+  const char* summary;  // one-line description for --help output
+  /// Machine override applied by Program: shared-data SDRAM accesses go
+  /// through the private D-cache (the software-cache-coherent columns).
+  bool cache_shared = false;
+  /// Machine requirement: interleaved cluster SRAM ([cluster] bytes > 0).
+  bool needs_cluster = false;
+  /// Shared objects additionally get a fixed home slot in the cluster SRAM
+  /// (ObjectSpace allocates it only for back-ends that ask).
+  bool uses_cluster = false;
+  /// Seeded protocol faults this back-end implements (named-fault table);
+  /// empty for back-ends with no coherence action to omit.
+  std::vector<std::string> faults;
+  std::unique_ptr<Backend> (*make)(ObjectSpace& objs,
+                                   const FaultInjection& faults,
+                                   const BackendPolicy& policy);
+};
+
+/// All registered back-ends, in BackendKind order.
+const std::vector<BackendDescriptor>& backend_registry();
+
+/// The descriptor for `k`; throws util::CheckFailure (naming the registered
+/// back-ends) for a kind outside the registry.
+const BackendDescriptor& descriptor(BackendKind k);
+
+/// Registry lookup by CLI name; nullptr when unknown.
+const BackendDescriptor* find_backend(std::string_view name);
+
+/// The registered names joined by `sep` ("nocc|swcc|...") — the one string
+/// CLIs embed in usage text and bad-flag errors.
+std::string backend_names(const char* sep = "|");
+
+/// "" when `cfg` satisfies `d`'s machine requirements, otherwise a named
+/// error ("back-end 'shl1' requires ...") for the caller to raise.
+std::string check_machine(const BackendDescriptor& d,
+                          const sim::MachineConfig& cfg);
+
+/// True when some registered back-end declares this seeded-fault name.
+bool fault_name_known(std::string_view name);
+
+}  // namespace pmc::rt

@@ -1,0 +1,81 @@
+// Shared-L1 cluster back-end (MemPool-style): every shared object lives
+// permanently at a fixed home slot in the interleaved cluster SRAM, reachable
+// from all cores in a few cycles through the cluster interconnect. There is
+// nothing to stage, flush, or hand off — entry/exit degenerate to the bare
+// lock protocol, and flush(X) is nullified. Stores to the cluster are
+// immediate (non-posted), so a clean run needs no visibility wait either;
+// the cost model instead prices contention at the cluster's banked port
+// (PortStats under the mesh NoC).
+#include "runtime/backends/common.h"
+
+namespace pmc::rt::backends {
+namespace {
+
+class Shl1Backend final : public BackendBase {
+ public:
+  Shl1Backend(ObjectSpace& objs, const FaultInjection& faults)
+      : BackendBase(objs), skip_lock_(faults.enabled("shl1_skip_lock")) {
+    PMC_CHECK_MSG(m_.cluster() != nullptr,
+                  "the shl1 back-end requires cluster SRAM: set [cluster] "
+                  "bytes > 0 in the machine description");
+    PMC_CHECK_MSG(!m_.config().cache_shared,
+                  "the shl1 back-end keeps shared data uncached (the cluster "
+                  "SRAM is the only copy)");
+  }
+
+  const char* name() const override { return "shl1"; }
+
+  void enter(sim::Core& core, Section& s) override {
+    const ObjDesc& d = *s.desc;
+    PMC_CHECK_MSG(d.cluster_addr != 0,
+                  d.name << " has no cluster slot (ObjectSpace was built "
+                            "without use_cluster)");
+    if (s.exclusive) {
+      // Injected bug: the whole acquire is omitted (exit skips the matching
+      // release, keeping the lock bookkeeping consistent) — writers race on
+      // the cluster copy unserialized.
+      if (!skip_lock_) {
+        locks_.acquire(core, d.lock);
+      }
+    } else if (needs_ro_lock(d)) {
+      locks_.acquire(core, d.lock);
+      s.locked = true;
+    }
+    s.data_addr = d.cluster_addr;
+    s.cls = sim::MemClass::kSharedData;
+  }
+
+  void exit(sim::Core& core, Section& s) override {
+    if (s.exclusive) {
+      if (!skip_lock_) {
+        locks_.release(core, s.desc->lock);
+      }
+    } else if (s.locked) {
+      locks_.release(core, s.desc->lock);
+    }
+  }
+
+  void flush(sim::Core& core, Section& s) override {
+    // Nullified: cluster stores are immediate and the cluster is the master.
+    (void)core;
+    (void)s;
+  }
+
+  void read_final(ObjId id, void* out, size_t n) override {
+    const ObjDesc& d = objs_.desc(id);
+    PMC_CHECK(n <= d.size);
+    m_.peek(d.cluster_addr, out, n);
+  }
+
+ private:
+  bool skip_lock_;
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> make_shl1(ObjectSpace& objs,
+                                   const FaultInjection& f) {
+  return std::make_unique<Shl1Backend>(objs, f);
+}
+
+}  // namespace pmc::rt::backends

@@ -13,7 +13,8 @@ namespace {
 class SpmBackend final : public BackendBase {
  public:
   SpmBackend(ObjectSpace& objs, const FaultInjection& faults)
-      : BackendBase(objs), faults_(faults) {
+      : BackendBase(objs),
+        skip_copy_back_(faults.enabled("spm_skip_copy_back")) {
     PMC_CHECK_MSG(!m_.config().cache_shared,
                   "the SPM back-end keeps shared data uncached in SDRAM");
     cursor_.assign(static_cast<size_t>(m_.num_cores()), objs_.spm_base());
@@ -52,7 +53,7 @@ class SpmBackend final : public BackendBase {
   void exit(sim::Core& core, Section& s) override {
     const ObjDesc& d = *s.desc;
     if (s.exclusive) {
-      if (s.dirty && !faults_.spm_skip_copy_back) {
+      if (s.dirty && !skip_copy_back_) {
         copy_back(core, s);
       }
       locks_.release(core, d.lock);
@@ -91,7 +92,7 @@ class SpmBackend final : public BackendBase {
   }
 
   std::vector<uint32_t> cursor_;  // per-core scratch stack pointer
-  FaultInjection faults_;
+  bool skip_copy_back_;
 };
 
 }  // namespace

@@ -13,7 +13,8 @@ namespace {
 class SwccBackend final : public BackendBase {
  public:
   SwccBackend(ObjectSpace& objs, const FaultInjection& faults)
-      : BackendBase(objs), faults_(faults) {
+      : BackendBase(objs),
+        skip_writeback_(faults.enabled("swcc_skip_exit_writeback")) {
     PMC_CHECK_MSG(m_.config().cache_shared,
                   "the SWCC back-end needs cache_shared = true");
   }
@@ -34,7 +35,7 @@ class SwccBackend final : public BackendBase {
   }
 
   void exit(sim::Core& core, Section& s) override {
-    if (faults_.swcc_skip_exit_writeback && s.exclusive) {
+    if (skip_writeback_ && s.exclusive) {
       locks_.release(core, s.desc->lock);  // injected bug: no flush
       return;
     }
@@ -63,7 +64,7 @@ class SwccBackend final : public BackendBase {
   }
 
  private:
-  FaultInjection faults_;
+  bool skip_writeback_;
 };
 
 }  // namespace

@@ -13,9 +13,12 @@ uint32_t align_up(uint32_t v, uint32_t a) { return (v + a - 1) / a * a; }
 }  // namespace
 
 ObjectSpace::ObjectSpace(sim::Machine& m, sync::LockManager& locks,
-                         int lock_capacity)
-    : m_(m), locks_(locks) {
+                         int lock_capacity, bool use_cluster)
+    : m_(m), locks_(locks), cluster_cursor_(sim::kClusterBase),
+      use_cluster_(use_cluster) {
   PMC_CHECK(lock_capacity >= 1);
+  PMC_CHECK_MSG(!use_cluster_ || m_.cluster() != nullptr,
+                "cluster object slots need [cluster] bytes > 0");
   const uint32_t lock_area =
       static_cast<uint32_t>(lock_capacity) * kLockSdramStride;
   barrier_word_ = sim::kSdramBase + lock_area;
@@ -44,6 +47,13 @@ ObjId ObjectSpace::create(uint32_t size, Placement placement,
   PMC_CHECK_MSG(m_.sdram().contains(sdram_cursor_, d.alloc_bytes),
                 "SDRAM exhausted creating " << d.name);
   sdram_cursor_ += d.alloc_bytes;
+  if (use_cluster_) {
+    d.cluster_addr = cluster_cursor_;
+    PMC_CHECK_MSG(m_.cluster()->contains(cluster_cursor_, d.alloc_bytes),
+                  "cluster SRAM exhausted creating "
+                      << d.name << " ([cluster] bytes is the budget)");
+    cluster_cursor_ += d.alloc_bytes;
+  }
   if (placement == Placement::kReplicated) {
     d.lm_offset = lm_cursor_;
     lm_cursor_ += d.alloc_bytes;
@@ -73,6 +83,9 @@ void ObjectSpace::init(ObjId id, const void* data, size_t n) {
   const ObjDesc& d = desc(id);
   PMC_CHECK(n <= d.size);
   m_.poke(d.sdram_addr, data, n);
+  if (use_cluster_) {
+    m_.poke(d.cluster_addr, data, n);
+  }
   if (d.placement == Placement::kReplicated) {
     for (int t = 0; t < m_.num_cores(); ++t) {
       m_.poke(replica_addr(t, id), data, n);

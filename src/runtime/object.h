@@ -39,6 +39,9 @@ struct ObjDesc {
   bool immutable = false;
   sim::Addr sdram_addr = 0;
   uint32_t lm_offset = 0;     // valid iff placement == kReplicated
+  /// Fixed home slot in the interleaved cluster SRAM; 0 unless the
+  /// ObjectSpace was built with use_cluster (the shl1 back-end).
+  sim::Addr cluster_addr = 0;
   int lock = -1;
 };
 
@@ -49,7 +52,11 @@ struct ObjDesc {
 class ObjectSpace {
  public:
   /// lock_capacity bounds the number of objects (one lock each).
-  ObjectSpace(sim::Machine& m, sync::LockManager& locks, int lock_capacity);
+  /// use_cluster additionally gives every object a home slot in the cluster
+  /// SRAM — only back-ends whose descriptor sets uses_cluster ask for it, so
+  /// the (small) cluster is never charged for back-ends that ignore it.
+  ObjectSpace(sim::Machine& m, sync::LockManager& locks, int lock_capacity,
+              bool use_cluster = false);
 
   ObjId create(uint32_t size, Placement placement, std::string name = "",
                bool immutable = false);
@@ -97,6 +104,8 @@ class ObjectSpace {
   uint32_t lm_sync_end_;
   uint32_t barrier_flag_off_;
   uint32_t lm_cursor_;  // replica allocation within local memories
+  sim::Addr cluster_cursor_;
+  bool use_cluster_;
   bool frozen_ = false;
 };
 

@@ -2,58 +2,50 @@
 
 #include <thread>
 
+#include "runtime/backends/registry.h"
 #include "util/check.h"
 
 namespace pmc::rt {
 
+// The Target enum is "host-sc + the registry, shifted by one"; the sim
+// helpers below convert by arithmetic, so keep the two in lockstep.
+static_assert(static_cast<int>(Target::kNoCC) ==
+              static_cast<int>(BackendKind::kNoCC) + 1);
+static_assert(static_cast<int>(Target::kShL1) ==
+              static_cast<int>(BackendKind::kShL1) + 1);
+
 const char* to_string(Target t) {
-  switch (t) {
-    case Target::kHostSC: return "host-sc";
-    case Target::kNoCC: return "nocc";
-    case Target::kSWCC: return "swcc";
-    case Target::kDSM: return "dsm";
-    case Target::kSPM: return "spm";
-  }
-  return "?";
+  if (t == Target::kHostSC) return "host-sc";
+  return to_string(backend_kind(t));
 }
 
 std::optional<Target> target_from_string(std::string_view name) {
   if (name == to_string(Target::kHostSC)) return Target::kHostSC;
   const std::optional<BackendKind> k = backend_from_string(name);
   if (!k) return std::nullopt;
-  switch (*k) {
-    case BackendKind::kNoCC: return Target::kNoCC;
-    case BackendKind::kSWCC: return Target::kSWCC;
-    case BackendKind::kDSM: return Target::kDSM;
-    case BackendKind::kSPM: return Target::kSPM;
-  }
-  return std::nullopt;
+  return static_cast<Target>(static_cast<int>(*k) + 1);
 }
 
 bool is_sim(Target t) { return t != Target::kHostSC; }
 
 std::vector<Target> all_targets() {
-  return {Target::kHostSC, Target::kNoCC, Target::kSWCC, Target::kDSM,
-          Target::kSPM};
+  std::vector<Target> out{Target::kHostSC};
+  for (const Target t : sim_targets()) out.push_back(t);
+  return out;
 }
 
 std::vector<Target> sim_targets() {
-  return {Target::kNoCC, Target::kSWCC, Target::kDSM, Target::kSPM};
+  std::vector<Target> out;
+  for (const BackendDescriptor& d : backend_registry()) {
+    out.push_back(static_cast<Target>(static_cast<int>(d.kind) + 1));
+  }
+  return out;
 }
 
-namespace {
 BackendKind backend_kind(Target t) {
-  switch (t) {
-    case Target::kNoCC: return BackendKind::kNoCC;
-    case Target::kSWCC: return BackendKind::kSWCC;
-    case Target::kDSM: return BackendKind::kDSM;
-    case Target::kSPM: return BackendKind::kSPM;
-    case Target::kHostSC: break;
-  }
-  PMC_CHECK_MSG(false, "host target has no sim back-end");
-  return BackendKind::kNoCC;
+  PMC_CHECK_MSG(is_sim(t), "host target has no sim back-end");
+  return static_cast<BackendKind>(static_cast<int>(t) - 1);
 }
-}  // namespace
 
 Program::Program(const ProgramOptions& opts) : opts_(opts) {
   PMC_CHECK(opts_.cores >= 1);
@@ -72,7 +64,10 @@ Program::Program(const ProgramOptions& opts) : opts_(opts) {
     mc.num_cores = opts_.cores;
     mc.mesh_width = sim::MachineConfig::derive_mesh_width(opts_.cores);
   }
-  mc.cache_shared = opts_.target == Target::kSWCC;
+  const BackendDescriptor& desc = descriptor(backend_kind(opts_.target));
+  mc.cache_shared = desc.cache_shared;
+  const std::string mc_err = check_machine(desc, mc);
+  PMC_CHECK_MSG(mc_err.empty(), mc_err);
   machine_ = std::make_unique<sim::Machine>(mc);
   if (opts_.fiber_execution && sim::Scheduler::fibers_supported()) {
     machine_->enable_snapshots();
@@ -87,7 +82,8 @@ Program::Program(const ProgramOptions& opts) : opts_(opts) {
   locks_ = std::make_unique<sync::DistLockManager>(
       *machine_, sim::kSdramBase, cap * 64, /*lm_offset=*/0, cap * 8);
   objs_ = std::make_unique<ObjectSpace>(*machine_, *locks_,
-                                        opts_.lock_capacity);
+                                        opts_.lock_capacity,
+                                        desc.uses_cluster);
   barrier_ = std::make_unique<sync::Barrier>(*machine_,
                                              objs_->barrier_count_word(),
                                              objs_->barrier_flag_offset());

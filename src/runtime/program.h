@@ -3,8 +3,9 @@
 // Owns the machine (for simulated targets), the distributed locks, the
 // object space, the barrier, the back-end, and — when validation is on —
 // the recorded trace and its Definition 12 check. The same Program API
-// drives all five targets, so "porting to hardware with another memory
-// model becomes just a compiler setting" is here literally one enum.
+// drives the host target plus every registered back-end, so "porting to
+// hardware with another memory model becomes just a compiler setting" is
+// here literally one enum.
 #pragma once
 
 #include <functional>
@@ -19,17 +20,22 @@
 
 namespace pmc::rt {
 
-enum class Target : uint8_t { kHostSC, kNoCC, kSWCC, kDSM, kSPM };
+/// kHostSC plus one entry per registered back-end, in registry order
+/// (Target value = BackendKind value + 1; static_asserted in program.cpp).
+enum class Target : uint8_t { kHostSC, kNoCC, kSWCC, kDSM, kSPM, kRegC,
+                              kShL1 };
 
 const char* to_string(Target t);
-/// Inverse of to_string ("host-sc"/"nocc"/"swcc"/"dsm"/"spm"), or
+/// Inverse of to_string ("host-sc" or any registered back-end name), or
 /// std::nullopt for anything else. Simulated names go through
 /// backend_from_string so the two stay in lockstep.
 std::optional<Target> target_from_string(std::string_view name);
 bool is_sim(Target t);
-/// All five targets, for parameterized suites.
+/// Host target plus every registered back-end, for parameterized suites.
 std::vector<Target> all_targets();
 std::vector<Target> sim_targets();
+/// The back-end a simulated target runs (throws for kHostSC).
+BackendKind backend_kind(Target t);
 
 struct ProgramOptions {
   Target target = Target::kSWCC;

@@ -35,10 +35,15 @@ void MachineConfig::validate() const {
                                 << " (pick a width dividing the core count)");
   PMC_CHECK_MSG(lm_bytes > 0 && lm_bytes <= kLmStride,
                 "lm_bytes must be in (0, " << kLmStride << "]");
-  const int max_tiles = static_cast<int>((kSdramBase - kLmBase) / kLmStride);
+  // The cluster SRAM window starts where tile slots would otherwise
+  // continue, so an enabled cluster lowers the tile ceiling.
+  const Addr tile_limit = cluster_bytes > 0 ? kClusterBase : kSdramBase;
+  const int max_tiles = static_cast<int>((tile_limit - kLmBase) / kLmStride);
   PMC_CHECK_MSG(num_cores <= max_tiles,
                 "too many tiles for the address map (max " << max_tiles
                                                            << ")");
+  PMC_CHECK_MSG(cluster_bytes <= kSdramBase - kClusterBase,
+                "cluster_bytes must be <= " << (kSdramBase - kClusterBase));
   PMC_CHECK_MSG(sdram_bytes > 0, "sdram_bytes must be > 0");
   PMC_CHECK_MSG(dcache.line_bytes >= 4 &&
                     (dcache.line_bytes & (dcache.line_bytes - 1)) == 0,
@@ -70,6 +75,10 @@ Machine::Machine(const MachineConfig& cfg)
       sdram_("sdram", kSdramBase, cfg.sdram_bytes),
       noc_(cfg.num_cores, cfg.mesh_width, cfg.timing, cfg.noc_model,
            cfg.noc_buffer_words) {
+  if (cfg_.cluster_bytes > 0) {
+    cluster_ = std::make_unique<MemModule>("cluster", kClusterBase,
+                                           cfg_.cluster_bytes);
+  }
   lms_.reserve(cfg_.num_cores);
   cores_.reserve(cfg_.num_cores);
   for (int t = 0; t < cfg_.num_cores; ++t) {
@@ -96,6 +105,7 @@ int Machine::tile_of(Addr a) const {
 
 MemModule& Machine::module_for(Addr a, size_t n) {
   if (sdram_.contains(a, n)) return sdram_;
+  if (cluster_ != nullptr && cluster_->contains(a, n)) return *cluster_;
   const int tile = tile_of(a);
   PMC_CHECK_MSG(tile >= 0 && lms_[tile]->contains(a, n),
                 "unmapped address " << a << " (+" << n << ")");
@@ -150,6 +160,7 @@ Machine::Snapshot Machine::snapshot() const {
   s.sdram = sdram_.snapshot();
   s.lms.reserve(lms_.size());
   for (const auto& lm : lms_) s.lms.push_back(lm->snapshot());
+  if (cluster_ != nullptr) s.cluster = cluster_->snapshot();
   s.noc = noc_.snapshot();
   s.regions.reserve(regions_.size());
   for (const auto& [p, n] : regions_) {
@@ -177,6 +188,7 @@ void Machine::restore(const Snapshot& s) {
   stats_ = s.stats;
   sdram_.restore(s.sdram);
   for (size_t i = 0; i < lms_.size(); ++i) lms_[i]->restore(s.lms[i]);
+  if (cluster_ != nullptr) cluster_->restore(s.cluster);
   noc_.restore(s.noc);
   for (size_t i = 0; i < regions_.size(); ++i) {
     PMC_CHECK(s.regions[i].size() == regions_[i].second);
@@ -256,6 +268,7 @@ uint64_t Machine::digest(const Snapshot& s) {
   };
   mix_mem(s.sdram);
   for (const auto& m : s.lms) mix_mem(m);
+  mix_mem(s.cluster);  // default-constructed (stable) without a cluster
   // Clock maps mix sorted by index with zero-valued entries elided, so the
   // digest depends only on the clocks' content — a dense map padded with
   // explicit zeros and the sparse touched-entry map hash identically.
@@ -294,6 +307,10 @@ void Machine::export_metrics(obs::MetricsRegistry& reg) const {
   port(sdram_);
   reg.merge_histogram("port.sdram.wait", sdram_.port_stats().wait_hist);
   for (const auto& lm : lms_) port(*lm);
+  if (cluster_ != nullptr) {
+    port(*cluster_);
+    reg.merge_histogram("port.cluster.wait", cluster_->port_stats().wait_hist);
+  }
 }
 
 CoreStats Machine::stats_sum() const {
@@ -310,6 +327,10 @@ uint64_t Machine::state_hash() {
     lms_[t]->drain_all();
     h = util::hash_combine(h, lms_[t]->content_hash());
     h = util::hash_combine(h, stats_[t].cycles_total);
+  }
+  if (cluster_ != nullptr) {
+    cluster_->drain_all();
+    h = util::hash_combine(h, cluster_->content_hash());
   }
   return h;
 }
@@ -512,6 +533,41 @@ void Core::uncached_access(Addr a, void* rd_out, const void* wr_data, size_t n,
   }
 }
 
+void Core::cluster_access(Addr a, void* rd_out, const void* wr_data, size_t n,
+                          MemClass c) {
+  const auto& t = m_.cfg_.timing;
+  MemModule& cl = *m_.cluster_;
+  const bool sync = c == MemClass::kSync;
+  // Word-interleaved banks behind a logarithmic interconnect: word-at-a-time
+  // like the uncached SDRAM path, but a few cycles each and effects are
+  // immediate (the interconnect is the only distance — there is no posted
+  // store buffer between the core and the SRAM).
+  size_t done = 0;
+  while (done < n) {
+    const size_t chunk = std::min<size_t>(4 - ((a + done) % 4), n - done);
+    const Addr chunk_addr = a + static_cast<Addr>(done);
+    // Mesh model only: contenders for the same bank group queue one cycle of
+    // service each (a no-op under kFlat, keeping fixed costs bit-identical).
+    uint64_t wait = 0;
+    if (m_.cfg_.noc_model == NocModel::kMesh) {
+      wait = cl.reserve_port(now(), 1) - now();
+    }
+    if (wr_data != nullptr) {
+      charge(1, wait + t.cluster_store - 1, &CoreStats::stall_write);
+      m_.sched_.note_access(id_, chunk_addr, static_cast<uint32_t>(chunk),
+                            AccessKind::kWrite, sync);
+      cl.write(now(), chunk_addr,
+               static_cast<const uint8_t*>(wr_data) + done, chunk);
+    } else {
+      charge(1, wait + t.cluster_load - 1, read_bucket(c));
+      m_.sched_.note_access(id_, chunk_addr, static_cast<uint32_t>(chunk),
+                            AccessKind::kRead, sync);
+      cl.read(now(), chunk_addr, static_cast<uint8_t*>(rd_out) + done, chunk);
+    }
+    done += chunk;
+  }
+}
+
 void Core::access(Addr a, void* rd_out, const void* wr_data, size_t n,
                   MemClass c) {
   PMC_CHECK(n > 0);
@@ -519,8 +575,12 @@ void Core::access(Addr a, void* rd_out, const void* wr_data, size_t n,
       wr_data != nullptr ? AccessKind::kWrite : AccessKind::kRead;
   const bool sync = c == MemClass::kSync;
   const int tile = m_.tile_of(a);
-  const bool cached =
-      tile < 0 && c == MemClass::kSharedData && m_.cfg_.cache_shared;
+  const bool in_cluster =
+      m_.cluster_ != nullptr && m_.cluster_->contains(a, n);
+  // Cluster SRAM is shared L1: by construction it needs no SDRAM-cache copy,
+  // so it stays uncached even in cache_shared machines.
+  const bool cached = tile < 0 && !in_cluster &&
+                      c == MemClass::kSharedData && m_.cfg_.cache_shared;
   // Cached traffic moves line-at-a-time through SDRAM (fills read and
   // writebacks write whole lines), so its footprint is line-aligned: false
   // sharing is a real dependence under SWCC.
@@ -564,6 +624,15 @@ void Core::access(Addr a, void* rd_out, const void* wr_data, size_t n,
       charge(words * t.lm_load, 0, read_bucket(c));
       lm.read(now(), a, rd_out, n);
     }
+    m_.sched_.note_access(id_, fp_addr, fp_len, kind, sync);
+    if (m_.tracing()) {
+      trace(trace_kind, trace_t0, a, static_cast<uint32_t>(n),
+            static_cast<uint16_t>(c));
+    }
+    return;
+  }
+  if (in_cluster) {
+    cluster_access(a, rd_out, wr_data, n, c);
     m_.sched_.note_access(id_, fp_addr, fp_len, kind, sync);
     if (m_.tracing()) {
       trace(trace_kind, trace_t0, a, static_cast<uint32_t>(n),

@@ -23,9 +23,11 @@
 
 namespace pmc::sim {
 
-/// Address map: tile-local memories, then SDRAM.
+/// Address map: tile-local memories, then the shared-L1 cluster SRAM
+/// (when configured), then SDRAM.
 inline constexpr Addr kLmBase = 0x1000'0000;
 inline constexpr Addr kLmStride = 0x0010'0000;  // 1 MiB per tile slot
+inline constexpr Addr kClusterBase = 0x3000'0000;
 inline constexpr Addr kSdramBase = 0x4000'0000;
 
 /// Classification of explicit accesses for stall attribution (Fig. 8).
@@ -55,6 +57,10 @@ struct MachineConfig {
   /// Per-hop input buffer depth (words) under kMesh: stalls longer than the
   /// buffer can absorb back up into the upstream link.
   uint32_t noc_buffer_words = 4;
+  /// Interleaved shared-L1 cluster SRAM at kClusterBase (MemPool-style,
+  /// DESIGN.md §13). 0 disables the module entirely; back-ends that require
+  /// it (shl1) fail with a named error on such machines.
+  uint32_t cluster_bytes = 128 * 1024;
 
   /// The 32-core ML605-like preset used throughout the experiments.
   static MachineConfig ml605(int cores = 32);
@@ -170,6 +176,8 @@ class Core {
   void cached_access(Addr a, void* rd_out, const void* wr_data, size_t n);
   void uncached_access(Addr a, void* rd_out, const void* wr_data, size_t n,
                        MemClass c);
+  void cluster_access(Addr a, void* rd_out, const void* wr_data, size_t n,
+                      MemClass c);
   void access(Addr a, void* rd_out, const void* wr_data, size_t n, MemClass c);
 
   Machine& m_;
@@ -238,6 +246,7 @@ class Machine {
     std::vector<CoreStats> stats;
     MemModule::Snapshot sdram;
     std::vector<MemModule::Snapshot> lms;
+    MemModule::Snapshot cluster;  // default-constructed when not configured
     Noc::Snapshot noc;
     std::vector<std::vector<uint8_t>> regions;  // registered-state bytes
     obs::TraceRecorder::Snapshot trace;  // only when a recorder is attached
@@ -255,6 +264,8 @@ class Machine {
 
   MemModule& sdram() { return sdram_; }
   MemModule& local_mem(int tile) { return *lms_[tile]; }
+  /// The shared-L1 cluster SRAM, or nullptr when cluster_bytes == 0.
+  MemModule* cluster() { return cluster_.get(); }
   Noc& noc() { return noc_; }
   /// Folds interconnect/port contention telemetry into `reg` (DESIGN.md
   /// §12): noc.* counters plus the link-stall histogram, and port wait
@@ -296,6 +307,7 @@ class Machine {
   obs::TraceRecorder* trace_ = nullptr;  // not owned; nullptr = detached
   std::vector<std::unique_ptr<MemModule>> lms_;
   MemModule sdram_;
+  std::unique_ptr<MemModule> cluster_;  // nullptr when cluster_bytes == 0
   Noc noc_;
   std::vector<CoreStats> stats_;
   std::vector<std::unique_ptr<CoreState>> cores_;

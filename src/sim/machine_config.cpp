@@ -84,7 +84,7 @@ MachineConfig MachineConfig::from_string(const std::string& text,
       if (line.back() != ']') PMC_CFG_FAIL("unterminated section header");
       section = trim(line.substr(1, line.size() - 2));
       if (section != "machine" && section != "cache" && section != "timing" &&
-          section != "noc" && section != "workload") {
+          section != "noc" && section != "workload" && section != "cluster") {
         PMC_CFG_FAIL("unknown section [" << section << "]");
       }
       continue;
@@ -101,8 +101,8 @@ MachineConfig MachineConfig::from_string(const std::string& text,
     if (section.empty()) {
       PMC_CFG_FAIL("key '" << key
                            << "' before any section header (start with "
-                              "[machine], [cache], [timing], [noc], or "
-                              "[workload])");
+                              "[machine], [cache], [timing], [noc], "
+                              "[cluster], or [workload])");
     }
     const auto u64 = [&] { return parse_u64(val, key, origin, line_no); };
     const auto u32 = [&] { return static_cast<uint32_t>(u64()); };
@@ -180,6 +180,10 @@ MachineConfig MachineConfig::from_string(const std::string& text,
         t.atomic_extra = u32();
       } else if (key == "dma_per_word") {
         t.dma_per_word = u32();
+      } else if (key == "cluster_load") {
+        t.cluster_load = u32();
+      } else if (key == "cluster_store") {
+        t.cluster_store = u32();
       } else if (key == "cache_op_per_line") {
         t.cache_op_per_line = u32();
       } else if (key == "imiss_penalty") {
@@ -201,6 +205,12 @@ MachineConfig MachineConfig::from_string(const std::string& text,
         }
       } else if (key == "buffer_words") {
         cfg.noc_buffer_words = u32();
+      } else {
+        known = false;
+      }
+    } else if (section == "cluster") {
+      if (key == "bytes") {
+        cfg.cluster_bytes = u32();
       } else {
         known = false;
       }

@@ -38,6 +38,11 @@ struct TimingConfig {
   uint32_t noc_per_word = 1;  // serialization per 32-bit word
   uint32_t noc_send_cost = 2; // sender-side cost to enqueue a packet
 
+  // Interleaved shared-L1 cluster SRAM (MemPool-style): a few cycles through
+  // the cluster interconnect, far below SDRAM but above the private LMB.
+  uint32_t cluster_load = 2;
+  uint32_t cluster_store = 2;
+
   // Atomic unit at the SDRAM controller (swap/add round trip on top of the
   // uncached read latency).
   uint32_t atomic_extra = 8;

@@ -203,9 +203,9 @@ TEST(CheckSessionShrink, MinimizedTargetIsOneMinimal) {
   cfg.preemption_bound = 1;
   cfg.horizon = 10;
   const GenProgram prog = generate_program(shape_for_seed(1));
-  rt::FaultInjection faults;
-  faults.swcc_skip_exit_writeback = true;
-  const GenProgramTarget target(prog, rt::Target::kSWCC, faults);
+  const GenProgramTarget target(
+      prog, rt::Target::kSWCC,
+      rt::FaultInjection::one("swcc_skip_exit_writeback"));
   const CheckSession session(cfg, /*jobs=*/2);
   const CheckReport rep = session.check(target);
   ASSERT_GT(rep.failing, 0u);

@@ -170,8 +170,8 @@ TEST(DiffFuzz, SeededFaultIsFoundMinimizedAndReplayable) {
 }
 
 TEST(DiffFuzz, SeededFailureIsIdenticalAtAnyJobCount) {
-  rt::FaultInjection faults;
-  faults.swcc_skip_exit_writeback = true;
+  const rt::FaultInjection faults =
+      rt::FaultInjection::one("swcc_skip_exit_writeback");
   const GenProgram prog = generate_program(shape_for_seed(2));
   const DiffCheck dc(prog, faults);
   const DiffReport ref = dc.check(fuzz_cfg(), 1);

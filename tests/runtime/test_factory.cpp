@@ -1,17 +1,20 @@
-// backend_from_string / target_from_string: exact inverses of to_string.
+// backend_from_string / target_from_string: exact inverses of to_string,
+// driven by the registry rather than a hand-maintained kind list.
 #include <gtest/gtest.h>
 
+#include "runtime/backends/registry.h"
 #include "runtime/program.h"
+#include "util/check.h"
 
 namespace pmc::rt {
 namespace {
 
 TEST(Factory, BackendFromStringRoundTrips) {
-  for (BackendKind k : {BackendKind::kNoCC, BackendKind::kSWCC,
-                        BackendKind::kDSM, BackendKind::kSPM}) {
-    const auto back = backend_from_string(to_string(k));
-    ASSERT_TRUE(back.has_value()) << to_string(k);
-    EXPECT_EQ(*back, k);
+  for (const BackendDescriptor& d : backend_registry()) {
+    EXPECT_STREQ(to_string(d.kind), d.name);
+    const auto back = backend_from_string(to_string(d.kind));
+    ASSERT_TRUE(back.has_value()) << d.name;
+    EXPECT_EQ(*back, d.kind);
   }
 }
 
@@ -21,6 +24,22 @@ TEST(Factory, BackendFromStringRejectsUnknownNames) {
   EXPECT_FALSE(backend_from_string("SWCC").has_value());
   EXPECT_FALSE(backend_from_string("swcc ").has_value());
   EXPECT_FALSE(backend_from_string("host-sc").has_value());
+}
+
+TEST(Factory, OutOfRangeKindIsANamedErrorNotAQuestionMark) {
+  // to_string/descriptor on a kind outside the registry must throw an error
+  // that names the registered back-ends — no "?" placeholder (ISSUE 9).
+  const auto bogus =
+      static_cast<BackendKind>(static_cast<int>(backend_registry().size()));
+  try {
+    (void)to_string(bogus);
+    FAIL() << "out-of-range BackendKind did not throw";
+  } catch (const util::CheckFailure& e) {
+    const std::string msg = e.what();
+    for (const BackendDescriptor& d : backend_registry()) {
+      EXPECT_NE(msg.find(d.name), std::string::npos) << msg;
+    }
+  }
 }
 
 TEST(Factory, TargetFromStringRoundTrips) {

@@ -36,9 +36,8 @@ void run_handover_workload(Program& prog, ObjId x) {
 }
 
 TEST(FaultInjection, SwccMissingExitFlushIsFlagged) {
-  FaultInjection f;
-  f.swcc_skip_exit_writeback = true;
-  Program prog(opts(Target::kSWCC, f));
+  Program prog(opts(Target::kSWCC,
+                    FaultInjection::one("swcc_skip_exit_writeback")));
   const ObjId x = prog.create_typed<uint32_t>(0, Placement::kSdram, "x");
   run_handover_workload(prog, x);
   ASSERT_NE(prog.validator(), nullptr);
@@ -48,9 +47,7 @@ TEST(FaultInjection, SwccMissingExitFlushIsFlagged) {
 }
 
 TEST(FaultInjection, DsmMissingTransferIsFlagged) {
-  FaultInjection f;
-  f.dsm_skip_transfer = true;
-  Program prog(opts(Target::kDSM, f));
+  Program prog(opts(Target::kDSM, FaultInjection::one("dsm_skip_transfer")));
   const ObjId x = prog.create_typed<uint32_t>(0, Placement::kReplicated, "x");
   run_handover_workload(prog, x);
   ASSERT_NE(prog.validator(), nullptr);
@@ -59,14 +56,35 @@ TEST(FaultInjection, DsmMissingTransferIsFlagged) {
 }
 
 TEST(FaultInjection, SpmMissingCopyBackIsFlagged) {
-  FaultInjection f;
-  f.spm_skip_copy_back = true;
-  Program prog(opts(Target::kSPM, f));
+  Program prog(opts(Target::kSPM, FaultInjection::one("spm_skip_copy_back")));
   const ObjId x = prog.create_typed<uint32_t>(0, Placement::kSdram, "x");
   run_handover_workload(prog, x);
   ASSERT_NE(prog.validator(), nullptr);
   EXPECT_FALSE(prog.validator()->ok())
       << "a skipped SDRAM copy-back must violate Definition 12";
+}
+
+TEST(FaultInjection, RegcMissingRegionWritebackIsFlagged) {
+  Program prog(opts(Target::kRegC,
+                    FaultInjection::one("regc_skip_region_writeback")));
+  const ObjId x = prog.create_typed<uint32_t>(0, Placement::kSdram, "x");
+  run_handover_workload(prog, x);
+  ASSERT_NE(prog.validator(), nullptr);
+  EXPECT_FALSE(prog.validator()->ok())
+      << "a skipped region write-back must violate Definition 12";
+}
+
+TEST(FaultInjection, Shl1SkippedLockIsFlagged) {
+  Program prog(opts(Target::kShL1, FaultInjection::one("shl1_skip_lock")));
+  const ObjId x = prog.create_typed<uint32_t>(0, Placement::kSdram, "x");
+  run_handover_workload(prog, x);
+  ASSERT_NE(prog.validator(), nullptr);
+  EXPECT_FALSE(prog.validator()->ok())
+      << "unserialized exclusive writers must violate Definition 12";
+}
+
+TEST(FaultInjection, UnknownFaultNameIsRejected) {
+  EXPECT_THROW(FaultInjection::one("no_such_fault"), util::CheckFailure);
 }
 
 TEST(FaultInjection, HealthyProtocolsPassTheSameWorkload) {

@@ -1,0 +1,102 @@
+// The back-end registry (DESIGN.md §13): descriptor integrity, name lookup,
+// usage-string generation, machine-requirement checking, and the named
+// seeded-fault table — the single source every enumeration site iterates.
+#include "runtime/backends/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runtime/program.h"
+#include "util/check.h"
+
+namespace pmc::rt {
+namespace {
+
+TEST(Registry, KindsIndexTheRegistryAndNamesAreUnique) {
+  const auto& reg = backend_registry();
+  ASSERT_GE(reg.size(), 6u);  // the Table II grid is at least six columns
+  std::set<std::string> names;
+  for (size_t i = 0; i < reg.size(); ++i) {
+    EXPECT_EQ(static_cast<size_t>(reg[i].kind), i);
+    EXPECT_NE(reg[i].name, nullptr);
+    EXPECT_TRUE(names.insert(reg[i].name).second)
+        << "duplicate name " << reg[i].name;
+    EXPECT_NE(reg[i].summary, nullptr);
+    EXPECT_NE(reg[i].make, nullptr);
+  }
+}
+
+TEST(Registry, FindBackendIsExactMatchOnly) {
+  for (const BackendDescriptor& d : backend_registry()) {
+    const BackendDescriptor* found = find_backend(d.name);
+    ASSERT_NE(found, nullptr) << d.name;
+    EXPECT_EQ(found->kind, d.kind);
+  }
+  EXPECT_EQ(find_backend(""), nullptr);
+  EXPECT_EQ(find_backend("host-sc"), nullptr);
+  EXPECT_EQ(find_backend("SWCC"), nullptr);
+}
+
+TEST(Registry, BackendNamesJoinsEveryNameInKindOrder) {
+  const std::string names = backend_names();
+  std::string expect;
+  for (const BackendDescriptor& d : backend_registry()) {
+    if (!expect.empty()) expect += "|";
+    expect += d.name;
+  }
+  EXPECT_EQ(names, expect);
+  EXPECT_NE(backend_names(", ").find(", "), std::string::npos);
+}
+
+TEST(Registry, DescriptorThrowsNamedErrorOutsideTheRegistry) {
+  const auto bogus =
+      static_cast<BackendKind>(backend_registry().size() + 3);
+  EXPECT_THROW((void)descriptor(bogus), util::CheckFailure);
+}
+
+TEST(Registry, CheckMachineFlagsMissingCluster) {
+  sim::MachineConfig cfg;  // default: no cluster SRAM
+  cfg.cluster_bytes = 0;
+  for (const BackendDescriptor& d : backend_registry()) {
+    const std::string err = check_machine(d, cfg);
+    if (d.needs_cluster) {
+      EXPECT_NE(err.find(d.name), std::string::npos) << err;
+      EXPECT_NE(err.find("[cluster]"), std::string::npos) << err;
+    } else {
+      EXPECT_EQ(err, "");
+    }
+  }
+  cfg.cluster_bytes = 128 * 1024;
+  for (const BackendDescriptor& d : backend_registry()) {
+    EXPECT_EQ(check_machine(d, cfg), "") << d.name;
+  }
+}
+
+TEST(Registry, FaultTableBacksFaultInjection) {
+  for (const BackendDescriptor& d : backend_registry()) {
+    for (const std::string& f : d.faults) {
+      EXPECT_TRUE(fault_name_known(f)) << f;
+      const FaultInjection one = FaultInjection::one(f);
+      EXPECT_TRUE(one.enabled(f));
+      EXPECT_TRUE(one.any());
+    }
+  }
+  EXPECT_FALSE(fault_name_known("no_such_fault"));
+  EXPECT_FALSE(FaultInjection{}.any());
+}
+
+TEST(Registry, TargetEnumTracksTheRegistry) {
+  // Target is host-sc plus the registry shifted by one; sim_targets() must
+  // enumerate exactly the registered kinds, in order.
+  const auto targets = sim_targets();
+  const auto& reg = backend_registry();
+  ASSERT_EQ(targets.size(), reg.size());
+  for (size_t i = 0; i < reg.size(); ++i) {
+    EXPECT_EQ(backend_kind(targets[i]), reg[i].kind);
+    EXPECT_STREQ(to_string(targets[i]), reg[i].name);
+  }
+}
+
+}  // namespace
+}  // namespace pmc::rt

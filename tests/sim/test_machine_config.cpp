@@ -89,6 +89,21 @@ priv_miss_per_mille = 7
   EXPECT_EQ(c.profile.priv_miss_per_mille, 7u);
 }
 
+TEST(MachineConfigParse, ClusterSectionSetsAndDisablesTheSram) {
+  const MachineConfig grown = MachineConfig::from_string(R"(
+[cluster]
+bytes = 256k
+)");
+  EXPECT_EQ(grown.cluster_bytes, 256u * 1024);
+  // bytes = 0 disables the cluster SRAM entirely — the configuration the
+  // shared-L1 back-end must reject with a named error.
+  const MachineConfig off = MachineConfig::from_string(R"(
+[cluster]
+bytes = 0
+)");
+  EXPECT_EQ(off.cluster_bytes, 0u);
+}
+
 TEST(MachineConfigParse, ExplicitMeshWidthWins) {
   const MachineConfig c = MachineConfig::from_string(
       "[machine]\ncores = 256\nmesh_width = 16\n");
