@@ -102,22 +102,14 @@ class JsonReport {
     metrics_.emplace_back(key, quoted(value));
   }
 
-  /// Writes BENCH_<name>.json if --json[=PATH] was passed. Returns false on
-  /// an I/O error (callers treat that as a harness failure). Every string is
+  /// The report's default file name ("BENCH_<name>.json").
+  std::string default_path() const { return "BENCH_" + name_ + ".json"; }
+
+  /// Writes the report to `path` unconditionally. Returns false on an I/O
+  /// error (callers treat that as a harness failure). Every string is
   /// escaped and every non-numeric value literal is quoted on the way out,
   /// so the file is valid JSON by construction, whatever the keys contain.
-  bool maybe_write(int argc, char** argv) const {
-    std::string path;
-    const std::string prefix = "--json=";
-    for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--json") == 0) {
-        path = "BENCH_" + name_ + ".json";
-      } else if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-        path = argv[i] + prefix.size();
-        if (path.empty()) path = "BENCH_" + name_ + ".json";
-      }
-    }
-    if (path.empty()) return true;
+  bool write_file(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (!f) {
       std::fprintf(stderr, "!! cannot open %s for writing\n", path.c_str());
@@ -131,6 +123,22 @@ class JsonReport {
     const bool ok = std::fclose(f) == 0;
     if (ok) std::printf("wrote %s\n", path.c_str());
     return ok;
+  }
+
+  /// Writes BENCH_<name>.json if --json[=PATH] was passed; no flag, no file.
+  bool maybe_write(int argc, char** argv) const {
+    std::string path;
+    const std::string prefix = "--json=";
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        path = default_path();
+      } else if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+        path = argv[i] + prefix.size();
+        if (path.empty()) path = default_path();
+      }
+    }
+    if (path.empty()) return true;
+    return write_file(path);
   }
 
  private:

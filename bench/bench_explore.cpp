@@ -27,6 +27,7 @@
 #include "bench/bench_common.h"
 #include "explore/check.h"
 #include "explore/litmus_driver.h"
+#include "fuzz/farm.h"
 #include "model/litmus_library.h"
 #include "obs/trace.h"
 #include "sim/scheduler.h"
@@ -468,6 +469,56 @@ int main(int argc, char** argv) {
     if (overhead_pct > 2.0) {
       std::printf("note: overhead above the 2%% target — expected only on "
                   "loaded/1-vCPU hosts\n\n");
+    }
+  }
+
+  // Coverage-guided fuzzing farm (DESIGN.md §14): a fixed exec budget of
+  // guided mutation over every back-end, in memory, at jobs=1 — so the
+  // coverage-growth keys are a deterministic function of the budget and
+  // only the classes-per-second rate tracks the host. Written as a second
+  // report (BENCH_fuzz.json) because the farm is its own subsystem with its
+  // own trajectory to follow across PRs.
+  {
+    fuzz::FarmOptions fopts;
+    fopts.max_execs = static_cast<uint64_t>(
+        bench::flag_int(argc, argv, "fuzz-execs", 96));
+    fopts.jobs = 1;
+    fopts.seed = 1;
+    const auto t0 = std::chrono::steady_clock::now();
+    const fuzz::FarmResult fr = fuzz::Farm(fopts).run();
+    const double secs = seconds_since(t0);
+    if (!fr.failures.empty()) {
+      std::fprintf(stderr, "!! fuzz farm found %zu oracle violation(s); "
+                   "first: %s\n",
+                   fr.failures.size(), fr.failures.front().message.c_str());
+      return 1;
+    }
+    const double classes_per_sec =
+        secs > 0 ? static_cast<double>(fr.total_classes) / secs : 0.0;
+    std::printf("fuzz farm (guided, %llu execs, jobs=1): %llu hb-classes "
+                "(%.0f/s), corpus %llu, growth curve %zu point(s)\n\n",
+                static_cast<unsigned long long>(fr.execs),
+                static_cast<unsigned long long>(fr.total_classes),
+                classes_per_sec, static_cast<unsigned long long>(
+                    fr.corpus_size),
+                fr.growth.size());
+    bench::JsonReport fuzz_json("fuzz");
+    fuzz_json.add("fuzz_execs", fr.execs);
+    fuzz_json.add("fuzz_schedules", fr.schedules);
+    fuzz_json.add("fuzz_dpor_pruned", fr.dpor_pruned);
+    fuzz_json.add("fuzz_classes_per_sec", classes_per_sec);
+    fuzz_json.add("fuzz_corpus_entries", fr.corpus_size);
+    fuzz_json.add("fuzz_corpus_growth_samples",
+                  static_cast<uint64_t>(fr.growth.size()));
+    fuzz_json.add("fuzz_corpus_growth_final_execs",
+                  fr.growth.empty() ? uint64_t{0} : fr.growth.back().first);
+    fuzz_json.add("fuzz_corpus_growth_final_classes",
+                  fr.growth.empty() ? uint64_t{0} : fr.growth.back().second);
+    const bool want_json =
+        bench::flag_set(argc, argv, "json") ||
+        bench::flag_str(argc, argv, "json", nullptr) != nullptr;
+    if (want_json && !fuzz_json.write_file(fuzz_json.default_path())) {
+      return 1;
     }
   }
 

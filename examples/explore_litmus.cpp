@@ -35,6 +35,7 @@
 #include "explore/check.h"
 #include "explore/diff_check.h"
 #include "explore/litmus_driver.h"
+#include "fuzz/seed_plan.h"
 #include "model/execution.h"
 #include "model/litmus_library.h"
 #include "obs/trace.h"
@@ -572,7 +573,7 @@ int run_main(int argc, char** argv) {
     return run_replay(session, target, rt::to_string(backends[0]), replay,
                       trace_out);
   }
-  if (fuzz_count > 0 || fuzz_seed >= 0) {
+  if (fuzz_count > 0 || flag_set(argc, argv, "fuzz") || fuzz_seed >= 0) {
     // Fuzz defaults trade horizon for program count; explicit flags win.
     explore::SessionOptions fopts = sopts;
     fopts.explore.preemption_bound =
@@ -581,8 +582,17 @@ int run_main(int argc, char** argv) {
         static_cast<uint64_t>(flag_int(argc, argv, "horizon", 10));
     const uint64_t base =
         fuzz_seed >= 0 ? static_cast<uint64_t>(fuzz_seed) : 0;
-    const uint64_t count =
-        fuzz_count > 0 ? static_cast<uint64_t>(fuzz_count) : 1;
+    // Seed-width precedence (fuzz/seed_plan.h): --fuzz=N beats
+    // PMC_FUZZ_SEEDS beats the default. Bare --fuzz defers to the env var —
+    // the CI/nightly widening knob — while --fuzz-seed=N alone stays a
+    // single-program run.
+    uint64_t count = 1;
+    if (fuzz_count > 0 || flag_set(argc, argv, "fuzz")) {
+      const fuzz::SeedPlan plan =
+          fuzz::SeedPlan::resolve(10, fuzz_count > 0 ? fuzz_count : -1, base);
+      count = plan.count;
+      json.add("fuzz_seed_source", std::string(to_string(plan.source)));
+    }
     json.add("preemptions", fopts.explore.preemption_bound);
     json.add("horizon", fopts.explore.horizon);
     const int rc = run_fuzz(base, count, flag_set(argc, argv, "seed-bug"),

@@ -866,6 +866,7 @@ CheckReport CheckSession::check(const CheckTarget& target) const {
   rep.failing = r.failing;
   rep.max_decision_points = r.max_decision_points;
   rep.truncated = r.truncated;
+  rep.trace_hashes = r.trace_hashes;
   rep.ok = r.failing == 0;
   if (rep.ok) return rep;
 

@@ -354,6 +354,13 @@ struct CheckReport {
   DecisionString minimized_schedule;
   std::string minimized_message;
 
+  /// Every distinct hb-class hash of the explored space, sorted ascending
+  /// (only when SessionOptions::explore.collect_trace_hashes). Deterministic
+  /// for (target, options) like the other non-telemetry fields — the fixed
+  /// schedule tree visits the same classes on every engine and job count —
+  /// but excluded from to_text(), whose byte layout predates the field.
+  std::vector<uint64_t> trace_hashes;
+
   /// Session observability; the only non-deterministic field.
   SessionTelemetry telemetry;
 

@@ -219,6 +219,10 @@ ExploreReport Explorer::explore(const ExploreConfig& cfg) {
     for (FrontierNode& child : children) stack.push_back(std::move(child));
   }
   rep.distinct_traces = traces.size();
+  if (cfg.collect_trace_hashes) {
+    rep.trace_hashes.assign(traces.begin(), traces.end());
+    std::sort(rep.trace_hashes.begin(), rep.trace_hashes.end());
+  }
   // Close the curve and the progress stream on the final totals.
   if (cfg.sample_hb_curve && rep.explored > 0 &&
       (rep.explored & (rep.explored - 1)) != 0) {

@@ -90,6 +90,13 @@ struct ExploreConfig {
   /// schedules. Costs one shared set insertion per schedule under the
   /// parallel engine, so off by default.
   bool sample_hb_curve = false;
+  /// Export the full set of distinct trace hashes into
+  /// ExploreReport::trace_hashes (sorted ascending). The schedule tree is a
+  /// fixed function of (program, bounds), so the exported set — unlike the
+  /// discovery *curve* — is identical across engines and job counts: the
+  /// coverage signal the fuzzing farm's corpus keys on (DESIGN.md §14).
+  /// Off by default to avoid materializing huge spaces.
+  bool collect_trace_hashes = false;
 };
 
 /// Verdict of one schedule, produced by the runner.
@@ -141,6 +148,11 @@ struct ExploreReport {
   /// order-dependent (wall-clock-ish) for the parallel one. Telemetry-only,
   /// excluded from CheckReport::to_text like the snapshot counters.
   std::vector<uint64_t> hb_curve;
+  /// Every distinct hb-class hash seen, sorted ascending (only when
+  /// ExploreConfig::collect_trace_hashes; empty otherwise). Deterministic
+  /// across engines, engine states, and job counts (absent truncation) —
+  /// the contract tests/explore/test_hb_stability.cpp locks.
+  std::vector<uint64_t> trace_hashes;
   /// Successful steals per worker (parallel engine; empty for the
   /// sequential one). Telemetry-only.
   std::vector<uint64_t> worker_steals;

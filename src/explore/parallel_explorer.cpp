@@ -204,10 +204,20 @@ ExploreReport ParallelExplorer::explore(const ExploreConfig& cfg) {
       cfg.progress({rep.explored, rep.pruned, rep.dpor_pruned, rep.failing,
                     rep.distinct_traces, cfg.max_schedules});
     }
+    if (cfg.collect_trace_hashes) {
+      rep.trace_hashes.assign(live_set.begin(), live_set.end());
+      std::sort(rep.trace_hashes.begin(), rep.trace_hashes.end());
+    }
   } else {
     std::unordered_set<uint64_t> merged;
     for (auto& s : traces) merged.insert(s.begin(), s.end());
     rep.distinct_traces = merged.size();
+    if (cfg.collect_trace_hashes) {
+      // The tree is the same at any job count, so the sorted merge of the
+      // per-worker sets equals the sequential engine's export byte for byte.
+      rep.trace_hashes.assign(merged.begin(), merged.end());
+      std::sort(rep.trace_hashes.begin(), rep.trace_hashes.end());
+    }
   }
   rep.worker_steals = std::move(steals);
   for (auto& f : fails) {

@@ -1,8 +1,5 @@
 #include "explore/program_gen.h"
 
-#include <cstdlib>
-#include <numeric>
-
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -88,12 +85,17 @@ GenProgram generate_program(const ProgramShape& shape) {
         op.kind = GenOp::Kind::kNested;
         op.obj2 = static_cast<int>(rng.next_below(nobjs));
         op.arg = 1 + static_cast<uint32_t>(rng.next_below(9));
-        if (op.obj2 == op.obj) op.kind = GenOp::Kind::kUpdate;  // no self-nest
+        if (op.obj2 == op.obj) {  // no self-nest
+          op.kind = GenOp::Kind::kUpdate;
+          op.obj2 = 0;
+        }
       } else if (r < (edge += shape.compute_pct)) {
         op.kind = GenOp::Kind::kCompute;
+        op.obj = 0;  // dead field: keep ops canonical so they round-trip
         op.arg = static_cast<uint32_t>(rng.next_below(60));
       } else if (r < (edge += shape.fence_pct)) {
         op.kind = GenOp::Kind::kFence;
+        op.obj = 0;  // dead field
       } else {
         op.kind = GenOp::Kind::kUpdate;
         op.arg = 1 + static_cast<uint32_t>(rng.next_below(9));
@@ -189,18 +191,6 @@ std::string to_string(const GenProgram& prog) {
     out += "\n";
   }
   return out;
-}
-
-std::vector<uint64_t> fuzz_seeds(int def) {
-  int64_t n = def;
-  if (const char* env = std::getenv("PMC_FUZZ_SEEDS")) {
-    n = std::atoll(env);
-  }
-  if (n < 1) n = 1;
-  if (n > 10'000) n = 10'000;
-  std::vector<uint64_t> seeds(static_cast<size_t>(n));
-  std::iota(seeds.begin(), seeds.end(), UINT64_C(0));
-  return seeds;
 }
 
 ProgramShape shape_for_seed(uint64_t seed) {

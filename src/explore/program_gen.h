@@ -100,11 +100,6 @@ std::string to_string(const GenOp& op);
 /// reports of minimized programs.
 std::string to_string(const GenProgram& prog);
 
-/// Seed list for fuzz suites: `def` seeds (0..def-1) by default; the
-/// PMC_FUZZ_SEEDS environment variable overrides the count (clamped to
-/// [1, 10000]) so CI/nightly can widen coverage without a code change.
-std::vector<uint64_t> fuzz_seeds(int def = 10);
-
 /// The canonical shape the fuzz suites and `explore_litmus --fuzz` derive
 /// from a bare seed: small core/step counts vary with the seed so the
 /// schedule space stays explorable, densities stay at their defaults.

@@ -1,0 +1,328 @@
+#include "fuzz/json_read.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace pmc::fuzz {
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  const std::string& origin;
+  size_t pos = 0;
+  int line = 1;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    PMC_CHECK_MSG(false, origin << ":" << line << ": " << msg);
+    std::abort();  // unreachable; PMC_CHECK_MSG throws
+  }
+
+  bool eof() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  char take() {
+    const char c = text[pos++];
+    if (c == '\n') ++line;
+    return c;
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        take();
+      } else {
+        break;
+      }
+    }
+  }
+
+  void expect(char c) {
+    if (eof() || peek() != c) {
+      fail(std::string("expected '") + c + "', got " +
+           (eof() ? std::string("end of input")
+                  : "'" + std::string(1, peek()) + "'"));
+    }
+    take();
+  }
+
+  bool consume_keyword(const char* word) {
+    const size_t n = std::char_traits<char>::length(word);
+    if (text.compare(pos, n, word) != 0) return false;
+    pos += n;  // keywords contain no newline
+    return true;
+  }
+
+  std::string parse_string_body() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (eof()) fail("unterminated string");
+      const char c = take();
+      if (c == '"') return out;
+      if (c == '\n') fail("raw newline in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) fail("unterminated escape");
+      const char e = take();
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          // The corpus writer only emits \u00XX control escapes; decode the
+          // BMP code point as its low byte for those and reject the rest —
+          // corpus text fields are ASCII identifiers and repro lines.
+          unsigned v = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(peek()))) {
+              fail("bad \\u escape");
+            }
+            const char h = take();
+            v = v * 16 + static_cast<unsigned>(
+                             h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+          }
+          if (v > 0xff) fail("non-ASCII \\u escape unsupported in corpus files");
+          out.push_back(static_cast<char>(v));
+          break;
+        }
+        default:
+          fail(std::string("unknown escape '\\") + e + "'");
+      }
+    }
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > 64) fail("nesting deeper than 64 levels");
+    skip_ws();
+    if (eof()) fail("expected a value, got end of input");
+    JsonValue v;
+    v.line = line;
+    const char c = peek();
+    if (c == '{') {
+      take();
+      v.kind = JsonValue::Kind::kObject;
+      skip_ws();
+      if (!eof() && peek() == '}') {
+        take();
+        return v;
+      }
+      for (;;) {
+        skip_ws();
+        if (eof() || peek() != '"') fail("expected a member key string");
+        std::string key = parse_string_body();
+        skip_ws();
+        expect(':');
+        JsonValue member = parse_value(depth + 1);
+        for (const auto& [k, ignored] : v.members) {
+          (void)ignored;
+          if (k == key) fail("duplicate key \"" + key + "\"");
+        }
+        v.members.emplace_back(std::move(key), std::move(member));
+        skip_ws();
+        if (!eof() && peek() == ',') {
+          take();
+          continue;
+        }
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      take();
+      v.kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (!eof() && peek() == ']') {
+        take();
+        return v;
+      }
+      for (;;) {
+        v.items.push_back(parse_value(depth + 1));
+        skip_ws();
+        if (!eof() && peek() == ',') {
+          take();
+          continue;
+        }
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.literal = parse_string_body();
+      return v;
+    }
+    if (c == 't') {
+      if (!consume_keyword("true")) fail("bad keyword");
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (c == 'f') {
+      if (!consume_keyword("false")) fail("bad keyword");
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = false;
+      return v;
+    }
+    if (c == 'n') {
+      if (!consume_keyword("null")) fail("bad keyword");
+      v.kind = JsonValue::Kind::kNull;
+      return v;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      v.kind = JsonValue::Kind::kNumber;
+      const size_t start = pos;
+      if (peek() == '-') take();
+      while (!eof() && ((peek() >= '0' && peek() <= '9') || peek() == '.' ||
+                        peek() == 'e' || peek() == 'E' || peek() == '+' ||
+                        peek() == '-')) {
+        take();
+      }
+      v.literal = text.substr(start, pos - start);
+      if (v.literal.empty() || v.literal == "-") fail("bad number");
+      return v;
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+};
+
+[[noreturn]] void field_fail(const std::string& origin, int line,
+                             const std::string& field,
+                             const std::string& msg) {
+  PMC_CHECK_MSG(false,
+                origin << ":" << line << ": field \"" << field << "\" " << msg);
+  std::abort();  // unreachable
+}
+
+}  // namespace
+
+const char* JsonValue::kind_name() const {
+  switch (kind) {
+    case Kind::kNull: return "null";
+    case Kind::kBool: return "bool";
+    case Kind::kNumber: return "number";
+    case Kind::kString: return "string";
+    case Kind::kArray: return "array";
+    case Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::get(const std::string& key,
+                                const std::string& origin,
+                                const std::string& field) const {
+  require_object(origin, field.empty() ? key : field);
+  const JsonValue* v = find(key);
+  if (v == nullptr) {
+    field_fail(origin, line, field.empty() ? key : field, "is missing");
+  }
+  return *v;
+}
+
+uint64_t JsonValue::as_u64(const std::string& origin,
+                           const std::string& field) const {
+  if (kind != Kind::kNumber) {
+    field_fail(origin, line, field,
+               std::string("must be a number, got ") + kind_name());
+  }
+  if (!literal.empty() && literal[0] == '-') {
+    field_fail(origin, line, field, "must be non-negative, got " + literal);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(literal.c_str(), &end, 10);
+  if (errno == ERANGE || end == nullptr || *end != '\0') {
+    field_fail(origin, line, field,
+               "is not an exact unsigned integer: " + literal);
+  }
+  return static_cast<uint64_t>(v);
+}
+
+int64_t JsonValue::as_int(const std::string& origin,
+                          const std::string& field) const {
+  if (kind != Kind::kNumber) {
+    field_fail(origin, line, field,
+               std::string("must be a number, got ") + kind_name());
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(literal.c_str(), &end, 10);
+  if (errno == ERANGE || end == nullptr || *end != '\0') {
+    field_fail(origin, line, field, "is not an exact integer: " + literal);
+  }
+  return static_cast<int64_t>(v);
+}
+
+bool JsonValue::as_bool(const std::string& origin,
+                        const std::string& field) const {
+  if (kind != Kind::kBool) {
+    field_fail(origin, line, field,
+               std::string("must be true or false, got ") + kind_name());
+  }
+  return boolean;
+}
+
+const std::string& JsonValue::as_string(const std::string& origin,
+                                        const std::string& field) const {
+  if (kind != Kind::kString) {
+    field_fail(origin, line, field,
+               std::string("must be a string, got ") + kind_name());
+  }
+  return literal;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array(
+    const std::string& origin, const std::string& field) const {
+  if (kind != Kind::kArray) {
+    field_fail(origin, line, field,
+               std::string("must be an array, got ") + kind_name());
+  }
+  return items;
+}
+
+void JsonValue::require_object(const std::string& origin,
+                               const std::string& field) const {
+  if (kind != Kind::kObject) {
+    field_fail(origin, line, field,
+               std::string("must be an object, got ") + kind_name());
+  }
+}
+
+JsonValue json_parse(const std::string& text, const std::string& origin) {
+  Parser p{text, origin};
+  JsonValue v = p.parse_value(0);
+  p.skip_ws();
+  if (!p.eof()) p.fail("trailing content after the document");
+  return v;
+}
+
+JsonValue json_parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PMC_CHECK_MSG(in.good(), "cannot open " << path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return json_parse(buf.str(), path);
+}
+
+}  // namespace pmc::fuzz

@@ -1,0 +1,64 @@
+// Minimal JSON reader for the fuzzing-farm corpus files (DESIGN.md §14).
+//
+// The obs layer deliberately only *emits* JSON; the corpus service is the
+// first subsystem in src/ that must read its own files back, so it gets a
+// small recursive-descent parser here rather than a dependency. Two design
+// points follow the MachineConfig parser (sim/machine_config.cpp):
+//
+//  * every error is a util::CheckFailure naming `origin:line` plus the
+//    offending token or field — a corrupted corpus entry in a CPU-day soak
+//    must point at the bad byte, not "parse error";
+//  * numbers keep their raw literal text. Corpus hashes are full uint64
+//    values that a double round-trip would corrupt, so typed accessors
+//    (as_u64, as_int) parse the literal exactly, and re-emission is
+//    byte-faithful.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pmc::fuzz {
+
+/// One parsed JSON value. Object member order is preserved (the corpus
+/// writer emits keys in a canonical order; preserving it keeps load → save
+/// byte-identical). `line` is the 1-based line the value started on, for
+/// field-level error messages after parsing succeeded.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::string literal;  // kNumber: raw text; kString: decoded bytes
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+  int line = 0;
+
+  const char* kind_name() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  // Typed accessors. `origin` and `field` name the file and the
+  // dotted field path in the CheckFailure on a kind or range mismatch.
+  const JsonValue& get(const std::string& key, const std::string& origin,
+                       const std::string& field) const;
+  uint64_t as_u64(const std::string& origin, const std::string& field) const;
+  int64_t as_int(const std::string& origin, const std::string& field) const;
+  bool as_bool(const std::string& origin, const std::string& field) const;
+  const std::string& as_string(const std::string& origin,
+                               const std::string& field) const;
+  const std::vector<JsonValue>& as_array(const std::string& origin,
+                                         const std::string& field) const;
+  void require_object(const std::string& origin,
+                      const std::string& field) const;
+};
+
+/// Parses one JSON document. Throws util::CheckFailure ("origin:line: ...")
+/// on malformed input, including trailing garbage after the document.
+JsonValue json_parse(const std::string& text, const std::string& origin);
+
+/// Reads and parses `path`; the file name is the error origin.
+JsonValue json_parse_file(const std::string& path);
+
+}  // namespace pmc::fuzz

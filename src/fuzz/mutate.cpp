@@ -1,0 +1,300 @@
+#include "fuzz/mutate.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pmc::fuzz {
+
+using explore::GenOp;
+using explore::GenProgram;
+using explore::ProgramShape;
+
+namespace {
+
+size_t barrier_count(const std::vector<GenOp>& ops) {
+  size_t n = 0;
+  for (const GenOp& op : ops) {
+    if (op.kind == GenOp::Kind::kBarrier) ++n;
+  }
+  return n;
+}
+
+/// A fresh random non-barrier op, same distribution family as the
+/// generator's per-slot draw.
+GenOp random_op(util::Rng& rng, int objects) {
+  GenOp op;
+  op.obj = static_cast<int>(rng.next_below(static_cast<uint64_t>(objects)));
+  const auto r = static_cast<int>(rng.next_below(100));
+  if (r < 20) {
+    op.kind = GenOp::Kind::kReadOnly;
+  } else if (r < 30) {
+    op.kind = GenOp::Kind::kNested;
+    op.obj2 =
+        static_cast<int>(rng.next_below(static_cast<uint64_t>(objects)));
+    op.arg = 1 + static_cast<uint32_t>(rng.next_below(9));
+    if (op.obj2 == op.obj) {  // no self-nest
+      op.kind = GenOp::Kind::kUpdate;
+      op.obj2 = 0;
+    }
+  } else if (r < 45) {
+    op.kind = GenOp::Kind::kCompute;
+    op.obj = 0;  // dead field: keep ops canonical so they round-trip
+    op.arg = static_cast<uint32_t>(rng.next_below(60));
+  } else if (r < 50) {
+    op.kind = GenOp::Kind::kFence;
+    op.obj = 0;  // dead field
+  } else {
+    op.kind = GenOp::Kind::kUpdate;
+    op.arg = 1 + static_cast<uint32_t>(rng.next_below(9));
+    if (rng.chance(20, 100)) {
+      op.flush = true;
+      op.arg2 = 1 + static_cast<uint32_t>(rng.next_below(9));
+    }
+  }
+  return op;
+}
+
+/// Position of the k-th barrier in `ops`, or ops.size() when k is past the
+/// last one.
+size_t barrier_pos(const std::vector<GenOp>& ops, size_t k) {
+  size_t seen = 0;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind != GenOp::Kind::kBarrier) continue;
+    if (seen == k) return i;
+    ++seen;
+  }
+  return ops.size();
+}
+
+bool mutate_drop(GenProgram& prog, util::Rng& rng) {
+  if (prog.ops() == 0) return false;
+  const int t = static_cast<int>(
+      rng.next_below(static_cast<uint64_t>(prog.threads.size())));
+  auto& ops = prog.threads[static_cast<size_t>(t)];
+  if (ops.empty()) return false;
+  const size_t i = rng.next_below(ops.size());
+  return prog.drop(t, i);
+}
+
+bool mutate_insert_op(GenProgram& prog, util::Rng& rng,
+                      const MutationLimits& limits) {
+  const int t = static_cast<int>(
+      rng.next_below(static_cast<uint64_t>(prog.threads.size())));
+  auto& ops = prog.threads[static_cast<size_t>(t)];
+  if (ops.size() >= limits.max_ops_per_thread) return false;
+  const size_t pos = rng.next_below(ops.size() + 1);
+  ops.insert(ops.begin() + static_cast<ptrdiff_t>(pos),
+             random_op(rng, prog.shape.objects));
+  return true;
+}
+
+bool mutate_insert_barrier(GenProgram& prog, util::Rng& rng,
+                           const MutationLimits& limits) {
+  for (const auto& ops : prog.threads) {
+    if (ops.size() >= limits.max_ops_per_thread) return false;
+  }
+  // Segment k runs from barrier k-1 (exclusive) to barrier k; inserting one
+  // new barrier somewhere inside segment k of *every* thread keeps the
+  // per-thread barrier counts equal, which is all deadlock freedom needs.
+  const size_t segments = barrier_count(prog.threads[0]) + 1;
+  const size_t k = rng.next_below(segments);
+  for (auto& ops : prog.threads) {
+    const size_t lo = k == 0 ? 0 : barrier_pos(ops, k - 1) + 1;
+    const size_t hi = barrier_pos(ops, k);
+    const size_t pos = lo + rng.next_below(hi - lo + 1);
+    ops.insert(ops.begin() + static_cast<ptrdiff_t>(pos),
+               GenOp{GenOp::Kind::kBarrier});
+  }
+  return true;
+}
+
+bool mutate_swap(GenProgram& prog, util::Rng& rng) {
+  const int t = static_cast<int>(
+      rng.next_below(static_cast<uint64_t>(prog.threads.size())));
+  auto& ops = prog.threads[static_cast<size_t>(t)];
+  if (ops.size() < 2) return false;
+  const size_t i = rng.next_below(ops.size() - 1);
+  if (ops[i].kind == GenOp::Kind::kBarrier ||
+      ops[i + 1].kind == GenOp::Kind::kBarrier) {
+    return false;  // never move an op across a barrier
+  }
+  std::swap(ops[i], ops[i + 1]);
+  return true;
+}
+
+bool mutate_tweak_arg(GenProgram& prog, util::Rng& rng) {
+  const int t = static_cast<int>(
+      rng.next_below(static_cast<uint64_t>(prog.threads.size())));
+  auto& ops = prog.threads[static_cast<size_t>(t)];
+  if (ops.empty()) return false;
+  GenOp& op = ops[rng.next_below(ops.size())];
+  switch (op.kind) {
+    case GenOp::Kind::kUpdate:
+      op.arg = 1 + static_cast<uint32_t>(rng.next_below(9));
+      op.flush = rng.chance(20, 100);
+      op.arg2 = op.flush ? 1 + static_cast<uint32_t>(rng.next_below(9)) : 0;
+      return true;
+    case GenOp::Kind::kNested:
+      op.arg = 1 + static_cast<uint32_t>(rng.next_below(9));
+      return true;
+    case GenOp::Kind::kCompute:
+      op.arg = static_cast<uint32_t>(rng.next_below(60));
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool mutate_retarget(GenProgram& prog, util::Rng& rng) {
+  const int t = static_cast<int>(
+      rng.next_below(static_cast<uint64_t>(prog.threads.size())));
+  auto& ops = prog.threads[static_cast<size_t>(t)];
+  if (ops.empty()) return false;
+  GenOp& op = ops[rng.next_below(ops.size())];
+  const auto objects = static_cast<uint64_t>(prog.shape.objects);
+  switch (op.kind) {
+    case GenOp::Kind::kUpdate:
+    case GenOp::Kind::kReadOnly:
+      op.obj = static_cast<int>(rng.next_below(objects));
+      return true;
+    case GenOp::Kind::kNested:
+      op.obj = static_cast<int>(rng.next_below(objects));
+      if (op.obj2 == op.obj) {
+        // Keep the no-self-nest invariant the way the generator does:
+        // a nested op that would self-nest collapses to a plain update.
+        op.kind = GenOp::Kind::kUpdate;
+        op.obj2 = 0;
+      }
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool mutate_reshape(GenProgram& prog, util::Rng& rng,
+                    const MutationLimits& limits) {
+  // Density/dimension shift: jitter the parent's shape, re-seed, and
+  // regenerate. This is the one operator that escapes the canonical
+  // per-seed distribution entirely (new core counts, new step counts, new
+  // op-mix densities), which is where most unseen hb-classes live.
+  ProgramShape shape = prog.shape;
+  shape.seed = rng.next_u64();
+  const auto jitter = [&rng](int v, int lo, int hi, int amt) {
+    v += static_cast<int>(rng.next_below(static_cast<uint64_t>(2 * amt + 1))) -
+         amt;
+    return std::clamp(v, lo, hi);
+  };
+  shape.cores = jitter(shape.cores, 2, limits.max_cores, 1);
+  shape.objects = jitter(shape.objects, 2, limits.max_objects, 1);
+  shape.steps = jitter(shape.steps, 2, limits.max_steps, 2);
+  shape.flush_pct = jitter(shape.flush_pct, 0, 60, 10);
+  shape.barrier_pct = jitter(shape.barrier_pct, 0, 40, 10);
+  shape.ro_pct = jitter(shape.ro_pct, 0, 50, 10);
+  shape.nested_pct = jitter(shape.nested_pct, 0, 40, 10);
+  shape.compute_pct = jitter(shape.compute_pct, 0, 40, 10);
+  shape.fence_pct = jitter(shape.fence_pct, 0, 30, 10);
+  prog = explore::generate_program(shape);
+  return true;
+}
+
+}  // namespace
+
+bool well_formed(const GenProgram& prog, std::string* why) {
+  const auto bad = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (prog.threads.empty() ||
+      static_cast<int>(prog.threads.size()) != prog.shape.cores) {
+    return bad("thread count " + std::to_string(prog.threads.size()) +
+               " does not match shape.cores " +
+               std::to_string(prog.shape.cores));
+  }
+  if (prog.shape.objects < 1) return bad("shape.objects must be >= 1");
+  const size_t barriers = barrier_count(prog.threads[0]);
+  for (size_t t = 0; t < prog.threads.size(); ++t) {
+    if (barrier_count(prog.threads[t]) != barriers) {
+      return bad("thread " + std::to_string(t) + " has " +
+                 std::to_string(barrier_count(prog.threads[t])) +
+                 " barrier(s), thread 0 has " + std::to_string(barriers) +
+                 " — unequal counts deadlock the program");
+    }
+    for (size_t i = 0; i < prog.threads[t].size(); ++i) {
+      const GenOp& op = prog.threads[t][i];
+      const auto at = [&] {
+        return "op " + std::to_string(i) + " of thread " + std::to_string(t);
+      };
+      if (op.obj < 0 || op.obj >= prog.shape.objects) {
+        return bad(at() + " targets object x" + std::to_string(op.obj) +
+                   ", outside [0," + std::to_string(prog.shape.objects) + ")");
+      }
+      if (op.kind == GenOp::Kind::kNested) {
+        if (op.obj2 < 0 || op.obj2 >= prog.shape.objects) {
+          return bad(at() + " reads object x" + std::to_string(op.obj2) +
+                     ", outside [0," + std::to_string(prog.shape.objects) +
+                     ")");
+        }
+        if (op.obj2 == op.obj) {
+          return bad(at() + " self-nests on object x" +
+                     std::to_string(op.obj));
+        }
+      }
+      if ((op.kind == GenOp::Kind::kUpdate ||
+           op.kind == GenOp::Kind::kNested) &&
+          op.arg == 0) {
+        return bad(at() + " has a zero addend");
+      }
+    }
+  }
+  return true;
+}
+
+GenProgram mutate(const GenProgram& parent, util::Rng& rng,
+                  const MutationLimits& limits, std::string* what) {
+  PMC_CHECK_MSG(well_formed(parent), "mutate() needs a well-formed parent");
+  // A weighted draw per attempt; operators that cannot apply (empty thread,
+  // size cap) fall through to the next attempt so mutate() always returns a
+  // changed program.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    GenProgram child = parent;
+    const uint64_t r = rng.next_below(100);
+    const char* tag = nullptr;
+    bool applied = false;
+    if (r < 25) {
+      tag = "insert-op";
+      applied = mutate_insert_op(child, rng, limits);
+    } else if (r < 45) {
+      tag = "reshape";
+      applied = mutate_reshape(child, rng, limits);
+    } else if (r < 60) {
+      tag = "tweak-arg";
+      applied = mutate_tweak_arg(child, rng);
+    } else if (r < 75) {
+      tag = "retarget-obj";
+      applied = mutate_retarget(child, rng);
+    } else if (r < 85) {
+      tag = "swap-ops";
+      applied = mutate_swap(child, rng);
+    } else if (r < 90) {
+      tag = "insert-barrier";
+      applied = mutate_insert_barrier(child, rng, limits);
+    } else {
+      tag = "drop-op";
+      applied = mutate_drop(child, rng);
+    }
+    if (!applied || child == parent) continue;
+    PMC_CHECK_MSG(well_formed(child),
+                  "mutation '" << tag << "' broke a program invariant");
+    if (what != nullptr) *what = tag;
+    return child;
+  }
+  // Statistically unreachable (insert-op only saturates at the cap); fall
+  // back to a reshape, which always applies.
+  GenProgram child = parent;
+  mutate_reshape(child, rng, limits);
+  if (what != nullptr) *what = "reshape";
+  return child;
+}
+
+}  // namespace pmc::fuzz

@@ -1,0 +1,52 @@
+// Deterministic GenProgram mutation for the coverage-guided farm
+// (DESIGN.md §14).
+//
+// Every mutation preserves the three invariants that make a generated
+// program a legal differential-oracle input:
+//
+//  * structure — thread count matches shape.cores, every op's objects lie
+//    in [0, shape.objects), nested ops never self-nest;
+//  * deadlock freedom — every thread executes the same number of barriers
+//    (the real invariant behind the generator's slot alignment; positions
+//    between barriers are free), and at most one exclusive section is held
+//    at a time because ops are themselves section-balanced;
+//  * the oracle — expected_final() is recomputed from the mutated op list,
+//    so a mutant keeps its closed form by construction: any edit to the
+//    addends edits the oracle with it.
+//
+// Mutations are pure functions of (parent, Rng state): the farm replays a
+// run bit-exactly from its --seed. The operator mix is growth-biased
+// (insert/reshape over drop) because reaching *new* hb-classes usually
+// means reaching schedule spaces the canonical per-seed shapes cannot
+// express — more ops, more objects, more cores.
+#pragma once
+
+#include <string>
+
+#include "explore/program_gen.h"
+#include "util/rng.h"
+
+namespace pmc::fuzz {
+
+/// Growth bounds for mutants: programs stay small enough that a bounded
+/// exploration still covers an interesting fraction of their schedule
+/// space. Caps are inclusive.
+struct MutationLimits {
+  int max_cores = 4;
+  int max_objects = 5;
+  int max_steps = 8;              // reshape regeneration cap
+  size_t max_ops_per_thread = 18;  // insert cap
+};
+
+/// True when `prog` satisfies the structural + deadlock-freedom invariants
+/// above. On failure, `why` (when non-null) names the first violation —
+/// the corpus loader turns it into an origin:line error.
+bool well_formed(const explore::GenProgram& prog, std::string* why = nullptr);
+
+/// One mutation of `parent`. `what` (when non-null) receives a short
+/// operator tag ("insert-op", "reshape", ...) for telemetry.
+explore::GenProgram mutate(const explore::GenProgram& parent, util::Rng& rng,
+                           const MutationLimits& limits = {},
+                           std::string* what = nullptr);
+
+}  // namespace pmc::fuzz

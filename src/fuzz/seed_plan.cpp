@@ -1,0 +1,55 @@
+#include "fuzz/seed_plan.h"
+
+#include <cstdlib>
+#include <numeric>
+
+namespace pmc::fuzz {
+
+namespace {
+
+uint64_t clamp_width(int64_t n) {
+  if (n < 1) return 1;
+  if (n > 10'000) return 10'000;
+  return static_cast<uint64_t>(n);
+}
+
+}  // namespace
+
+std::vector<uint64_t> SeedPlan::seeds() const {
+  std::vector<uint64_t> out(static_cast<size_t>(count));
+  std::iota(out.begin(), out.end(), base);
+  return out;
+}
+
+SeedPlan SeedPlan::resolve(int def, int64_t flag_count, uint64_t base) {
+  SeedPlan plan;
+  plan.base = base;
+  if (flag_count >= 0) {
+    plan.count = clamp_width(flag_count);
+    plan.source = Source::kFlag;
+    return plan;
+  }
+  if (const char* env = std::getenv("PMC_FUZZ_SEEDS")) {
+    plan.count = clamp_width(std::atoll(env));
+    plan.source = Source::kEnv;
+    return plan;
+  }
+  plan.count = clamp_width(def);
+  plan.source = Source::kDefault;
+  return plan;
+}
+
+const char* to_string(SeedPlan::Source source) {
+  switch (source) {
+    case SeedPlan::Source::kDefault: return "default";
+    case SeedPlan::Source::kEnv: return "env";
+    case SeedPlan::Source::kFlag: return "flag";
+  }
+  return "?";
+}
+
+std::vector<uint64_t> seed_sweep(int def) {
+  return SeedPlan::resolve(def).seeds();
+}
+
+}  // namespace pmc::fuzz

@@ -53,10 +53,16 @@ void SimEnv::exit(ObjId obj, bool exclusive) {
   PMC_CHECK_MSG(s.exclusive == exclusive,
                 "exit kind does not match entry kind for " << s.desc->name);
   if (s.exclusive && s.dirty) publish_version(s);
-  rt_.backend->exit(core_, s);
   if (rt_.validate && s.exclusive) {
+    // Recorded *before* backend->exit physically releases the lock: the
+    // release's store is a scheduling point, so a waiter blocked in
+    // acquire() can otherwise complete and log its acquire first — the
+    // validator then sees acq before rel, builds no sync edge, and flags
+    // two properly-locked writes as a race. (Found by the fuzz farm:
+    // tests/fuzz/test_farm.cpp, HandoffOrderRegression.)
     rt_.trace.push_back(model::TraceEvent::release(id(), obj));
   }
+  rt_.backend->exit(core_, s);
   open_[--num_open_] = Section{};
 }
 

@@ -10,6 +10,7 @@
 
 #include "explore/check.h"
 #include "explore/litmus_driver.h"
+#include "fuzz/seed_plan.h"
 #include "runtime/program.h"
 
 namespace pmc::explore {
@@ -52,7 +53,7 @@ TEST(ProgramGen, GenerationIsDeterministicAndShaped) {
 }
 
 TEST(ProgramGen, BarriersStaySlotAlignedAcrossThreads) {
-  for (uint64_t seed : fuzz_seeds(8)) {
+  for (uint64_t seed : fuzz::seed_sweep(8)) {
     ProgramShape shape = shape_for_seed(seed);
     shape.barrier_pct = 40;  // force several barriers
     const GenProgram prog = generate_program(shape);
@@ -92,7 +93,7 @@ TEST(ProgramGen, DroppingABarrierDropsItEverywhere) {
 TEST(ProgramGen, ClosedFormMatchesAHostRun) {
   // The host back-end is real hardware shared memory — an independent
   // implementation of the closed form.
-  for (uint64_t seed : fuzz_seeds(4)) {
+  for (uint64_t seed : fuzz::seed_sweep(4)) {
     const GenProgram prog = generate_program(shape_for_seed(seed));
     rt::ProgramOptions opts;
     opts.target = rt::Target::kHostSC;
@@ -127,7 +128,7 @@ TEST_P(DiffFuzzSeeds, EveryBackendValidatesAndAgreesOnEverySchedule) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DiffFuzzSeeds,
-                         ::testing::ValuesIn(fuzz_seeds(6)));
+                         ::testing::ValuesIn(fuzz::seed_sweep(6)));
 
 // -- Seeded-bug self-test ----------------------------------------------------
 

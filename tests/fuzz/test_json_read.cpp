@@ -1,0 +1,116 @@
+// The corpus-file JSON reader: exact-integer round trips and origin:line
+// error naming, in the MachineConfig parser's style.
+#include "fuzz/json_read.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace pmc::fuzz {
+namespace {
+
+/// Runs `fn` and returns the CheckFailure message it must throw.
+template <typename Fn>
+std::string error_of(Fn fn) {
+  try {
+    fn();
+  } catch (const util::CheckFailure& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected a CheckFailure";
+  return {};
+}
+
+TEST(JsonRead, ParsesTheCorpusShapes) {
+  const JsonValue v = json_parse(
+      R"({"version": 1, "names": ["a", "b"], "nested": {"flag": true},
+          "empty": [], "none": null})",
+      "t");
+  EXPECT_EQ(v.get("version", "t", "version").as_u64("t", "version"), 1u);
+  const auto& names = v.get("names", "t", "names").as_array("t", "names");
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[1].as_string("t", "names[]"), "b");
+  EXPECT_TRUE(v.get("nested", "t", "nested")
+                  .get("flag", "t", "nested.flag")
+                  .as_bool("t", "nested.flag"));
+  EXPECT_TRUE(v.get("empty", "t", "empty").as_array("t", "empty").empty());
+  EXPECT_EQ(v.get("none", "t", "none").kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(v.find("absent"), nullptr);
+}
+
+TEST(JsonRead, Uint64HashesRoundTripExactly) {
+  // Full-range hb-class hashes; a double bounce would corrupt these, which
+  // is why numbers keep their raw literal text.
+  const JsonValue v = json_parse("[18446744073709551615, 9007199254740993]",
+                                 "t");
+  const auto& items = v.as_array("t", "root");
+  EXPECT_EQ(items[0].as_u64("t", "root[]"), 18446744073709551615ull);
+  EXPECT_EQ(items[1].as_u64("t", "root[]"), 9007199254740993ull);
+  EXPECT_EQ(items[0].literal, "18446744073709551615");
+}
+
+TEST(JsonRead, StringEscapesDecode) {
+  const JsonValue v = json_parse(R"("a\"b\\c\n\tA")", "t");
+  EXPECT_EQ(v.as_string("t", "root"), "a\"b\\c\n\tA");
+}
+
+TEST(JsonRead, ErrorsNameOriginLineAndField) {
+  const std::string missing = error_of([] {
+    const JsonValue v = json_parse("{\n  \"a\": 1\n}", "corpus.json");
+    v.get("next_id", "corpus.json", "next_id");
+  });
+  EXPECT_NE(missing.find("corpus.json:1"), std::string::npos) << missing;
+  EXPECT_NE(missing.find("\"next_id\" is missing"), std::string::npos)
+      << missing;
+
+  const std::string wrong_kind = error_of([] {
+    const JsonValue v = json_parse("{\n\n  \"execs\": \"many\"\n}", "s.json");
+    v.get("execs", "s.json", "stats.execs").as_u64("s.json", "stats.execs");
+  });
+  EXPECT_NE(wrong_kind.find("s.json:3"), std::string::npos) << wrong_kind;
+  EXPECT_NE(wrong_kind.find("\"stats.execs\" must be a number, got string"),
+            std::string::npos)
+      << wrong_kind;
+}
+
+TEST(JsonRead, RejectsInexactIntegers) {
+  const JsonValue v = json_parse("{\"a\": 3.5, \"b\": -2}", "t");
+  const std::string frac = error_of(
+      [&] { v.get("a", "t", "a").as_u64("t", "a"); });
+  EXPECT_NE(frac.find("not an exact unsigned integer"), std::string::npos)
+      << frac;
+  const std::string neg = error_of(
+      [&] { v.get("b", "t", "b").as_u64("t", "b"); });
+  EXPECT_NE(neg.find("must be non-negative"), std::string::npos) << neg;
+  EXPECT_EQ(v.get("b", "t", "b").as_int("t", "b"), -2);
+}
+
+TEST(JsonRead, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"{", "[1,", "{\"a\" 1}", "{\"a\": 1} trailing", "tru",
+        "{\"a\": 1, \"a\": 2}", "\"unterminated"}) {
+    EXPECT_THROW(json_parse(bad, "t"), util::CheckFailure) << bad;
+  }
+  const std::string dup =
+      error_of([] { json_parse("{\"k\": 1,\n \"k\": 2}", "t"); });
+  EXPECT_NE(dup.find("duplicate key \"k\""), std::string::npos) << dup;
+}
+
+TEST(JsonRead, MemberOrderIsPreserved) {
+  // The corpus writer emits keys in canonical order; preserving it on read
+  // is what keeps load -> save byte-identical.
+  const JsonValue v = json_parse("{\"z\": 1, \"a\": 2, \"m\": 3}", "t");
+  ASSERT_EQ(v.members.size(), 3u);
+  EXPECT_EQ(v.members[0].first, "z");
+  EXPECT_EQ(v.members[1].first, "a");
+  EXPECT_EQ(v.members[2].first, "m");
+}
+
+TEST(JsonRead, MissingFileNamesThePath) {
+  const std::string err = error_of(
+      [] { json_parse_file("/nonexistent/corpus.json"); });
+  EXPECT_NE(err.find("/nonexistent/corpus.json"), std::string::npos) << err;
+}
+
+}  // namespace
+}  // namespace pmc::fuzz

@@ -1,0 +1,146 @@
+// GenProgram mutation: deterministic, and every mutant keeps the three
+// invariants that make it a legal differential-oracle input (structure,
+// deadlock freedom via equal barrier counts, recomputed closed form).
+#include "fuzz/mutate.h"
+
+#include <gtest/gtest.h>
+
+#include "explore/program_gen.h"
+#include "util/rng.h"
+
+namespace pmc::fuzz {
+namespace {
+
+using explore::GenOp;
+using explore::GenProgram;
+using explore::ProgramShape;
+using explore::generate_program;
+using explore::shape_for_seed;
+
+size_t barriers(const std::vector<GenOp>& ops) {
+  size_t n = 0;
+  for (const GenOp& op : ops) {
+    if (op.kind == GenOp::Kind::kBarrier) ++n;
+  }
+  return n;
+}
+
+TEST(Mutate, DeterministicGivenRngState) {
+  const GenProgram parent = generate_program(shape_for_seed(3));
+  util::Rng a(7);
+  util::Rng b(7);
+  std::string what_a;
+  std::string what_b;
+  const GenProgram ca = mutate(parent, a, {}, &what_a);
+  const GenProgram cb = mutate(parent, b, {}, &what_b);
+  EXPECT_EQ(to_string(ca), to_string(cb));
+  EXPECT_EQ(what_a, what_b);
+  EXPECT_EQ(ca.shape.seed, cb.shape.seed);
+}
+
+TEST(Mutate, AlwaysReturnsAChangedWellFormedProgram) {
+  util::Rng rng(11);
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    const GenProgram parent = generate_program(shape_for_seed(seed));
+    for (int i = 0; i < 50; ++i) {
+      std::string what;
+      const GenProgram child = mutate(parent, rng, {}, &what);
+      EXPECT_FALSE(what.empty());
+      std::string why;
+      EXPECT_TRUE(well_formed(child, &why)) << what << ": " << why;
+      EXPECT_FALSE(child == parent && child.shape.seed == parent.shape.seed)
+          << what << " produced an identical program";
+    }
+  }
+}
+
+TEST(Mutate, LongChainsKeepEveryInvariant) {
+  // Chain mutations (each child becomes the next parent) — the farm's
+  // actual usage pattern — and check barrier alignment, caps, and the
+  // recomputed closed form at every step.
+  const MutationLimits limits;
+  util::Rng rng(99);
+  GenProgram prog = generate_program(shape_for_seed(1));
+  for (int step = 0; step < 300; ++step) {
+    prog = mutate(prog, rng, limits);
+    std::string why;
+    ASSERT_TRUE(well_formed(prog, &why)) << "step " << step << ": " << why;
+    ASSERT_LE(static_cast<int>(prog.threads.size()), limits.max_cores);
+    const size_t b0 = barriers(prog.threads[0]);
+    for (const auto& th : prog.threads) {
+      ASSERT_LE(th.size(), limits.max_ops_per_thread);
+      ASSERT_EQ(barriers(th), b0) << "step " << step;
+    }
+    // The oracle is recomputed from the op list: the closed form equals the
+    // sum of addends per object, whatever the mutation did.
+    for (int obj = 0; obj < prog.shape.objects; ++obj) {
+      uint32_t want = GenProgram::initial_value(obj);
+      for (const auto& th : prog.threads) {
+        for (const GenOp& op : th) {
+          if (op.obj != obj) continue;
+          if (op.kind == GenOp::Kind::kUpdate) {
+            want += op.arg + (op.flush ? op.arg2 : 0);
+          } else if (op.kind == GenOp::Kind::kNested) {
+            want += op.arg;
+          }
+        }
+      }
+      ASSERT_EQ(prog.expected_final(obj), want) << "step " << step;
+    }
+  }
+}
+
+TEST(Mutate, WellFormedNamesTheViolation) {
+  std::string why;
+
+  GenProgram unequal = generate_program(shape_for_seed(0));
+  unequal.threads[0].push_back({GenOp::Kind::kBarrier});
+  EXPECT_FALSE(well_formed(unequal, &why));
+  EXPECT_NE(why.find("deadlock"), std::string::npos) << why;
+
+  GenProgram wrong_count = generate_program(shape_for_seed(0));
+  wrong_count.threads.pop_back();
+  EXPECT_FALSE(well_formed(wrong_count, &why));
+  EXPECT_NE(why.find("shape.cores"), std::string::npos) << why;
+
+  GenProgram out_of_range = generate_program(shape_for_seed(0));
+  out_of_range.threads[0][0] = GenOp{GenOp::Kind::kUpdate, /*obj=*/99,
+                                     /*obj2=*/0, /*arg=*/1};
+  EXPECT_FALSE(well_formed(out_of_range, &why));
+  EXPECT_NE(why.find("x99"), std::string::npos) << why;
+
+  GenProgram self_nest = generate_program(shape_for_seed(0));
+  self_nest.threads[0][0] = GenOp{GenOp::Kind::kNested, /*obj=*/1,
+                                  /*obj2=*/1, /*arg=*/2};
+  EXPECT_FALSE(well_formed(self_nest, &why));
+  EXPECT_NE(why.find("self-nest"), std::string::npos) << why;
+
+  GenProgram zero_add = generate_program(shape_for_seed(0));
+  zero_add.threads[0][0] = GenOp{GenOp::Kind::kUpdate, /*obj=*/0,
+                                 /*obj2=*/0, /*arg=*/0};
+  EXPECT_FALSE(well_formed(zero_add, &why));
+  EXPECT_NE(why.find("zero addend"), std::string::npos) << why;
+
+  EXPECT_TRUE(well_formed(generate_program(shape_for_seed(0)), &why)) << why;
+}
+
+TEST(Mutate, ReshapeStaysInsideTheLimits) {
+  MutationLimits tight;
+  tight.max_cores = 3;
+  tight.max_objects = 3;
+  tight.max_steps = 5;
+  util::Rng rng(5);
+  // shape_for_seed(0) = {cores 2, objects 2, steps 4}: already inside the
+  // tight caps, and non-reshape operators never grow the shape.
+  GenProgram prog = generate_program(shape_for_seed(0));
+  for (int i = 0; i < 120; ++i) {
+    prog = mutate(prog, rng, tight);
+    ASSERT_LE(prog.shape.cores, tight.max_cores);
+    ASSERT_LE(prog.shape.objects, tight.max_objects);
+    ASSERT_LE(prog.shape.steps, tight.max_steps);
+    ASSERT_GE(prog.shape.cores, 2);
+  }
+}
+
+}  // namespace
+}  // namespace pmc::fuzz

@@ -1,0 +1,90 @@
+// SeedPlan: the one resolver for every seed-width knob (ISSUE satellite).
+// Precedence: explicit flag count > PMC_FUZZ_SEEDS > caller default, with
+// clamping to [1, 10000] wherever the width came from.
+#include "fuzz/seed_plan.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace pmc::fuzz {
+namespace {
+
+/// Scoped PMC_FUZZ_SEEDS override; restores the previous state on exit so
+/// this suite composes with a widened ctest run.
+class ScopedEnv {
+ public:
+  explicit ScopedEnv(const char* value) {
+    const char* old = std::getenv("PMC_FUZZ_SEEDS");
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    if (value != nullptr) {
+      ::setenv("PMC_FUZZ_SEEDS", value, 1);
+    } else {
+      ::unsetenv("PMC_FUZZ_SEEDS");
+    }
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv("PMC_FUZZ_SEEDS", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("PMC_FUZZ_SEEDS");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(SeedPlan, DefaultWhenNothingElseSpeaks) {
+  const ScopedEnv env(nullptr);
+  const SeedPlan plan = SeedPlan::resolve(10);
+  EXPECT_EQ(plan.count, 10u);
+  EXPECT_EQ(plan.source, SeedPlan::Source::kDefault);
+  EXPECT_STREQ(to_string(plan.source), "default");
+}
+
+TEST(SeedPlan, EnvBeatsDefault) {
+  const ScopedEnv env("25");
+  const SeedPlan plan = SeedPlan::resolve(10);
+  EXPECT_EQ(plan.count, 25u);
+  EXPECT_EQ(plan.source, SeedPlan::Source::kEnv);
+}
+
+TEST(SeedPlan, FlagBeatsEnv) {
+  const ScopedEnv env("25");
+  const SeedPlan plan = SeedPlan::resolve(10, /*flag_count=*/3);
+  EXPECT_EQ(plan.count, 3u);
+  EXPECT_EQ(plan.source, SeedPlan::Source::kFlag);
+  EXPECT_STREQ(to_string(plan.source), "flag");
+}
+
+TEST(SeedPlan, WidthsClampToSaneRange) {
+  const ScopedEnv env(nullptr);
+  EXPECT_EQ(SeedPlan::resolve(0).count, 1u);
+  EXPECT_EQ(SeedPlan::resolve(10, 0).count, 1u);
+  EXPECT_EQ(SeedPlan::resolve(10, 1'000'000).count, 10'000u);
+  const ScopedEnv wide("999999999");
+  EXPECT_EQ(SeedPlan::resolve(10).count, 10'000u);
+  const ScopedEnv junk("-3");
+  EXPECT_EQ(SeedPlan::resolve(10).count, 1u);
+}
+
+TEST(SeedPlan, SeedsAreTheContiguousSweep) {
+  SeedPlan plan;
+  plan.base = 5;
+  plan.count = 3;
+  EXPECT_EQ(plan.seeds(), (std::vector<uint64_t>{5, 6, 7}));
+}
+
+TEST(SeedPlan, SweepHelperMatchesResolve) {
+  const ScopedEnv env("4");
+  const auto seeds = seed_sweep(10);
+  ASSERT_EQ(seeds.size(), 4u);
+  EXPECT_EQ(seeds.front(), 0u);
+  EXPECT_EQ(seeds.back(), 3u);
+}
+
+}  // namespace
+}  // namespace pmc::fuzz

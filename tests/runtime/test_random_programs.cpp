@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "explore/program_gen.h"
+#include "fuzz/seed_plan.h"
 #include "runtime/program.h"
 #include "util/hash.h"
 
@@ -96,7 +97,7 @@ TEST_P(FuzzSeeds, AllBackendsValidateAndConverge) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
-                         ::testing::ValuesIn(explore::fuzz_seeds()));
+                         ::testing::ValuesIn(fuzz::seed_sweep()));
 
 TEST(Fuzz, EagerAndLazyReleaseConvergeOnDsm) {
   for (bool eager : {false, true}) {
